@@ -1,0 +1,80 @@
+//! GPipe (Huang et al.): bulk-synchronous pipeline training.
+//!
+//! GPipe splits work into bulks, pipelines them across stages, and flushes
+//! (a synchronisation barrier) after every bulk; activation tensors are
+//! rematerialised in the backward pass, giving the most compact GPU memory
+//! use among the non-swapping systems. Applied to inter-subnet parallel
+//! supernet training, the flush makes all of a bulk's forwards read the
+//! same pre-bulk parameter versions — causal dependencies *within* a bulk
+//! are violated (Figure 1), so training is not reproducible across GPU
+//! counts.
+//!
+//! Characteristic behaviour reproduced here:
+//! * constant bubble ratio `(D-1)/(bulk + D - 1)` ≈ 0.57 at `D = 8`,
+//!   independent of the search space (§5.1);
+//! * the whole supernet must reside in GPU memory, capping batch size and
+//!   failing outright on NLP.c0.
+
+use crate::system::SystemKind;
+use naspipe_core::config::PipelineConfig;
+use naspipe_core::pipeline::{PipelineError, PipelineOutcome};
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::Subnet;
+
+/// GPipe's configuration for `num_gpus` GPUs and `num_subnets` subnets.
+pub fn config(num_gpus: u32, num_subnets: u64) -> PipelineConfig {
+    SystemKind::GPipe.config(num_gpus, num_subnets)
+}
+
+/// Runs GPipe over `space` on an explicit subnet stream.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfMemory`] when the supernet's stage slice
+/// exceeds GPU memory (e.g. NLP.c0 on 8 GPUs).
+pub fn run(
+    space: &SearchSpace,
+    num_gpus: u32,
+    subnets: Vec<Subnet>,
+) -> Result<PipelineOutcome, PipelineError> {
+    SystemKind::GPipe.run(space, num_gpus, subnets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naspipe_supernet::layer::Domain;
+    use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+
+    #[test]
+    fn bubble_matches_fill_drain_formula() {
+        let space = SearchSpace::uniform(Domain::Nlp, 16, 8);
+        let subnets = UniformSampler::new(&space, 3).take_subnets(60);
+        let mut cfg = config(8, 60);
+        cfg.batch = 32;
+        let out =
+            naspipe_core::pipeline::run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
+        // bulk = D/2 + 1 = 5; bubble ~ (D-1)/(bulk + D-1) = 7/12 ~ 0.58.
+        let b = out.report.bubble_ratio;
+        assert!((0.40..0.75).contains(&b), "bubble {b} out of GPipe range");
+    }
+
+    #[test]
+    fn fails_on_oversized_supernet() {
+        let space = SearchSpace::nlp_c0();
+        let subnets = UniformSampler::new(&space, 0).take_subnets(4);
+        match run(&space, 8, subnets) {
+            Err(PipelineError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supports_nlp_c1_with_small_batch() {
+        let space = SearchSpace::nlp_c1();
+        let subnets = UniformSampler::new(&space, 0).take_subnets(6);
+        let out = run(&space, 8, subnets).expect("NLP.c1 fits on 8 GPUs");
+        assert!(out.report.batch < 64, "GPipe batch should be memory-bound");
+        assert!(out.report.cache_hit_rate.is_none());
+    }
+}

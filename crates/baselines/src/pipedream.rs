@@ -1,0 +1,87 @@
+//! PipeDream (Narayanan et al.): asynchronous 1F1B pipeline training.
+//!
+//! PipeDream interleaves one forward and one backward per stage with
+//! asynchronous parameter updates (ASP) and never flushes, so its bubble
+//! ratio is only the pipeline ramp (~0.1). It stores full activations for
+//! every in-flight batch (no rematerialisation), which — combined with
+//! keeping the whole supernet in GPU memory — gives it the smallest
+//! supported batches in Table 2. Without any dependency tracking, subnets
+//! read whatever parameter version is current: training results depend on
+//! the pipeline depth and are not reproducible.
+
+use crate::system::SystemKind;
+use naspipe_core::config::PipelineConfig;
+use naspipe_core::pipeline::{PipelineError, PipelineOutcome};
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::Subnet;
+
+/// PipeDream's configuration for `num_gpus` GPUs and `num_subnets`
+/// subnets.
+pub fn config(num_gpus: u32, num_subnets: u64) -> PipelineConfig {
+    SystemKind::PipeDream.config(num_gpus, num_subnets)
+}
+
+/// Runs PipeDream over `space` on an explicit subnet stream.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::OutOfMemory`] when the supernet's stage slice
+/// exceeds GPU memory.
+pub fn run(
+    space: &SearchSpace,
+    num_gpus: u32,
+    subnets: Vec<Subnet>,
+) -> Result<PipelineOutcome, PipelineError> {
+    SystemKind::PipeDream.run(space, num_gpus, subnets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naspipe_core::pipeline::run_pipeline_with_subnets;
+    use naspipe_supernet::layer::Domain;
+    use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+
+    #[test]
+    fn low_bubble_ratio() {
+        let space = SearchSpace::uniform(Domain::Nlp, 16, 8);
+        let subnets = UniformSampler::new(&space, 3).take_subnets(80);
+        let mut cfg = config(8, 80);
+        cfg.batch = 16;
+        let out = run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
+        assert!(
+            out.report.bubble_ratio < 0.35,
+            "ASP bubble {} should be small",
+            out.report.bubble_ratio
+        );
+    }
+
+    #[test]
+    fn smallest_batches_of_all_systems() {
+        let space = SearchSpace::nlp_c2();
+        let pd = naspipe_core::memory::plan(&space, config(8, 1).policy, 8, 3.0)
+            .verdict
+            .batch()
+            .unwrap();
+        let gp = naspipe_core::memory::plan(
+            &space,
+            SystemKind::GPipe.config(8, 1).policy,
+            8,
+            3.0,
+        )
+        .verdict
+        .batch()
+        .unwrap();
+        assert!(pd < gp, "PipeDream {pd} !< GPipe {gp}");
+    }
+
+    #[test]
+    fn fails_on_oversized_supernet() {
+        let space = SearchSpace::nlp_c0();
+        let subnets = UniformSampler::new(&space, 0).take_subnets(4);
+        assert!(matches!(
+            run(&space, 8, subnets),
+            Err(PipelineError::OutOfMemory { .. })
+        ));
+    }
+}

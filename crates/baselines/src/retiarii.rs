@@ -1,0 +1,117 @@
+//! Retiarii's wrapped data parallelism (Zhang et al., OSDI '20).
+//!
+//! Retiarii assigns each GPU one whole subnet execution and synchronises
+//! parameters through an external parameter-server, flushing in bulk
+//! (BSP). The paper excludes it from the performance baselines because it
+//! cannot train supernets whose *subnets* exceed one GPU's memory — the
+//! very workloads NASPipe targets — and because its global synchronisation
+//! server scales poorly. This module models it analytically to make those
+//! two limits concrete (§2.2).
+
+use naspipe_core::memory::WORKSPACE_BYTES;
+use naspipe_sim::cluster::GPU_MEMORY_BYTES;
+use naspipe_sim::link::Link;
+use naspipe_supernet::profile::ProfiledSpace;
+use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe_supernet::space::SearchSpace;
+
+/// Result of an analytic Retiarii run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetiariiEstimate {
+    /// Whether one subnet (plus activations) fits a single GPU.
+    pub feasible: bool,
+    /// Mean subnet parameter bytes.
+    pub subnet_bytes: u64,
+    /// Subnets trained per virtual hour across all GPUs.
+    pub subnets_per_hour: f64,
+    /// Fraction of each round spent in parameter-server synchronisation.
+    pub sync_fraction: f64,
+}
+
+/// Estimates Retiarii's wrapped-data-parallel throughput on `space` with
+/// `num_gpus` GPUs at the space's default batch.
+///
+/// Each round, every GPU trains one subnet locally and then exchanges the
+/// subnet's parameters with the parameter server over the host network;
+/// the bulk barrier makes the round as long as the slowest subnet plus
+/// the serialised server synchronisation.
+///
+/// # Panics
+///
+/// Panics if `num_gpus == 0`.
+pub fn estimate(space: &SearchSpace, num_gpus: u32, sample_rounds: u32) -> RetiariiEstimate {
+    assert!(num_gpus > 0, "need at least one GPU");
+    let batch = space
+        .id()
+        .map(|id| id.default_batch())
+        .unwrap_or(64);
+    let profile = ProfiledSpace::new(space, batch);
+    let subnet_bytes = naspipe_core::memory::mean_subnet_param_bytes(space);
+    let feasible = subnet_bytes + WORKSPACE_BYTES < GPU_MEMORY_BYTES;
+
+    // Sample rounds deterministically to average subnet compute times.
+    let mut sampler = UniformSampler::new(space, 0x5245_5449);
+    let mut total_hours = 0.0f64;
+    let mut sync_total = 0.0f64;
+    let mut round_total = 0.0f64;
+    let net = Link::ethernet_40g();
+    for _ in 0..sample_rounds.max(1) {
+        // The bulk barrier waits for the slowest of the D subnets.
+        let mut slowest_ms = 0.0f64;
+        for _ in 0..num_gpus {
+            let s = sampler.next_subnet();
+            slowest_ms = slowest_ms.max(profile.subnet_total_ms(&s));
+        }
+        // PS sync: every GPU pushes gradients and pulls parameters for a
+        // whole subnet through the central server, serialised there.
+        let sync_ms =
+            net.transfer_time(2 * subnet_bytes).as_ms() * f64::from(num_gpus);
+        let round_ms = slowest_ms + sync_ms;
+        sync_total += sync_ms;
+        round_total += round_ms;
+        total_hours += round_ms / 3_600_000.0;
+    }
+    let rounds = f64::from(sample_rounds.max(1));
+    RetiariiEstimate {
+        feasible,
+        subnet_bytes,
+        subnets_per_hour: if feasible {
+            f64::from(num_gpus) * rounds / total_hours
+        } else {
+            0.0
+        },
+        sync_fraction: sync_total / round_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_fraction_grows_with_gpus() {
+        let space = SearchSpace::nlp_c3();
+        let few = estimate(&space, 4, 8);
+        let many = estimate(&space, 16, 8);
+        assert!(
+            many.sync_fraction > few.sync_fraction,
+            "central PS must become the bottleneck: {} !> {}",
+            many.sync_fraction,
+            few.sync_fraction
+        );
+    }
+
+    #[test]
+    fn feasible_on_small_spaces() {
+        let est = estimate(&SearchSpace::cv_c3(), 8, 4);
+        assert!(est.feasible);
+        assert!(est.subnets_per_hour > 0.0);
+        assert!(est.subnet_bytes > 0);
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let space = SearchSpace::nlp_c2();
+        assert_eq!(estimate(&space, 8, 4), estimate(&space, 8, 4));
+    }
+}

@@ -1,0 +1,144 @@
+//! The four evaluated systems as one enum, with their policies and
+//! display names — the row/series labels of Table 2 and Figures 4–7.
+
+use naspipe_core::config::{PipelineConfig, SyncPolicy};
+use naspipe_core::pipeline::{
+    run_pipeline_with_subnets, PipelineError, PipelineOutcome,
+};
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::Subnet;
+use std::fmt;
+
+/// One of the evaluated training systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// NASPipe (CSP).
+    NasPipe,
+    /// GPipe (BSP, no swapping).
+    GPipe,
+    /// PipeDream (ASP).
+    PipeDream,
+    /// VPipe (BSP with parameter swapping).
+    VPipe,
+}
+
+impl SystemKind {
+    /// The four systems in the paper's presentation order.
+    pub const ALL: [SystemKind; 4] = [
+        SystemKind::NasPipe,
+        SystemKind::GPipe,
+        SystemKind::PipeDream,
+        SystemKind::VPipe,
+    ];
+
+    /// The synchronisation policy this system uses.
+    pub fn policy(self) -> SyncPolicy {
+        match self {
+            SystemKind::NasPipe => SyncPolicy::naspipe(),
+            SystemKind::GPipe => SyncPolicy::Bsp {
+                bulk: 0,
+                swap: false,
+            },
+            SystemKind::PipeDream => SyncPolicy::Asp,
+            SystemKind::VPipe => SyncPolicy::Bsp {
+                bulk: 0,
+                swap: true,
+            },
+        }
+    }
+
+    /// The synchronisation discipline's name (Table 3's "Sync." column).
+    pub fn sync_name(self) -> &'static str {
+        match self {
+            SystemKind::NasPipe => "CSP",
+            SystemKind::GPipe | SystemKind::VPipe => "BSP",
+            SystemKind::PipeDream => "ASP",
+        }
+    }
+
+    /// Whether the system preserves causal dependencies (and is therefore
+    /// reproducible across GPU counts).
+    pub fn is_reproducible(self) -> bool {
+        matches!(self, SystemKind::NasPipe)
+    }
+
+    /// A ready-to-run configuration for this system.
+    pub fn config(self, num_gpus: u32, num_subnets: u64) -> PipelineConfig {
+        let mut cfg = PipelineConfig::naspipe(num_gpus, num_subnets);
+        cfg.policy = self.policy();
+        cfg
+    }
+
+    /// Runs this system over `space` on the given subnet stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] — notably out-of-memory for
+    /// GPipe/PipeDream on search spaces whose supernet exceeds GPU memory.
+    pub fn run(
+        self,
+        space: &SearchSpace,
+        num_gpus: u32,
+        subnets: Vec<Subnet>,
+    ) -> Result<PipelineOutcome, PipelineError> {
+        let cfg = self.config(num_gpus, subnets.len() as u64);
+        run_pipeline_with_subnets(space, &cfg, subnets)
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SystemKind::NasPipe => "NASPipe",
+            SystemKind::GPipe => "GPipe",
+            SystemKind::PipeDream => "PipeDream",
+            SystemKind::VPipe => "VPipe",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naspipe_supernet::layer::Domain;
+    use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+
+    #[test]
+    fn names_and_sync_labels() {
+        assert_eq!(SystemKind::NasPipe.to_string(), "NASPipe");
+        assert_eq!(SystemKind::GPipe.sync_name(), "BSP");
+        assert_eq!(SystemKind::VPipe.sync_name(), "BSP");
+        assert_eq!(SystemKind::PipeDream.sync_name(), "ASP");
+        assert_eq!(SystemKind::NasPipe.sync_name(), "CSP");
+    }
+
+    #[test]
+    fn only_naspipe_is_reproducible() {
+        let repro: Vec<SystemKind> = SystemKind::ALL
+            .into_iter()
+            .filter(|s| s.is_reproducible())
+            .collect();
+        assert_eq!(repro, vec![SystemKind::NasPipe]);
+    }
+
+    #[test]
+    fn all_systems_run_a_small_space() {
+        let space = SearchSpace::uniform(Domain::Nlp, 8, 6);
+        let subnets = UniformSampler::new(&space, 1).take_subnets(10);
+        for system in SystemKind::ALL {
+            let out = system
+                .run(&space, 4, subnets.clone())
+                .unwrap_or_else(|e| panic!("{system} failed: {e}"));
+            assert_eq!(out.report.subnets_completed, 10, "{system}");
+        }
+    }
+
+    #[test]
+    fn policies_match_expectations() {
+        assert!(SystemKind::NasPipe.policy().swaps_parameters());
+        assert!(!SystemKind::GPipe.policy().swaps_parameters());
+        assert!(SystemKind::VPipe.policy().swaps_parameters());
+        assert!(!SystemKind::PipeDream.policy().recomputes_activations());
+    }
+}

@@ -1,0 +1,78 @@
+//! VPipe (Zhao et al.): BSP pipeline training with parameter swapping.
+//!
+//! VPipe extends GPipe-style BSP with CPU-memory parameter swapping, so it
+//! matches NASPipe's large batch sizes. But its partition is effectively
+//! static across subnets (its live-migration repartitioner is built for
+//! the slow drift of single-DNN training, not per-second subnet switches,
+//! §2.3) and its swapping has no subnet-aware prediction — each subnet's
+//! context is fetched on demand, so layers hit in cache only when a
+//! recent subnet happened to share them (1–8 % in Table 2, rising with
+//! the per-block collision probability of smaller spaces).
+
+use crate::system::SystemKind;
+use naspipe_core::config::PipelineConfig;
+use naspipe_core::pipeline::{PipelineError, PipelineOutcome};
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::Subnet;
+
+/// VPipe's configuration for `num_gpus` GPUs and `num_subnets` subnets.
+pub fn config(num_gpus: u32, num_subnets: u64) -> PipelineConfig {
+    SystemKind::VPipe.config(num_gpus, num_subnets)
+}
+
+/// Runs VPipe over `space` on an explicit subnet stream.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`]; VPipe's swapping means even the largest
+/// spaces fit.
+pub fn run(
+    space: &SearchSpace,
+    num_gpus: u32,
+    subnets: Vec<Subnet>,
+) -> Result<PipelineOutcome, PipelineError> {
+    SystemKind::VPipe.run(space, num_gpus, subnets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+    use naspipe_supernet::space::SearchSpace;
+
+    #[test]
+    fn handles_nlp_c0_unlike_gpipe() {
+        let space = SearchSpace::nlp_c0();
+        let subnets = UniformSampler::new(&space, 0).take_subnets(4);
+        let out = run(&space, 8, subnets).expect("VPipe swaps, so NLP.c0 fits");
+        assert_eq!(out.report.subnets_completed, 4);
+    }
+
+    #[test]
+    fn matches_naspipe_batch_sizes() {
+        let space = SearchSpace::cv_c1();
+        let vp = naspipe_core::memory::plan(&space, config(8, 1).policy, 8, 3.0)
+            .verdict
+            .batch()
+            .unwrap();
+        let nas = naspipe_core::memory::plan(
+            &space,
+            SystemKind::NasPipe.config(8, 1).policy,
+            8,
+            3.0,
+        )
+        .verdict
+        .batch()
+        .unwrap();
+        assert_eq!(vp, nas);
+    }
+
+    #[test]
+    fn low_cache_hit_rate_without_prediction() {
+        let space = SearchSpace::nlp_c2();
+        let subnets = UniformSampler::new(&space, 5).take_subnets(30);
+        let out = run(&space, 8, subnets).unwrap();
+        let hit = out.report.cache_hit_rate.expect("VPipe swaps");
+        assert!(hit < 0.5, "VPipe hit rate {hit} should be low");
+    }
+}

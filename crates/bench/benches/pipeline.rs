@@ -1,0 +1,51 @@
+//! End-to-end engine benchmarks: how fast the discrete-event pipeline
+//! simulates each synchronisation policy, and how fast the numeric
+//! training replay runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naspipe_core::config::{PipelineConfig, SyncPolicy};
+use naspipe_core::pipeline::run_pipeline_with_subnets;
+use naspipe_core::train::{replay_training, TrainConfig};
+use naspipe_supernet::layer::Domain;
+use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe_supernet::space::SearchSpace;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let space = SearchSpace::uniform(Domain::Nlp, 16, 12);
+    let subnets = UniformSampler::new(&space, 7).take_subnets(32);
+    let mut group = c.benchmark_group("engine_32_subnets_8_gpus");
+    for (name, policy) in [
+        ("csp", SyncPolicy::naspipe()),
+        ("bsp", SyncPolicy::Bsp { bulk: 0, swap: false }),
+        ("asp", SyncPolicy::Asp),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let mut cfg = PipelineConfig::naspipe(8, 32).with_batch(32);
+            cfg.policy = policy;
+            b.iter(|| {
+                black_box(
+                    run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let space = SearchSpace::uniform(Domain::Nlp, 16, 12);
+    let subnets = UniformSampler::new(&space, 7).take_subnets(32);
+    let cfg = PipelineConfig::naspipe(8, 32).with_batch(32);
+    let outcome = run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
+    let tc = TrainConfig {
+        residual_scale: 0.25,
+        ..TrainConfig::default()
+    };
+    c.bench_function("numeric_replay_32_subnets", |b| {
+        b.iter(|| black_box(replay_training(&space, black_box(&outcome), &tc)))
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_replay);
+criterion_main!(benches);

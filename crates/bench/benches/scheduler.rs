@@ -1,0 +1,106 @@
+//! Micro-benchmarks of NASPipe's scheduling-path components.
+//!
+//! The paper's complexity analysis (§3.2) claims a scheduler call costs
+//! well under 0.01 s against second-scale subnet executions; these benches
+//! verify the claim holds for this implementation at the paper's scale
+//! (queue of ~30 subnets, 48-block NLP.c1-sized architectures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naspipe_core::context::StageCache;
+use naspipe_core::partition::{Partition, PartitionMode, Partitioner};
+use naspipe_core::predictor::Predictor;
+use naspipe_core::scheduler::{CspScheduler, SubnetTable};
+use naspipe_core::task::{FinishedSet, StageId};
+use naspipe_supernet::layer::LayerRef;
+use naspipe_supernet::profile::ProfiledSpace;
+use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::SubnetId;
+use std::hint::black_box;
+
+/// A paper-scale scheduling scenario: 30 queued subnets of 48 blocks over
+/// 8 stages, half the earlier subnets unfinished.
+fn scenario() -> (Vec<SubnetId>, Vec<FinishedSet>, SubnetTable) {
+    let space = SearchSpace::nlp_c1();
+    let profile = ProfiledSpace::new(&space, 192);
+    let mut partitioner = Partitioner::new(profile, 8, PartitionMode::Mirrored);
+    let mut table = SubnetTable::new();
+    let mut sampler = UniformSampler::new(&space, 1);
+    for subnet in sampler.take_subnets(60) {
+        let p = partitioner.partition_for(&subnet);
+        table.insert(subnet, p);
+    }
+    let mut finished = vec![FinishedSet::new(); 8];
+    for f in &mut finished {
+        for i in 0..15u64 {
+            f.insert(SubnetId(i * 2));
+        }
+    }
+    let queue: Vec<SubnetId> = (30..60).map(SubnetId).collect();
+    (queue, finished, table)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let (queue, finished, table) = scenario();
+    let mut scheduler = CspScheduler::new();
+    c.bench_function("csp_schedule_queue30_nlp_c1", |b| {
+        b.iter(|| {
+            black_box(scheduler.schedule(
+                black_box(&queue),
+                black_box(&finished),
+                black_box(&table),
+                StageId(3),
+            ))
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let (queue, finished, table) = scenario();
+    let mut scheduler = CspScheduler::new();
+    let mut predictor = Predictor::new();
+    c.bench_function("predictor_before_backward", |b| {
+        b.iter(|| {
+            black_box(predictor.before_backward(
+                &mut scheduler,
+                black_box(&queue),
+                black_box(&finished),
+                black_box(&table),
+                StageId(3),
+                SubnetId(31),
+                &[],
+            ))
+        })
+    });
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let space = SearchSpace::nlp_c1();
+    let profile = ProfiledSpace::new(&space, 192);
+    let mut sampler = UniformSampler::new(&space, 2);
+    let subnet = sampler.next_subnet();
+    let costs = profile.subnet_block_costs(&subnet);
+    c.bench_function("balanced_partition_48_blocks_8_stages", |b| {
+        b.iter(|| black_box(Partition::balanced(black_box(&costs), 8)))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("stage_cache_access_cycle", |b| {
+        let mut cache = StageCache::new(600);
+        b.iter(|| {
+            for i in 0..24u32 {
+                cache.access(LayerRef::new(i % 12, i / 12), 40);
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_predictor,
+    bench_partitioner,
+    bench_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Numeric substrate benchmarks: the deterministic tensor ops and one
+//! full supernet training step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naspipe_supernet::layer::Domain;
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::{Subnet, SubnetId};
+use naspipe_tensor::data::SyntheticDataset;
+use naspipe_tensor::hash::hash_tensors;
+use naspipe_tensor::model::{NumericSupernet, ParamStore};
+use naspipe_tensor::tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::from_vec((0..64 * 64).map(|i| (i as f32).sin()).collect(), &[64, 64]);
+    let b = Tensor::from_vec((0..64 * 64).map(|i| (i as f32).cos()).collect(), &[64, 64]);
+    c.bench_function("matmul_64x64", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let space = SearchSpace::uniform(Domain::Nlp, 24, 8);
+    let mut store = ParamStore::init(&space, 16, 0);
+    let mut engine = NumericSupernet::new(0.05).with_residual_scale(0.2);
+    let data = SyntheticDataset::new(0, 8, 16);
+    let subnet = Subnet::new(SubnetId(0), (0..24).map(|b| b % 8).collect());
+    let (x, y) = data.step_batch(0);
+    c.bench_function("train_step_24_blocks_dim16", |b| {
+        b.iter(|| black_box(engine.train_step(&mut store, &subnet, &x, &y)))
+    });
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let t = Tensor::from_vec((0..65_536).map(|i| i as f32).collect(), &[256, 256]);
+    c.bench_function("bitwise_hash_64k_f32", |b| {
+        b.iter(|| black_box(hash_tensors([black_box(&t)])))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_train_step, bench_hashing);
+criterion_main!(benches);

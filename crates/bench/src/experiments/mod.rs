@@ -1,0 +1,30 @@
+//! One module per reproduced table/figure, plus shared machinery.
+
+pub mod cache_sweep;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod generation;
+pub mod recompute;
+pub mod soundness;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod throughput;
+pub mod topology;
+pub mod training;
+
+use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::Subnet;
+
+/// The shared exploration stream all systems train for a given space:
+/// identical subnets in identical order, so differences between systems
+/// are purely scheduling.
+pub fn subnet_stream(space: &SearchSpace, n: u64) -> Vec<Subnet> {
+    UniformSampler::new(space, crate::SEED).take_subnets(n as usize)
+}

@@ -1,0 +1,93 @@
+//! Table 1: the seven default evaluation search spaces.
+
+use crate::format::{param_count, render_table};
+use naspipe_supernet::space::{SearchSpace, SpaceId};
+
+/// One row of Table 1 (extended with derived size columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The space.
+    pub space: SpaceId,
+    /// Choice blocks.
+    pub blocks: u32,
+    /// Candidate layers per block.
+    pub layers_per_block: u32,
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Whole-supernet parameter bytes.
+    pub supernet_bytes: u64,
+    /// log10 of the number of candidate architectures.
+    pub cardinality_log10: f64,
+}
+
+/// Builds all seven rows.
+pub fn run() -> Vec<Table1Row> {
+    SpaceId::ALL
+        .into_iter()
+        .map(|id| {
+            let space = SearchSpace::from_id(id);
+            let (blocks, layers) = id.shape();
+            Table1Row {
+                space: id,
+                blocks,
+                layers_per_block: layers,
+                dataset: id.dataset(),
+                supernet_bytes: space.supernet_param_bytes(),
+                cardinality_log10: space.cardinality_log10(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1.
+pub fn render(rows: &[Table1Row]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.space.to_string(),
+                r.blocks.to_string(),
+                r.layers_per_block.to_string(),
+                r.dataset.to_string(),
+                param_count(r.supernet_bytes),
+                format!("10^{:.0}", r.cardinality_log10),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Search Space", "# Choice Blocks", "# Layer/Block", "Dataset", "Supernet Params", "Architectures"],
+        &cells,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_rows_matching_paper() {
+        let rows = run();
+        assert_eq!(rows.len(), 7);
+        let c0 = &rows[0];
+        assert_eq!((c0.blocks, c0.layers_per_block), (48, 96));
+        assert_eq!(c0.dataset, "WNMT");
+        let cv3 = &rows[6];
+        assert_eq!((cv3.blocks, cv3.layers_per_block), (32, 12));
+        assert_eq!(cv3.dataset, "ImageNet");
+    }
+
+    #[test]
+    fn supernet_sizes_decrease_within_domain() {
+        let rows = run();
+        assert!(rows[0].supernet_bytes > rows[1].supernet_bytes);
+        assert!(rows[4].supernet_bytes > rows[5].supernet_bytes);
+    }
+
+    #[test]
+    fn render_lists_all_spaces() {
+        let s = render(&run());
+        for name in ["NLP.c0", "NLP.c3", "CV.c1", "CV.c3"] {
+            assert!(s.contains(name));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Table 2: resource consumption and micro events — parameter size,
+//! batch, GPU memory/ALU factors, CPU memory, per-subnet execution time,
+//! bubble ratio and cache-hit rate for the four systems on the six
+//! Table 2 spaces.
+
+use crate::experiments::throughput::{run_all_systems, SystemResult};
+use crate::format::{gib, param_count, percent, render_table, x_factor};
+use naspipe_baselines::SystemKind;
+use naspipe_core::report::PipelineReport;
+use naspipe_supernet::space::SpaceId;
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The space.
+    pub space: SpaceId,
+    /// The system.
+    pub system: SystemKind,
+    /// The run's report, or `None` for an OOM failure.
+    pub report: Option<PipelineReport>,
+}
+
+/// Runs the table (6 spaces x 4 systems).
+pub fn run(num_gpus: u32, n: u64) -> Vec<Table2Row> {
+    SpaceId::TABLE2
+        .into_iter()
+        .flat_map(|id| {
+            run_all_systems(id, num_gpus, n)
+                .into_iter()
+                .map(move |(system, result)| Table2Row {
+                    space: id,
+                    system,
+                    report: match result {
+                        SystemResult::Ok(r) => Some(*r),
+                        SystemResult::OutOfMemory => None,
+                    },
+                })
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(rows: &[Table2Row]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| match &row.report {
+            Some(r) => vec![
+                row.space.to_string(),
+                row.system.to_string(),
+                param_count(r.reported_param_bytes),
+                r.batch.to_string(),
+                x_factor(r.gpu_mem_factor),
+                x_factor(r.total_alu),
+                if r.cpu_mem_gib > 0.0 {
+                    gib((r.cpu_mem_gib * 1_073_741_824.0) as u64)
+                } else {
+                    "0".to_string()
+                },
+                format!("{:.2}", r.avg_subnet_exec_secs),
+                format!("{:.2}", r.bubble_ratio),
+                r.cache_hit_rate.map(percent).unwrap_or_else(|| "N/A".into()),
+            ],
+            None => {
+                let mut v = vec![row.space.to_string(), row.system.to_string()];
+                v.extend(std::iter::repeat_n("OOM".to_string(), 8));
+                v
+            }
+        })
+        .collect();
+    render_table(
+        &["Space", "System", "Para.", "Batch", "GPU Mem.", "GPU ALU", "CPU Mem.", "Exec.(s)", "Bub.", "Cache Hit"],
+        &cells,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naspipe_supernet::space::SearchSpace;
+    use crate::experiments::throughput::run_system;
+
+    fn report(id: SpaceId, system: SystemKind) -> PipelineReport {
+        let space = SearchSpace::from_id(id);
+        run_system(&space, system, 8, 48)
+            .report()
+            .cloned()
+            .unwrap_or_else(|| panic!("{system} failed on {id}"))
+    }
+
+    #[test]
+    fn naspipe_nlp_c1_shape_matches_paper() {
+        let r = report(SpaceId::NlpC1, SystemKind::NasPipe);
+        assert_eq!(r.batch, 192);
+        assert!(r.cache_hit_rate.unwrap() > 0.7, "hit {:?}", r.cache_hit_rate);
+        assert!(r.cpu_mem_gib > 30.0, "supernet lives in CPU memory");
+        assert!(r.bubble_ratio < 0.7);
+    }
+
+    #[test]
+    fn gpipe_bubble_constant_across_spaces() {
+        let b1 = report(SpaceId::NlpC1, SystemKind::GPipe).bubble_ratio;
+        let b3 = report(SpaceId::NlpC3, SystemKind::GPipe).bubble_ratio;
+        assert!((b1 - b3).abs() < 0.12, "GPipe bubble varies: {b1} vs {b3}");
+    }
+
+    #[test]
+    fn naspipe_bubble_grows_as_space_shrinks() {
+        let b1 = report(SpaceId::NlpC1, SystemKind::NasPipe).bubble_ratio;
+        let b3 = report(SpaceId::NlpC3, SystemKind::NasPipe).bubble_ratio;
+        assert!(b3 > b1, "more collisions -> more bubbles: c3 {b3} !> c1 {b1}");
+    }
+
+    #[test]
+    fn vpipe_hit_rate_grows_as_space_shrinks() {
+        let h1 = report(SpaceId::CvC1, SystemKind::VPipe).cache_hit_rate.unwrap();
+        let h3 = report(SpaceId::CvC3, SystemKind::VPipe).cache_hit_rate.unwrap();
+        assert!(h3 > h1, "residual sharing rises with collisions: {h3} !> {h1}");
+    }
+
+    #[test]
+    fn naspipe_alu_exceeds_baselines_on_large_spaces() {
+        let nas = report(SpaceId::NlpC1, SystemKind::NasPipe).total_alu;
+        let gp = report(SpaceId::NlpC1, SystemKind::GPipe).total_alu;
+        let vp = report(SpaceId::NlpC1, SystemKind::VPipe).total_alu;
+        assert!(nas > gp && nas > vp, "NASPipe {nas} vs GPipe {gp}, VPipe {vp}");
+    }
+
+    #[test]
+    fn render_includes_na_for_non_swapping() {
+        let rows = vec![Table2Row {
+            space: SpaceId::NlpC3,
+            system: SystemKind::GPipe,
+            report: Some(report(SpaceId::NlpC3, SystemKind::GPipe)),
+        }];
+        assert!(render(&rows).contains("N/A"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Table 5: compute vs swap time for the eight representative layers.
+
+use crate::format::render_table;
+use naspipe_supernet::layer::{Domain, LayerKind};
+
+/// One row of Table 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// NLP or CV.
+    pub domain: Domain,
+    /// Reference input size description.
+    pub input_size: &'static str,
+    /// Layer family.
+    pub layer: LayerKind,
+    /// Forward compute time, ms.
+    pub fwd_ms: f64,
+    /// Backward compute time, ms.
+    pub bwd_ms: f64,
+    /// CPU->GPU swap time, ms.
+    pub swap_ms: f64,
+}
+
+/// Builds the eight rows from the cost catalog.
+pub fn run() -> Vec<Table5Row> {
+    let mut rows = Vec::with_capacity(8);
+    for domain in [Domain::Nlp, Domain::Cv] {
+        let input_size = match domain {
+            Domain::Nlp => "(192, 1024)",
+            Domain::Cv => "(64, 112, 112)",
+        };
+        for kind in LayerKind::base_kinds(domain) {
+            let c = kind.profiled_cost();
+            rows.push(Table5Row {
+                domain,
+                input_size,
+                layer: kind,
+                fwd_ms: c.fwd_ms,
+                bwd_ms: c.bwd_ms,
+                swap_ms: c.swap_ms,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Table 5.
+pub fn render(rows: &[Table5Row]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.domain.to_string(),
+                r.input_size.to_string(),
+                r.layer.to_string(),
+                format!("{:.2}/{:.2}", r.fwd_ms, r.bwd_ms),
+                format!("{:.2}", r.swap_ms),
+            ]
+        })
+        .collect();
+    render_table(&["Domain", "Input Size", "Layer", "Comp. (ms)", "Swap (ms)"], &cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_rows_matching_paper_values() {
+        let rows = run();
+        assert_eq!(rows.len(), 8);
+        let conv31 = rows
+            .iter()
+            .find(|r| r.layer == LayerKind::Conv3x1)
+            .unwrap();
+        assert_eq!((conv31.fwd_ms, conv31.bwd_ms, conv31.swap_ms), (5.0, 10.0, 1.76));
+        let attn = rows
+            .iter()
+            .find(|r| r.layer == LayerKind::Attention8Head)
+            .unwrap();
+        assert_eq!((attn.fwd_ms, attn.bwd_ms, attn.swap_ms), (7.9, 13.8, 2.07));
+    }
+
+    #[test]
+    fn swap_is_cheaper_than_compute_for_all_layers() {
+        // The premise of context prefetching: a layer's swap overlaps
+        // easily within its (or a neighbour's) compute.
+        for r in run() {
+            assert!(r.swap_ms < r.fwd_ms + r.bwd_ms, "{}", r.layer);
+        }
+    }
+
+    #[test]
+    fn render_groups_by_domain() {
+        let s = render(&run());
+        assert!(s.contains("NLP"));
+        assert!(s.contains("CV"));
+        assert!(s.contains("8 Head Attention"));
+    }
+}

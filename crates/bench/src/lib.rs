@@ -1,0 +1,36 @@
+//! The NASPipe reproduction harness: one runner per table and figure of
+//! the paper's evaluation (§5), plus the Figure 1 schedule comparison.
+//!
+//! Each experiment module returns structured rows and knows how to render
+//! them; the `repro` binary dispatches on experiment name:
+//!
+//! ```text
+//! repro fig1     ASP/BSP/CSP schedules on a shared-layer subnet list
+//! repro table1   the seven search spaces
+//! repro fig4     training convergence, four systems x six spaces
+//! repro fig5     normalised throughput, four systems x seven spaces
+//! repro table2   resource consumption and micro events
+//! repro table3   reproducibility across 4/8/16 GPUs x {CSP,BSP,ASP}
+//! repro table4   access & update order of a shared layer
+//! repro table5   per-layer compute vs swap times
+//! repro fig6     component ablation
+//! repro fig7     ALU scalability, 4..16 GPUs
+//! repro all      everything above
+//! ```
+
+pub mod experiments;
+pub mod format;
+pub mod score;
+
+/// Number of subnets trained per throughput measurement run. Large enough
+/// that pipeline fill/drain is amortised, small enough to keep `repro all`
+/// interactive.
+pub const THROUGHPUT_SUBNETS: u64 = 160;
+
+/// Number of subnets trained per reproducibility/convergence run.
+pub const TRAINING_SUBNETS: u64 = 240;
+
+/// Exploration seed shared by all experiments (the paper fixes seeds for
+/// PyTorch, Python and the DataLoader; we fix one for the sampler and one
+/// for the numeric substrate).
+pub const SEED: u64 = 2022;

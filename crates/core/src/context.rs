@@ -1,0 +1,379 @@
+//! Context management: the per-stage GPU parameter cache.
+//!
+//! The whole supernet lives in pinned CPU memory; a stage's GPU keeps only
+//! a small cache of candidate-layer parameters (~3x one subnet's stage
+//! slice by default). The context manager prefetches layers the predictor
+//! expects to run and evicts finished ones, LRU-first. Accesses are
+//! tracked at *layer* granularity — the paper's cache-hit metric counts,
+//! per activated layer, whether its parameters were already resident.
+
+use naspipe_supernet::layer::LayerRef;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Cache-hit statistics (the "Cache Hit" column of Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Layer accesses that found the layer resident.
+    pub hits: u64,
+    /// Layer accesses that required a synchronous fetch.
+    pub misses: u64,
+    /// Bytes fetched CPU -> GPU.
+    pub bytes_fetched: u64,
+    /// Bytes evicted GPU -> CPU.
+    pub bytes_evicted: u64,
+    /// Prefetches issued ahead of use.
+    pub prefetches: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 1.0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A per-stage parameter cache with LRU eviction and pinning.
+///
+/// # Example
+///
+/// ```
+/// use naspipe_core::context::StageCache;
+/// use naspipe_supernet::layer::LayerRef;
+///
+/// let mut cache = StageCache::new(100);
+/// assert!(!cache.access(LayerRef::new(0, 3), 60)); // miss: fetched
+/// assert!(cache.access(LayerRef::new(0, 3), 60));  // hit
+/// cache.prefetch(LayerRef::new(1, 0), 30);
+/// assert!(cache.access(LayerRef::new(1, 0), 30));  // prefetch paid off
+/// assert!(cache.stats().hit_rate() > 0.6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StageCache {
+    capacity: u64,
+    used: u64,
+    high_water: u64,
+    resident: BTreeMap<LayerRef, u64>,
+    // LRU order: front = least recently used. Contains every resident,
+    // unpinned layer exactly once.
+    lru: VecDeque<LayerRef>,
+    pinned: BTreeMap<LayerRef, u32>,
+    stats: CacheStats,
+}
+
+impl StageCache {
+    /// Creates a cache holding at most `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            used: 0,
+            high_water: 0,
+            resident: BTreeMap::new(),
+            lru: VecDeque::new(),
+            pinned: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Largest residency ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether `layer` is resident.
+    pub fn contains(&self, layer: LayerRef) -> bool {
+        self.resident.contains_key(&layer)
+    }
+
+    fn lru_remove(&mut self, layer: LayerRef) {
+        if let Some(pos) = self.lru.iter().position(|&l| l == layer) {
+            self.lru.remove(pos);
+        }
+    }
+
+    /// Whether `bytes` more could be made to fit by evicting unpinned
+    /// layers, without actually evicting.
+    fn could_fit(&self, bytes: u64) -> bool {
+        let evictable: u64 = self.lru.iter().map(|l| self.resident[l]).sum();
+        self.used - evictable + bytes <= self.capacity
+    }
+
+    /// Evicts LRU unpinned layers until `bytes` more fit, best effort:
+    /// stops when nothing evictable remains even if still over capacity
+    /// (mirroring the paper's limit check, which *delays* copies under
+    /// pressure but lets required ones proceed).
+    fn make_room(&mut self, bytes: u64) {
+        while self.used + bytes > self.capacity {
+            let Some(victim) = self.lru.pop_front() else {
+                return;
+            };
+            let sz = self.resident[&victim];
+            self.used -= sz;
+            self.stats.bytes_evicted += sz;
+            self.resident.remove(&victim);
+        }
+    }
+
+    /// Records an access to `layer` (of `bytes` size) at task-dispatch
+    /// time. Returns `true` on a hit; on a miss the layer is fetched
+    /// synchronously (counted in `bytes_fetched`) and inserted, evicting
+    /// LRU layers as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer cannot fit even after evicting everything
+    /// unpinned (the caller must size caches above one stage slice).
+    pub fn access(&mut self, layer: LayerRef, bytes: u64) -> bool {
+        if self.resident.contains_key(&layer) {
+            self.stats.hits += 1;
+            // Refresh LRU position if unpinned.
+            if !self.pinned.contains_key(&layer) {
+                self.lru_remove(layer);
+                self.lru.push_back(layer);
+            }
+            true
+        } else {
+            self.stats.misses += 1;
+            self.stats.bytes_fetched += bytes;
+            self.insert(layer, bytes);
+            false
+        }
+    }
+
+    /// Inserts `layer` (a required fetch completed), evicting LRU layers
+    /// best-effort. A required layer is admitted even if pins keep the
+    /// cache over capacity — synchronous swap-ins cannot be refused, only
+    /// delayed.
+    pub fn insert(&mut self, layer: LayerRef, bytes: u64) {
+        if self.resident.contains_key(&layer) {
+            return;
+        }
+        self.make_room(bytes);
+        self.resident.insert(layer, bytes);
+        self.lru.push_back(layer);
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+    }
+
+    /// Starts an asynchronous prefetch of `layer` if it is absent and
+    /// fits; returns the bytes to transfer (`Some`) or `None` if already
+    /// resident or not insertable within capacity (prefetches — unlike
+    /// required fetches — are refused under memory pressure).
+    pub fn prefetch(&mut self, layer: LayerRef, bytes: u64) -> Option<u64> {
+        if self.resident.contains_key(&layer) {
+            return None;
+        }
+        if !self.could_fit(bytes) {
+            return None;
+        }
+        self.make_room(bytes);
+        self.resident.insert(layer, bytes);
+        self.lru.push_back(layer);
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        self.stats.prefetches += 1;
+        self.stats.bytes_fetched += bytes;
+        Some(bytes)
+    }
+
+    /// Pins `layer` (it is about to be used by an executing task and must
+    /// not be evicted). Pins nest.
+    pub fn pin(&mut self, layer: LayerRef) {
+        let count = self.pinned.entry(layer).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.lru_remove(layer);
+        }
+    }
+
+    /// Releases one pin of `layer`; when the last pin drops the layer
+    /// re-enters LRU order as most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is not pinned.
+    pub fn unpin(&mut self, layer: LayerRef) {
+        let count = self.pinned.get_mut(&layer).expect("unpin of unpinned layer");
+        *count -= 1;
+        if *count == 0 {
+            self.pinned.remove(&layer);
+            if self.resident.contains_key(&layer) {
+                self.lru.push_back(layer);
+            }
+        }
+    }
+
+    /// Explicitly evicts `layer` if resident and unpinned; returns the
+    /// bytes released.
+    pub fn evict(&mut self, layer: LayerRef) -> u64 {
+        if self.pinned.contains_key(&layer) {
+            return 0;
+        }
+        let Some(bytes) = self.resident.remove(&layer) else {
+            return 0;
+        };
+        self.lru_remove(layer);
+        self.used -= bytes;
+        self.stats.bytes_evicted += bytes;
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(b: u32, c: u32) -> LayerRef {
+        LayerRef::new(b, c)
+    }
+
+    #[test]
+    fn access_miss_then_hit() {
+        let mut cache = StageCache::new(100);
+        assert!(!cache.access(l(0, 0), 40));
+        assert!(cache.access(l(0, 0), 40));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.bytes_fetched, 40);
+        assert_eq!(cache.used(), 40);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut cache = StageCache::new(100);
+        cache.insert(l(0, 0), 40);
+        cache.insert(l(1, 0), 40);
+        // Touch layer 0 so layer 1 becomes LRU.
+        cache.access(l(0, 0), 40);
+        cache.insert(l(2, 0), 40); // forces eviction of l(1,0)
+        assert!(cache.contains(l(0, 0)));
+        assert!(!cache.contains(l(1, 0)));
+        assert!(cache.contains(l(2, 0)));
+        assert_eq!(cache.stats().bytes_evicted, 40);
+    }
+
+    #[test]
+    fn pinned_layers_survive_pressure() {
+        let mut cache = StageCache::new(100);
+        cache.insert(l(0, 0), 60);
+        cache.pin(l(0, 0));
+        cache.insert(l(1, 0), 30);
+        // Inserting 40 must evict l(1,0), not the pinned l(0,0).
+        cache.insert(l(2, 0), 40);
+        assert!(cache.contains(l(0, 0)));
+        assert!(!cache.contains(l(1, 0)));
+        cache.unpin(l(0, 0));
+    }
+
+    #[test]
+    fn prefetch_fails_when_pins_block() {
+        let mut cache = StageCache::new(100);
+        cache.insert(l(0, 0), 90);
+        cache.pin(l(0, 0));
+        assert_eq!(cache.prefetch(l(1, 0), 50), None);
+        assert!(!cache.contains(l(1, 0)));
+        cache.unpin(l(0, 0));
+        assert_eq!(cache.prefetch(l(1, 0), 50), Some(50));
+        assert!(cache.contains(l(1, 0)));
+        assert!(!cache.contains(l(0, 0)));
+    }
+
+    #[test]
+    fn prefetch_of_resident_is_noop() {
+        let mut cache = StageCache::new(100);
+        cache.insert(l(0, 0), 10);
+        assert_eq!(cache.prefetch(l(0, 0), 10), None);
+        assert_eq!(cache.stats().prefetches, 0);
+    }
+
+    #[test]
+    fn prefetched_layer_hits_on_access() {
+        let mut cache = StageCache::new(100);
+        cache.prefetch(l(0, 0), 25);
+        assert!(cache.access(l(0, 0), 25));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn explicit_evict() {
+        let mut cache = StageCache::new(100);
+        cache.insert(l(0, 0), 30);
+        assert_eq!(cache.evict(l(0, 0)), 30);
+        assert_eq!(cache.evict(l(0, 0)), 0);
+        cache.insert(l(1, 0), 30);
+        cache.pin(l(1, 0));
+        assert_eq!(cache.evict(l(1, 0)), 0, "pinned layers cannot be evicted");
+        cache.unpin(l(1, 0));
+    }
+
+    #[test]
+    fn nested_pins() {
+        let mut cache = StageCache::new(100);
+        cache.insert(l(0, 0), 10);
+        cache.pin(l(0, 0));
+        cache.pin(l(0, 0));
+        cache.unpin(l(0, 0));
+        assert_eq!(cache.evict(l(0, 0)), 0, "still pinned once");
+        cache.unpin(l(0, 0));
+        assert_eq!(cache.evict(l(0, 0)), 10);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut cache = StageCache::new(100);
+        cache.insert(l(0, 0), 70);
+        cache.evict(l(0, 0));
+        cache.insert(l(1, 0), 20);
+        assert_eq!(cache.high_water(), 70);
+        assert_eq!(cache.used(), 20);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_one() {
+        assert_eq!(CacheStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn required_insert_admitted_over_capacity() {
+        // Synchronous swap-ins cannot be refused: the cache goes over
+        // its soft capacity rather than deadlocking execution.
+        let mut cache = StageCache::new(10);
+        cache.insert(l(0, 0), 11);
+        assert!(cache.contains(l(0, 0)));
+        assert_eq!(cache.used(), 11);
+        // Prefetches, by contrast, are refused.
+        assert_eq!(cache.prefetch(l(1, 0), 11), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        StageCache::new(0);
+    }
+}

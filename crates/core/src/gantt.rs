@@ -1,0 +1,125 @@
+//! ASCII Gantt rendering of pipeline schedules — Figure 1 as text.
+//!
+//! Each stage is one row; time runs left to right. A cell shows the
+//! subnet occupying the stage at that instant: digits/letters for
+//! forwards, the same symbol dimmed to lowercase-style (prefixed rows use
+//! `F`/`B` markers) for backwards, `.` for idle. Subnet `n` renders as
+//! the character `SYMBOLS[n % 36]`.
+
+use crate::pipeline::PipelineOutcome;
+use crate::task::TaskKind;
+use naspipe_sim::time::SimTime;
+use std::fmt::Write as _;
+
+const SYMBOLS: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// Renders the schedule of `outcome` as an ASCII Gantt chart of `width`
+/// columns.
+///
+/// Forward cells render as the subnet's symbol, backward cells as `*`
+/// pairs (`<sym>*` alternating) are too noisy at small widths, so
+/// backwards render as the symbol on a marked row instead: every stage
+/// gets two rows, `F` and `B`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn render_gantt(outcome: &PipelineOutcome, width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let stages = outcome
+        .tasks
+        .iter()
+        .map(|t| t.stage.0)
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    let makespan = outcome
+        .tasks
+        .iter()
+        .map(|t| t.end)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .as_us()
+        .max(1);
+    let col = |t: SimTime| -> usize {
+        ((t.as_us() as u128 * width as u128) / (makespan as u128 + 1)) as usize
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "time 0 .. {:.2}s ({} cols; digits = subnet id mod 36, '.' = idle)",
+        makespan as f64 / 1e6,
+        width
+    );
+    for k in 0..stages {
+        for (kind, label) in [(TaskKind::Forward, 'F'), (TaskKind::Backward, 'B')] {
+            let mut row = vec![b'.'; width];
+            for t in outcome.tasks.iter().filter(|t| t.stage.0 == k && t.kind == kind) {
+                let lo = col(t.start);
+                let hi = col(t.end).max(lo + 1).min(width);
+                let sym = SYMBOLS[(t.subnet.0 % 36) as usize];
+                for cell in &mut row[lo..hi] {
+                    *cell = sym;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "P{k}.{label} |{}|",
+                String::from_utf8(row).expect("ASCII row")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PipelineConfig, SyncPolicy};
+    use crate::pipeline::run_pipeline_with_subnets;
+    use naspipe_supernet::layer::Domain;
+    use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+    use naspipe_supernet::space::SearchSpace;
+
+    fn outcome(policy: SyncPolicy) -> PipelineOutcome {
+        let space = SearchSpace::uniform(Domain::Nlp, 8, 4);
+        let subnets = UniformSampler::new(&space, 3).take_subnets(6);
+        let mut cfg = PipelineConfig::naspipe(4, 6).with_batch(16).with_seed(3);
+        cfg.policy = policy;
+        run_pipeline_with_subnets(&space, &cfg, subnets).unwrap()
+    }
+
+    #[test]
+    fn renders_all_stage_rows() {
+        let g = render_gantt(&outcome(SyncPolicy::naspipe()), 72);
+        for k in 0..4 {
+            assert!(g.contains(&format!("P{k}.F")), "{g}");
+            assert!(g.contains(&format!("P{k}.B")), "{g}");
+        }
+        assert!(g.contains("time 0"));
+    }
+
+    #[test]
+    fn every_subnet_appears() {
+        let g = render_gantt(&outcome(SyncPolicy::naspipe()), 120);
+        for sym in ['0', '1', '2', '3', '4', '5'] {
+            assert!(g.contains(sym), "missing subnet {sym} in:\n{g}");
+        }
+    }
+
+    #[test]
+    fn rows_have_requested_width() {
+        let g = render_gantt(&outcome(SyncPolicy::Asp), 50);
+        for line in g.lines().skip(1) {
+            let body = line.split('|').nth(1).expect("framed row");
+            assert_eq!(body.len(), 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        render_gantt(&outcome(SyncPolicy::naspipe()), 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Balanced pipeline partitioning and layer mirroring.
+//!
+//! Each subnet is split into `D` contiguous stages with roughly equal
+//! execution time, "according to pre-profiled statistics of each layer"
+//! (§3.2). Because the optimal boundaries differ per subnet, a layer can
+//! belong to different stages for different subnets; NASPipe *mirrors*
+//! such layers onto every stage that needs them instead of migrating them
+//! on demand (§4.2). With mirroring disabled, every subnet must use one
+//! static partition and suffers per-subnet load imbalance — the effect the
+//! Figure 6 ablation measures.
+
+use crate::task::StageId;
+use naspipe_supernet::profile::ProfiledSpace;
+use naspipe_supernet::subnet::Subnet;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// A contiguous `D`-partition of a subnet's block list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    // boundaries[k]..boundaries[k+1] is stage k's block range.
+    boundaries: Vec<usize>,
+}
+
+impl Partition {
+    /// Builds a partition from explicit stage boundaries.
+    ///
+    /// `boundaries` must have `D + 1` entries, start at 0, be
+    /// non-decreasing, and end at the block count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary list is malformed.
+    pub fn from_boundaries(boundaries: Vec<usize>) -> Self {
+        assert!(boundaries.len() >= 2, "need at least one stage");
+        assert_eq!(boundaries[0], 0, "partition must start at block 0");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be non-decreasing"
+        );
+        Self { boundaries }
+    }
+
+    /// Splits `costs` (per-block execution times) into `stages` contiguous
+    /// ranges minimising the bottleneck (maximum stage sum).
+    ///
+    /// Uses binary search over the bottleneck value with a greedy
+    /// feasibility check — `O(m log(sum/eps))` and deterministic.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use naspipe_core::partition::Partition;
+    /// use naspipe_core::task::StageId;
+    ///
+    /// let costs = [5.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+    /// let p = Partition::balanced(&costs, 2);
+    /// // The expensive block gets a stage of its own.
+    /// assert_eq!(p.stage_range(StageId(0)), 0..1);
+    /// assert_eq!(p.bottleneck(&costs), 5.0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty, `stages == 0`, or any cost is negative.
+    pub fn balanced(costs: &[f64], stages: u32) -> Self {
+        assert!(!costs.is_empty(), "cannot partition zero blocks");
+        assert!(stages > 0, "need at least one stage");
+        assert!(costs.iter().all(|&c| c >= 0.0), "costs must be non-negative");
+        let stages = stages as usize;
+
+        // Feasibility: can we cover `costs` with `stages` ranges of sum <= cap?
+        let feasible = |cap: f64| -> Option<Vec<usize>> {
+            let mut bounds = vec![0usize];
+            let mut acc = 0.0f64;
+            for (i, &c) in costs.iter().enumerate() {
+                if c > cap {
+                    return None;
+                }
+                if acc + c > cap {
+                    bounds.push(i);
+                    acc = c;
+                    if bounds.len() > stages {
+                        return None;
+                    }
+                } else {
+                    acc += c;
+                }
+            }
+            while bounds.len() < stages {
+                bounds.push(costs.len());
+            }
+            bounds.push(costs.len());
+            Some(bounds)
+        };
+
+        let total: f64 = costs.iter().sum();
+        let max_single = costs.iter().cloned().fold(0.0f64, f64::max);
+        let mut lo = (total / stages as f64).max(max_single);
+        let mut hi = total.max(max_single);
+        let mut best = feasible(hi).expect("total cost is always feasible");
+        // 40 iterations of bisection are ample for f64 cost ranges.
+        for _ in 0..40 {
+            let mid = (lo + hi) / 2.0;
+            if let Some(b) = feasible(mid) {
+                best = b;
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Self::from_boundaries(best)
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> u32 {
+        (self.boundaries.len() - 1) as u32
+    }
+
+    /// Block range of stage `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn stage_range(&self, k: StageId) -> Range<usize> {
+        let i = k.0 as usize;
+        self.boundaries[i]..self.boundaries[i + 1]
+    }
+
+    /// The stage owning block `b`, if any stage covers it.
+    pub fn stage_of_block(&self, b: usize) -> Option<StageId> {
+        (0..self.num_stages())
+            .map(StageId)
+            .find(|&k| self.stage_range(k).contains(&b))
+    }
+
+    /// Stage execution times under `costs`.
+    pub fn stage_costs(&self, costs: &[f64]) -> Vec<f64> {
+        (0..self.num_stages())
+            .map(|k| self.stage_range(StageId(k)).map(|b| costs[b]).sum())
+            .collect()
+    }
+
+    /// The bottleneck (maximum stage cost) under `costs`.
+    pub fn bottleneck(&self, costs: &[f64]) -> f64 {
+        self.stage_costs(costs).into_iter().fold(0.0, f64::max)
+    }
+}
+
+/// How stage ranges are assigned to subnets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// Per-subnet balanced partitions; layers are mirrored across stages
+    /// as needed (NASPipe's default).
+    Mirrored,
+    /// One static partition for all subnets, balanced for the *average*
+    /// candidate cost per block (the w/o-mirroring ablation, and how
+    /// GPipe/PipeDream/VPipe place operators).
+    Static,
+}
+
+/// Produces stage ranges for subnets under a [`PartitionMode`].
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    profile: ProfiledSpace,
+    stages: u32,
+    mode: PartitionMode,
+    static_partition: Partition,
+    cache: BTreeMap<Vec<u32>, Partition>,
+}
+
+impl Partitioner {
+    /// Creates a partitioner over `profile` for `stages` pipeline stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0`.
+    pub fn new(profile: ProfiledSpace, stages: u32, mode: PartitionMode) -> Self {
+        assert!(stages > 0, "need at least one stage");
+        // The static partition balances the mean candidate cost per block.
+        let mean_costs: Vec<f64> = (0..profile.num_blocks())
+            .map(|b| profile.mean_block_ms(b))
+            .collect();
+        let static_partition = Partition::balanced(&mean_costs, stages);
+        Self {
+            profile,
+            stages,
+            mode,
+            static_partition,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// The partition mode in use.
+    pub fn mode(&self) -> PartitionMode {
+        self.mode
+    }
+
+    /// The profile backing this partitioner.
+    pub fn profile(&self) -> &ProfiledSpace {
+        &self.profile
+    }
+
+    /// The static partition (used by every subnet in
+    /// [`PartitionMode::Static`]).
+    pub fn static_partition(&self) -> &Partition {
+        &self.static_partition
+    }
+
+    /// The partition `subnet` executes with.
+    pub fn partition_for(&mut self, subnet: &Subnet) -> Partition {
+        match self.mode {
+            PartitionMode::Static => self.static_partition.clone(),
+            PartitionMode::Mirrored => {
+                if let Some(p) = self.cache.get(subnet.choices()) {
+                    return p.clone();
+                }
+                let costs = self.profile.subnet_block_costs(subnet);
+                let p = Partition::balanced(&costs, self.stages);
+                self.cache.insert(subnet.choices().to_vec(), p.clone());
+                p
+            }
+        }
+    }
+
+    /// Stage compute time of `subnet` at stage `k` under its partition,
+    /// in milliseconds, split as `(fwd_ms, bwd_ms)`.
+    pub fn stage_times(&mut self, subnet: &Subnet, k: StageId) -> (f64, f64) {
+        let partition = self.partition_for(subnet);
+        let range = partition.stage_range(k);
+        let mut fwd = 0.0;
+        let mut bwd = 0.0;
+        for b in range {
+            if subnet.skips(b) {
+                continue;
+            }
+            let cost = self.profile.cost(subnet.layer(b));
+            fwd += cost.fwd_ms;
+            bwd += cost.bwd_ms;
+        }
+        (fwd, bwd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naspipe_supernet::layer::Domain;
+    use naspipe_supernet::space::SearchSpace;
+    use naspipe_supernet::subnet::SubnetId;
+
+    #[test]
+    fn balanced_partition_of_uniform_costs() {
+        let costs = vec![1.0; 8];
+        let p = Partition::balanced(&costs, 4);
+        assert_eq!(p.num_stages(), 4);
+        assert_eq!(p.stage_costs(&costs), vec![2.0; 4]);
+        assert_eq!(p.bottleneck(&costs), 2.0);
+    }
+
+    #[test]
+    fn balanced_partition_minimises_bottleneck() {
+        let costs = vec![5.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let p = Partition::balanced(&costs, 2);
+        // Optimal split: [5] | [1,1,1,1,1] -> bottleneck 5.
+        assert!((p.bottleneck(&costs) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_stages_than_blocks_leaves_empty_stages() {
+        let costs = vec![1.0, 1.0];
+        let p = Partition::balanced(&costs, 4);
+        assert_eq!(p.num_stages(), 4);
+        let total: f64 = p.stage_costs(&costs).iter().sum();
+        assert!((total - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_ranges_tile_the_blocks() {
+        let costs: Vec<f64> = (1..=13).map(|i| i as f64).collect();
+        let p = Partition::balanced(&costs, 4);
+        let mut covered = vec![];
+        for k in 0..4 {
+            covered.extend(p.stage_range(StageId(k)));
+        }
+        assert_eq!(covered, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stage_of_block_finds_owner() {
+        let p = Partition::from_boundaries(vec![0, 2, 5]);
+        assert_eq!(p.stage_of_block(0), Some(StageId(0)));
+        assert_eq!(p.stage_of_block(4), Some(StageId(1)));
+        assert_eq!(p.stage_of_block(5), None);
+    }
+
+    #[test]
+    fn mirrored_beats_static_bottleneck() {
+        // With heterogeneous candidates, per-subnet partitions have
+        // bottleneck <= the static one for that subnet's costs.
+        let space = SearchSpace::uniform(Domain::Nlp, 16, 8);
+        let profile = ProfiledSpace::new(&space, 192);
+        let mut mirrored = Partitioner::new(profile.clone(), 4, PartitionMode::Mirrored);
+        let mut statics = Partitioner::new(profile.clone(), 4, PartitionMode::Static);
+        let mut rng = naspipe_supernet::rng::DetRng::new(3);
+        for i in 0..20 {
+            let choices: Vec<u32> = (0..16).map(|_| rng.next_below(8) as u32).collect();
+            let s = Subnet::new(SubnetId(i), choices);
+            let costs = profile.subnet_block_costs(&s);
+            let bm = mirrored.partition_for(&s).bottleneck(&costs);
+            let bs = statics.partition_for(&s).bottleneck(&costs);
+            assert!(bm <= bs + 1e-9, "mirrored {bm} worse than static {bs}");
+        }
+    }
+
+    #[test]
+    fn stage_times_sum_to_subnet_total() {
+        let space = SearchSpace::uniform(Domain::Cv, 12, 4);
+        let profile = ProfiledSpace::new(&space, 64);
+        let mut part = Partitioner::new(profile.clone(), 4, PartitionMode::Mirrored);
+        let s = Subnet::new(SubnetId(0), vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+        let total: f64 = (0..4)
+            .map(|k| {
+                let (f, b) = part.stage_times(&s, StageId(k));
+                f + b
+            })
+            .sum();
+        assert!((total - profile.subnet_total_ms(&s)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partition_cache_is_consistent() {
+        let space = SearchSpace::uniform(Domain::Nlp, 8, 4);
+        let profile = ProfiledSpace::new(&space, 192);
+        let mut part = Partitioner::new(profile, 2, PartitionMode::Mirrored);
+        let s = Subnet::new(SubnetId(0), vec![0; 8]);
+        let p1 = part.partition_for(&s);
+        let p2 = part.partition_for(&s);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot partition zero blocks")]
+    fn empty_costs_panic() {
+        Partition::balanced(&[], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at block 0")]
+    fn bad_boundaries_panic() {
+        Partition::from_boundaries(vec![1, 2]);
+    }
+}

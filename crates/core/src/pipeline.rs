@@ -1,0 +1,1278 @@
+//! The discrete-event pipeline engine.
+//!
+//! Runs a supernet training workload — an ordered stream of subnets, each
+//! split into `D` stages — over the simulated GPU cluster, under one of
+//! the three synchronisation policies of Figure 1:
+//!
+//! * **CSP** (NASPipe): per-stage queues, backward-first priority, and the
+//!   CSP scheduler's out-of-order admission; the predictor prefetches
+//!   parameter contexts and the context manager swaps them CPU<->GPU.
+//! * **BSP** (GPipe, VPipe): subnets run in bulks with a flush barrier
+//!   between bulks, FIFO within a bulk.
+//! * **ASP** (PipeDream): continuous 1F1B injection, no flush, no
+//!   dependency enforcement.
+//!
+//! Everything the paper measures — throughput, bubble ratio, ALU
+//! utilisation, cache hits, per-layer access order — is derived from the
+//! resulting event history. The engine is fully deterministic: a run is a
+//! pure function of `(space, config)`.
+
+use crate::config::{PipelineConfig, SyncPolicy};
+use crate::context::{CacheStats, StageCache};
+use crate::memory::{self, MemoryPlan, MemoryVerdict};
+use crate::partition::{PartitionMode, Partitioner};
+use crate::predictor::{Fetch, PendingBackward, Predictor};
+use crate::report::{alu_efficiency, PipelineReport};
+use crate::scheduler::{CspScheduler, SubnetTable};
+use crate::task::{FinishedSet, StageId, TaskKind};
+use naspipe_sim::cluster::Cluster;
+use naspipe_sim::event::EventQueue;
+use naspipe_sim::gpu::GpuId;
+use naspipe_sim::time::{SimDuration, SimTime};
+use naspipe_sim::trace::{Trace, TraceKind};
+use naspipe_supernet::layer::{Domain, LayerRef};
+use naspipe_supernet::profile::ProfiledSpace;
+use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::{Subnet, SubnetId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+
+/// One executed task with its timing — the raw material for metrics,
+/// reproducibility analysis, and numeric training replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Compute start time.
+    pub start: SimTime,
+    /// Compute end time.
+    pub end: SimTime,
+    /// Forward or backward.
+    pub kind: TaskKind,
+    /// The subnet.
+    pub subnet: SubnetId,
+    /// The stage it ran on.
+    pub stage: StageId,
+    /// The block range this stage covered for this subnet.
+    pub blocks: Range<usize>,
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Aggregate metrics (Table 2 row).
+    pub report: PipelineReport,
+    /// Every executed task, ordered by `(start, dispatch order)`.
+    pub tasks: Vec<TaskRecord>,
+    /// Detailed trace of compute/swap/stall events.
+    pub trace: Trace,
+    /// The subnets trained, in exploration order.
+    pub subnets: Vec<Subnet>,
+}
+
+/// Why a run could not be performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Configuration invalid for the space.
+    InvalidConfig(String),
+    /// The policy cannot hold its parameters in GPU memory (e.g. GPipe on
+    /// NLP.c0, §5.1).
+    OutOfMemory {
+        /// Bytes required per GPU.
+        required: u64,
+        /// Bytes available per GPU.
+        available: u64,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PipelineError::OutOfMemory {
+                required,
+                available,
+            } => write!(
+                f,
+                "supernet parameters do not fit in GPU memory ({required} bytes needed, {available} available)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Injection discipline derived from the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Injection {
+    /// Keep up to `window` subnets in flight.
+    Window(u64),
+    /// Inject `bulk` subnets, flush, repeat.
+    Bulk(u64),
+}
+
+#[derive(Debug)]
+enum Ev {
+    FwdArrive {
+        subnet: SubnetId,
+        stage: u32,
+    },
+    BwdArrive {
+        subnet: SubnetId,
+        stage: u32,
+        pending: Vec<PendingBackward>,
+    },
+    TaskDone {
+        subnet: SubnetId,
+        stage: u32,
+        kind: TaskKind,
+    },
+}
+
+struct StageState {
+    fwd_ready: Vec<SubnetId>,
+    bwd_ready: Vec<(SubnetId, Vec<PendingBackward>)>,
+    busy: bool,
+    cache: Option<StageCache>,
+    ready_at: BTreeMap<LayerRef, SimTime>,
+    predictor: Predictor,
+    pinned: Vec<LayerRef>,
+}
+
+/// Runs the configured pipeline over `space`, sampling subnets uniformly
+/// from `config.seed`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidConfig`] for malformed configurations
+/// and [`PipelineError::OutOfMemory`] when the policy's resident
+/// parameters exceed device memory.
+pub fn run_pipeline(
+    space: &SearchSpace,
+    config: &PipelineConfig,
+) -> Result<PipelineOutcome, PipelineError> {
+    let mut sampler = UniformSampler::new(space, config.seed);
+    let subnets = sampler.take_subnets(config.num_subnets as usize);
+    run_pipeline_with_subnets(space, config, subnets)
+}
+
+/// Like [`run_pipeline`] but over an explicit subnet stream (so different
+/// policies and GPU counts can train the *same* exploration order).
+///
+/// # Errors
+///
+/// See [`run_pipeline`].
+///
+/// # Panics
+///
+/// Panics if any subnet is invalid for `space`.
+pub fn run_pipeline_with_subnets(
+    space: &SearchSpace,
+    config: &PipelineConfig,
+    subnets: Vec<Subnet>,
+) -> Result<PipelineOutcome, PipelineError> {
+    config
+        .validate(space)
+        .map_err(PipelineError::InvalidConfig)?;
+    if subnets.len() as u64 != config.num_subnets {
+        return Err(PipelineError::InvalidConfig(format!(
+            "{} subnets supplied but config.num_subnets = {}",
+            subnets.len(),
+            config.num_subnets
+        )));
+    }
+    for s in &subnets {
+        assert!(s.is_valid_for(space), "subnet {s} invalid for space");
+    }
+    Engine::new(space, config, subnets)?.run()
+}
+
+/// Reference pipeline batch of a space's domain when the space is unnamed.
+fn domain_reference_batch(domain: Domain) -> u32 {
+    match domain {
+        Domain::Nlp => 192,
+        Domain::Cv => 64,
+    }
+}
+
+struct Engine<'a> {
+    space: &'a SearchSpace,
+    config: &'a PipelineConfig,
+    d: u32,
+    batch: u32,
+    reference_batch: u32,
+    plan: MemoryPlan,
+    partitioner: Partitioner,
+    cluster: Cluster,
+    queue: EventQueue<Ev>,
+    stages: Vec<StageState>,
+    finished: Vec<FinishedSet>,
+    table: SubnetTable,
+    scheduler: CspScheduler,
+    subnets: Vec<Subnet>,
+    injected: u64,
+    completed: u64,
+    records: Vec<TaskRecord>,
+    trace: Trace,
+    injection: Injection,
+    use_csp: bool,
+    use_predictor: bool,
+    makespan: SimTime,
+    last_event: SimTime,
+    idle_blocked_us: Vec<u64>,
+    idle_empty_us: Vec<u64>,
+    faults: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        space: &'a SearchSpace,
+        config: &'a PipelineConfig,
+        subnets: Vec<Subnet>,
+    ) -> Result<Self, PipelineError> {
+        let d = config.num_gpus;
+        let plan = memory::plan(space, config.policy, d, config.cache_factor);
+        let batch = if config.batch > 0 {
+            config.batch
+        } else {
+            match plan.verdict {
+                MemoryVerdict::Supported { batch } => batch,
+                MemoryVerdict::ParametersDontFit {
+                    required,
+                    available,
+                } => {
+                    return Err(PipelineError::OutOfMemory {
+                        required,
+                        available,
+                    })
+                }
+            }
+        };
+        let reference_batch = space
+            .id()
+            .map(|id| id.default_batch())
+            .unwrap_or_else(|| domain_reference_batch(space.domain()));
+
+        let mode = match config.policy {
+            SyncPolicy::Csp { mirroring, .. } if mirroring => PartitionMode::Mirrored,
+            _ => PartitionMode::Static,
+        };
+        let profile = ProfiledSpace::new(space, reference_batch);
+        let partitioner = Partitioner::new(profile, d, mode);
+
+        let (use_csp, use_predictor) = match config.policy {
+            SyncPolicy::Csp {
+                scheduler,
+                predictor,
+                ..
+            } => (scheduler, predictor),
+            _ => (false, false),
+        };
+        let swap = config.policy.swaps_parameters();
+
+        // Cache sizing: `cache_factor` mean subnet stage slices (~3x for
+        // NASPipe — current + evicting + prefetched; 2x for VPipe). The
+        // capacity is a soft limit: required swap-ins are always admitted,
+        // prefetches are refused under pressure.
+        let cache = if swap {
+            let mean_slice =
+                memory::mean_subnet_param_bytes(space) as f64 / f64::from(d);
+            let factor = match config.policy {
+                SyncPolicy::Csp { .. } => config.cache_factor,
+                _ => 2.0, // VPipe: current + prefetched subnet
+            };
+            Some(((mean_slice * factor) as u64).max(1))
+        } else {
+            None
+        };
+
+        let stages = (0..d)
+            .map(|_| StageState {
+                fwd_ready: Vec::new(),
+                bwd_ready: Vec::new(),
+                busy: false,
+                cache: cache.map(StageCache::new),
+                ready_at: BTreeMap::new(),
+                predictor: Predictor::new(),
+                pinned: Vec::new(),
+            })
+            .collect();
+
+        let injection = match config.policy {
+            SyncPolicy::Csp { scheduler, .. } => {
+                Injection::Window(if scheduler { config.max_queue as u64 } else { 1 })
+            }
+            SyncPolicy::Bsp { .. } => Injection::Bulk(u64::from(config.policy.bulk_size(d))),
+            // 1F1B keeps one forward and one backward of distinct batches
+            // per stage in flight: 2D batches saturate the pipeline.
+            SyncPolicy::Asp => Injection::Window(2 * u64::from(d)),
+        };
+
+        Ok(Self {
+            space,
+            config,
+            d,
+            batch,
+            reference_batch,
+            plan,
+            partitioner,
+            cluster: Cluster::with_hosts(
+                d,
+                config.gpus_per_host,
+                naspipe_sim::cluster::GPU_MEMORY_BYTES,
+            ),
+            queue: EventQueue::new(),
+            stages,
+            finished: vec![FinishedSet::new(); d as usize],
+            table: SubnetTable::new(),
+            scheduler: CspScheduler::new(),
+            subnets,
+            injected: 0,
+            completed: 0,
+            records: Vec::new(),
+            trace: Trace::new(),
+            injection,
+            use_csp,
+            use_predictor,
+            makespan: SimTime::ZERO,
+            last_event: SimTime::ZERO,
+            idle_blocked_us: vec![0; d as usize],
+            idle_empty_us: vec![0; d as usize],
+            faults: 0,
+        })
+    }
+
+    fn batch_scale(&self) -> f64 {
+        // Compute time saturates: below the saturation batch the GPU is
+        // launch/occupancy bound (this is why small-batch baselines lose
+        // throughput even at equal bubble ratios).
+        let sat = 2.0 * f64::from(self.reference_batch);
+        (f64::from(self.batch) + sat) / (f64::from(self.reference_batch) + sat)
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.injected - self.completed
+    }
+
+    fn try_inject(&mut self, now: SimTime) {
+        let total = self.config.num_subnets;
+        let want = match self.injection {
+            Injection::Window(w) => {
+                if self.in_flight() >= w {
+                    0
+                } else {
+                    (w - self.in_flight()).min(total - self.injected)
+                }
+            }
+            Injection::Bulk(b) => {
+                if self.in_flight() > 0 {
+                    0
+                } else {
+                    b.min(total - self.injected)
+                }
+            }
+        };
+        for _ in 0..want {
+            let subnet = self.subnets[self.injected as usize].clone();
+            let partition = self.partitioner.partition_for(&subnet);
+            self.table.insert(subnet.clone(), partition);
+            self.queue.push(
+                now,
+                Ev::FwdArrive {
+                    subnet: subnet.seq_id(),
+                    stage: 0,
+                },
+            );
+            self.injected += 1;
+        }
+    }
+
+    /// Layers of `subnet`'s stage-`k` slice with their parameter sizes.
+    fn stage_layers(&mut self, subnet: SubnetId, k: u32) -> Vec<(LayerRef, u64)> {
+        let entry = self.table.get(subnet).expect("subnet in table");
+        let range = entry.partition.stage_range(StageId(k));
+        let layers: Vec<LayerRef> = range
+            .filter(|&b| !entry.subnet.skips(b))
+            .map(|b| entry.subnet.layer(b))
+            .collect();
+        layers
+            .into_iter()
+            .map(|l| {
+                let bytes = self.partitioner.profile().cost(l).param_bytes;
+                (l, bytes)
+            })
+            .collect()
+    }
+
+    /// Ensures `subnet`'s stage-`k` context is resident; returns the time
+    /// compute may start (after synchronous fetches and pending
+    /// prefetches) and pins the layers.
+    fn acquire_context(&mut self, subnet: SubnetId, k: u32, now: SimTime) -> SimTime {
+        if self.stages[k as usize].cache.is_none() {
+            return now;
+        }
+        let layers = self.stage_layers(subnet, k);
+        let mut ready = now;
+        let mut missing_bytes = 0u64;
+        for (l, bytes) in &layers {
+            let stage = &mut self.stages[k as usize];
+            let cache = stage.cache.as_mut().expect("cache present");
+            let hit = cache.access(*l, *bytes);
+            cache.pin(*l);
+            stage.pinned.push(*l);
+            if hit {
+                if let Some(&r) = stage.ready_at.get(l) {
+                    ready = ready.max(r);
+                }
+            } else {
+                missing_bytes += bytes;
+            }
+        }
+        if missing_bytes > 0 {
+            let (_, end) = self
+                .cluster
+                .pcie_mut(GpuId(k))
+                .transfer(now, missing_bytes);
+            for (l, _) in &layers {
+                let stage = &mut self.stages[k as usize];
+                if !stage.ready_at.contains_key(l) {
+                    stage.ready_at.insert(*l, end);
+                }
+            }
+            ready = ready.max(end);
+            self.trace.record(
+                now,
+                GpuId(k),
+                TraceKind::Stall(format!("{subnet}@P{k} swap-in {missing_bytes}B")),
+            );
+        }
+        ready
+    }
+
+    fn release_context(&mut self, k: u32) {
+        let stage = &mut self.stages[k as usize];
+        if let Some(cache) = stage.cache.as_mut() {
+            for l in stage.pinned.drain(..) {
+                cache.unpin(l);
+            }
+        } else {
+            stage.pinned.clear();
+        }
+    }
+
+    /// Applies predictor fetches: starts asynchronous prefetches over the
+    /// stage's PCIe link.
+    fn apply_fetches(&mut self, k: u32, now: SimTime, fetches: &[Fetch]) {
+        for fetch in fetches {
+            if self.table.get(fetch.subnet).is_none() {
+                continue;
+            }
+            let layers = self.stage_layers(fetch.subnet, k);
+            for (l, bytes) in layers {
+                let stage = &mut self.stages[k as usize];
+                let cache = stage.cache.as_mut().expect("predictor implies cache");
+                if cache.prefetch(l, bytes).is_some() {
+                    let (_, end) = self.cluster.pcie_mut(GpuId(k)).transfer(now, bytes);
+                    stage.ready_at.insert(l, end);
+                    self.trace.record(
+                        now,
+                        GpuId(k),
+                        TraceKind::SwapInStart(format!("{}@P{k} {l}", fetch.subnet)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pending backwards at the last stage: queued forwards that are
+    /// causally blocked, with their first blocker.
+    fn pending_backwards(&mut self, k: u32) -> Vec<PendingBackward> {
+        if !self.use_predictor {
+            return Vec::new();
+        }
+        let mut pending = Vec::new();
+        for &y in &self.stages[k as usize].fwd_ready {
+            if CspScheduler::admissible(y, &self.finished, &self.table, StageId(k)) {
+                continue;
+            }
+            let blocker = self
+                .table
+                .entries_below(y)
+                .find(|(wid, w)| {
+                    !self.finished[k as usize].contains(*wid)
+                        && self
+                            .table
+                            .get(y)
+                            .map(|e| {
+                                e.subnet
+                                    .conflicts_within(e.partition.stage_range(StageId(k)), &w.subnet)
+                            })
+                            .unwrap_or(false)
+                })
+                .map(|(wid, _)| wid);
+            if let Some(b) = blocker {
+                pending.push(PendingBackward {
+                    id: y,
+                    precedence: b,
+                });
+            }
+        }
+        pending
+    }
+
+    fn dispatch(&mut self, k: u32, now: SimTime) {
+        if self.stages[k as usize].busy {
+            return;
+        }
+        // Backward tasks first (highest priority, lowest sequence ID).
+        if !self.stages[k as usize].bwd_ready.is_empty() {
+            let idx = self.stages[k as usize]
+                .bwd_ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (id, _))| *id)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let (subnet, pending) = self.stages[k as usize].bwd_ready.remove(idx);
+            self.run_task(subnet, k, TaskKind::Backward, now, pending);
+            return;
+        }
+        // Then a forward, policy dependent.
+        let picked = if self.use_csp {
+            self.scheduler
+                .schedule(
+                    &self.stages[k as usize].fwd_ready,
+                    &self.finished,
+                    &self.table,
+                    StageId(k),
+                )
+                .map(|(qidx, qval)| {
+                    self.stages[k as usize].fwd_ready.remove(qidx);
+                    qval
+                })
+        } else if self.stages[k as usize].fwd_ready.is_empty() {
+            None
+        } else {
+            // FIFO (BSP/ASP and the w/o-scheduler ablation).
+            Some(self.stages[k as usize].fwd_ready.remove(0))
+        };
+        if let Some(subnet) = picked {
+            self.run_task(subnet, k, TaskKind::Forward, now, Vec::new());
+        }
+    }
+
+    fn run_task(
+        &mut self,
+        subnet: SubnetId,
+        k: u32,
+        kind: TaskKind,
+        now: SimTime,
+        pending: Vec<PendingBackward>,
+    ) {
+        // Predictor hooks (Algorithm 1 lines 6 and 21).
+        if self.use_predictor {
+            let stage = &mut self.stages[k as usize];
+            let mut predictor = std::mem::take(&mut stage.predictor);
+            let fetches = match kind {
+                TaskKind::Backward => predictor.before_backward(
+                    &mut self.scheduler,
+                    &self.stages[k as usize].fwd_ready,
+                    &self.finished,
+                    &self.table,
+                    StageId(k),
+                    subnet,
+                    &pending,
+                ),
+                TaskKind::Forward => predictor.before_forward(
+                    &mut self.scheduler,
+                    &self.stages[k as usize].fwd_ready,
+                    &self.finished,
+                    &self.table,
+                    StageId(k),
+                    subnet,
+                ),
+            };
+            self.stages[k as usize].predictor = predictor;
+            self.apply_fetches(k, now, &fetches);
+
+            // Pipeline-status passing (§3.3): neighbouring stages can see
+            // this dispatch coming and prefetch the same subnet's context
+            // a full task ahead — a backward will reach stage k-1 next, a
+            // forward will reach stage k+1 next.
+            match kind {
+                TaskKind::Backward if k > 0 => {
+                    let fetch = [Fetch {
+                        subnet,
+                        kind: TaskKind::Backward,
+                    }];
+                    self.apply_fetches(k - 1, now, &fetch);
+                }
+                TaskKind::Forward if k + 1 < self.d => {
+                    let fetch = [Fetch {
+                        subnet,
+                        kind: TaskKind::Forward,
+                    }];
+                    self.apply_fetches(k + 1, now, &fetch);
+                }
+                _ => {}
+            }
+        }
+
+        let ready = self.acquire_context(subnet, k, now);
+
+        let entry = self.table.get(subnet).expect("subnet in table");
+        let subnet_arch = entry.subnet.clone();
+        let blocks = entry.partition.stage_range(StageId(k));
+        let (fwd_ms, bwd_ms) = self.partitioner.stage_times(&subnet_arch, StageId(k));
+        let scale = self.batch_scale();
+        let ms = match kind {
+            TaskKind::Forward => fwd_ms * scale,
+            TaskKind::Backward => {
+                // CSP hoists activation recomputation ahead of the
+                // gradient's arrival (reserved in `reserve_recompute`);
+                // BSP baselines rematerialise inside the backward pass.
+                let recompute = if self.config.policy.recomputes_activations()
+                    && !self.recompute_ahead()
+                {
+                    fwd_ms
+                } else {
+                    0.0
+                };
+                (bwd_ms + recompute) * scale
+            }
+        };
+        // The backward wave approaches stage k-1 next: start its
+        // recomputation now so the write lands as early as possible.
+        if kind == TaskKind::Backward && self.recompute_ahead() && k > 0 {
+            self.reserve_recompute(subnet, k - 1, now);
+        }
+        let ms = if self.config.jitter > 0.0 {
+            // Deterministic per-task jitter in [1 - j, 1 + j].
+            let tag = (subnet.0 << 9)
+                ^ (u64::from(k) << 2)
+                ^ (u64::from(kind == TaskKind::Backward) << 1)
+                ^ 1;
+            let mut rng = naspipe_supernet::rng::DetRng::new(self.config.seed).split(tag);
+            ms * (1.0 + self.config.jitter * (2.0 * rng.next_f64() - 1.0))
+        } else {
+            ms
+        };
+        // Deterministic fault injection (the paper's runtime catches
+        // per-stage exceptions and re-executes, §4.2): a failing attempt
+        // wastes part of the task's compute, then the task retries.
+        let ready = if self.config.fault_rate > 0.0 && self.faulty(subnet, k, kind) {
+            self.faults += 1;
+            let wasted = SimDuration::from_ms(ms * 0.6);
+            let (w_start, w_end) = self
+                .cluster
+                .gpu_mut(GpuId(k))
+                .compute_mut()
+                .reserve_span(ready, wasted);
+            self.trace.record(
+                w_start,
+                GpuId(k),
+                TraceKind::Stall(format!("{subnet}.{kind}@P{k} fault, re-executing")),
+            );
+            w_end
+        } else {
+            ready
+        };
+        let (start, end) = self
+            .cluster
+            .gpu_mut(GpuId(k))
+            .compute_mut()
+            .reserve_span(ready, SimDuration::from_ms(ms));
+        self.stages[k as usize].busy = true;
+        let label = format!("{subnet}.{kind}@P{k}");
+        self.trace
+            .record(start, GpuId(k), TraceKind::ComputeStart(label.clone()));
+        self.trace
+            .record(end, GpuId(k), TraceKind::ComputeEnd(label));
+        self.records.push(TaskRecord {
+            start,
+            end,
+            kind,
+            subnet,
+            stage: StageId(k),
+            blocks,
+        });
+        self.queue.push(
+            end,
+            Ev::TaskDone {
+                subnet,
+                stage: k,
+                kind,
+            },
+        );
+    }
+
+    fn boundary_bytes(&self) -> u64 {
+        memory::boundary_bytes_per_sample(self.space.domain()) * u64::from(self.batch)
+    }
+
+    /// Deterministic per-task fault decision: a pure function of the
+    /// seed and the task identity, so faulty runs stay reproducible.
+    fn faulty(&self, subnet: SubnetId, stage: u32, kind: TaskKind) -> bool {
+        let tag = (subnet.0 << 8)
+            ^ (u64::from(stage) << 1)
+            ^ u64::from(kind == TaskKind::Backward);
+        let mut rng = naspipe_supernet::rng::DetRng::new(self.config.seed).split(tag);
+        rng.next_f64() < self.config.fault_rate
+    }
+
+    /// Whether activation recomputation is hoisted ahead of the gradient's
+    /// arrival (a CSP context-preparation optimisation; the BSP/ASP
+    /// baselines keep standard in-backward rematerialisation).
+    fn recompute_ahead(&self) -> bool {
+        self.config.recompute_ahead
+            && matches!(self.config.policy, SyncPolicy::Csp { .. })
+            && self.config.policy.recomputes_activations()
+    }
+
+    /// Reserves stage `k`'s compute for recomputing `subnet`'s forward
+    /// slice, to overlap with the backward wave still one stage away.
+    fn reserve_recompute(&mut self, subnet: SubnetId, k: u32, now: SimTime) {
+        let Some(entry) = self.table.get(subnet) else {
+            return;
+        };
+        let subnet_arch = entry.subnet.clone();
+        let (fwd_ms, _) = self.partitioner.stage_times(&subnet_arch, StageId(k));
+        let ms = fwd_ms * self.batch_scale();
+        let (start, end) = self
+            .cluster
+            .gpu_mut(GpuId(k))
+            .compute_mut()
+            .reserve_span(now, SimDuration::from_ms(ms));
+        let label = format!("{subnet}.recompute@P{k}");
+        self.trace
+            .record(start, GpuId(k), TraceKind::ComputeStart(label.clone()));
+        self.trace.record(end, GpuId(k), TraceKind::ComputeEnd(label));
+    }
+
+    fn on_task_done(&mut self, subnet: SubnetId, k: u32, kind: TaskKind, now: SimTime) {
+        self.stages[k as usize].busy = false;
+        self.release_context(k);
+        self.makespan = self.makespan.max(now);
+        match kind {
+            TaskKind::Forward => {
+                if k + 1 < self.d {
+                    let dt = self
+                        .cluster
+                        .stage_transfer_time(GpuId(k), self.boundary_bytes());
+                    self.queue.push(
+                        now + dt,
+                        Ev::FwdArrive {
+                            subnet,
+                            stage: k + 1,
+                        },
+                    );
+                } else {
+                    // Last stage: backward becomes ready immediately,
+                    // carrying the pending-backward list (Algorithm 3).
+                    if self.recompute_ahead() {
+                        self.reserve_recompute(subnet, k, now);
+                    }
+                    let pending = self.pending_backwards(k);
+                    self.queue.push(
+                        now,
+                        Ev::BwdArrive {
+                            subnet,
+                            stage: k,
+                            pending,
+                        },
+                    );
+                }
+            }
+            TaskKind::Backward => {
+                self.finished[k as usize].insert(subnet);
+                if k > 0 {
+                    let dt = self
+                        .cluster
+                        .stage_transfer_time(GpuId(k - 1), self.boundary_bytes());
+                    let pending = if k == self.d - 1 {
+                        self.pending_backwards(k)
+                    } else {
+                        Vec::new()
+                    };
+                    self.queue.push(
+                        now + dt,
+                        Ev::BwdArrive {
+                            subnet,
+                            stage: k - 1,
+                            pending,
+                        },
+                    );
+                } else {
+                    self.completed += 1;
+                    let min_unfinished = self
+                        .finished
+                        .iter()
+                        .map(|f| f.first_unfinished())
+                        .min()
+                        .expect("at least one stage");
+                    self.table.retire_below(min_unfinished);
+                    self.try_inject(now);
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<PipelineOutcome, PipelineError> {
+        self.try_inject(SimTime::ZERO);
+        while let Some((now, ev)) = self.queue.pop() {
+            // Attribute the elapsed interval: for each idle stage, was it
+            // starved (no queued work) or causally blocked (queued work,
+            // none admissible)?
+            let dt = now.since(self.last_event).as_us();
+            if dt > 0 {
+                for k in 0..self.d as usize {
+                    let st = &self.stages[k];
+                    if st.busy {
+                        continue;
+                    }
+                    if st.fwd_ready.is_empty() && st.bwd_ready.is_empty() {
+                        self.idle_empty_us[k] += dt;
+                    } else {
+                        self.idle_blocked_us[k] += dt;
+                    }
+                }
+                self.last_event = now;
+            }
+            match ev {
+                Ev::FwdArrive { subnet, stage } => {
+                    self.stages[stage as usize].fwd_ready.push(subnet);
+                }
+                Ev::BwdArrive {
+                    subnet,
+                    stage,
+                    pending,
+                } => {
+                    self.stages[stage as usize].bwd_ready.push((subnet, pending));
+                }
+                Ev::TaskDone {
+                    subnet,
+                    stage,
+                    kind,
+                } => {
+                    self.on_task_done(subnet, stage, kind, now);
+                }
+            }
+            for k in 0..self.d {
+                self.dispatch(k, now);
+            }
+        }
+        assert_eq!(
+            self.completed, self.config.num_subnets,
+            "pipeline deadlocked: {}/{} subnets completed",
+            self.completed, self.config.num_subnets
+        );
+        Ok(self.finish())
+    }
+
+    fn finish(mut self) -> PipelineOutcome {
+        let makespan = self.makespan.max(SimTime::from_us(1));
+        let eff = alu_efficiency(self.batch, self.reference_batch);
+        let busy: Vec<f64> = self
+            .cluster
+            .gpus()
+            .iter()
+            .map(|g| g.compute().utilization(makespan))
+            .collect();
+        let bubble = 1.0 - busy.iter().sum::<f64>() / busy.len() as f64;
+        let total_alu: f64 = busy.iter().map(|b| b * eff).sum();
+
+        let cache_stats = self
+            .stages
+            .iter()
+            .map(|s| s.cache.as_ref().map(|c| c.stats()).unwrap_or_default())
+            .fold(CacheStats::default(), |mut acc, s| {
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                acc.bytes_fetched += s.bytes_fetched;
+                acc.bytes_evicted += s.bytes_evicted;
+                acc.prefetches += s.prefetches;
+                acc
+            });
+        let swap = self.config.policy.swaps_parameters();
+
+        // Per-GPU memory: resident parameters (cache high-water for
+        // swapping systems, the full stage slice otherwise) plus the
+        // activation working set at the supported batch.
+        let act = self.plan.act_bytes_per_sample * u64::from(self.batch);
+        let mem_factor: f64 = (0..self.d as usize)
+            .map(|k| {
+                let params = match &self.stages[k].cache {
+                    Some(c) => c.high_water(),
+                    None => self.plan.param_bytes_per_gpu,
+                };
+                let used = params + act + memory::WORKSPACE_BYTES;
+                used.min(naspipe_sim::cluster::GPU_MEMORY_BYTES) as f64
+                    / naspipe_sim::cluster::GPU_MEMORY_BYTES as f64
+            })
+            .sum();
+
+        let busy_total_secs: f64 = busy.iter().map(|b| b * makespan.as_secs()).sum();
+        let avg_exec = if self.completed == 0 {
+            0.0
+        } else {
+            busy_total_secs / self.completed as f64
+        };
+
+        let report = PipelineReport {
+            space: self.space.id(),
+            policy: self.config.policy,
+            num_gpus: self.d,
+            batch: self.batch,
+            makespan_secs: makespan.as_secs(),
+            subnets_completed: self.completed,
+            samples_processed: self.completed * u64::from(self.batch),
+            bubble_ratio: bubble,
+            total_alu,
+            gpu_mem_factor: mem_factor,
+            cpu_mem_gib: self.plan.cpu_bytes as f64 / 1_073_741_824.0,
+            avg_subnet_exec_secs: avg_exec,
+            cache_hit_rate: if swap {
+                Some(cache_stats.hit_rate())
+            } else {
+                None
+            },
+            reported_param_bytes: self.plan.reported_param_bytes,
+            cache_stats,
+            scheduler_stats: self.scheduler.stats(),
+            faults_injected: self.faults,
+            stage_idle_blocked_secs: self
+                .idle_blocked_us
+                .iter()
+                .map(|&us| us as f64 / 1e6)
+                .collect(),
+            stage_idle_empty_secs: self
+                .idle_empty_us
+                .iter()
+                .map(|&us| us as f64 / 1e6)
+                .collect(),
+        };
+        self.records.sort_by_key(|r| (r.start, r.subnet, r.stage));
+        PipelineOutcome {
+            report,
+            tasks: self.records,
+            trace: self.trace,
+            subnets: self.subnets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naspipe_supernet::layer::Domain;
+
+    fn small_space() -> SearchSpace {
+        SearchSpace::uniform(Domain::Nlp, 8, 6)
+    }
+
+    fn run(policy: SyncPolicy, gpus: u32, n: u64) -> PipelineOutcome {
+        let cfg = PipelineConfig {
+            num_gpus: gpus,
+            batch: 32,
+            num_subnets: n,
+            policy,
+            max_queue: 30,
+            cache_factor: 3.0,
+            fault_rate: 0.0,
+            gpus_per_host: 4,
+            recompute_ahead: true,
+            jitter: 0.0,
+            seed: 42,
+        };
+        run_pipeline(&small_space(), &cfg).expect("run succeeds")
+    }
+
+    #[test]
+    fn naspipe_completes_all_subnets() {
+        let out = run(SyncPolicy::naspipe(), 4, 25);
+        assert_eq!(out.report.subnets_completed, 25);
+        assert_eq!(out.tasks.len(), 25 * 4 * 2);
+        assert!(out.report.makespan_secs > 0.0);
+        assert!(out.report.bubble_ratio >= 0.0 && out.report.bubble_ratio < 1.0);
+    }
+
+    #[test]
+    fn all_policies_complete() {
+        for policy in [
+            SyncPolicy::naspipe(),
+            SyncPolicy::Bsp { bulk: 0, swap: false },
+            SyncPolicy::Bsp { bulk: 0, swap: true },
+            SyncPolicy::Asp,
+        ] {
+            let out = run(policy, 4, 12);
+            assert_eq!(out.report.subnets_completed, 12, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(SyncPolicy::naspipe(), 4, 20);
+        let b = run(SyncPolicy::naspipe(), 4, 20);
+        assert_eq!(a.tasks, b.tasks);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn csp_preserves_per_layer_access_order() {
+        let out = run(SyncPolicy::naspipe(), 4, 30);
+        assert_csp_order(&out);
+    }
+
+    #[test]
+    fn csp_order_holds_on_eight_gpus() {
+        let out = run(SyncPolicy::naspipe(), 8, 30);
+        assert_csp_order(&out);
+    }
+
+    /// For every layer, accesses ordered by task start time must be
+    /// `fwd(x), bwd(x), fwd(y), bwd(y), ...` with x < y — sequential
+    /// equivalence.
+    fn assert_csp_order(out: &PipelineOutcome) {
+        use std::collections::HashMap;
+        let arch: HashMap<u64, &Subnet> =
+            out.subnets.iter().map(|s| (s.seq_id().0, s)).collect();
+        let mut per_layer: HashMap<LayerRef, Vec<(SimTime, TaskKind, u64)>> = HashMap::new();
+        for t in &out.tasks {
+            let subnet = arch[&t.subnet.0];
+            for b in t.blocks.clone() {
+                per_layer
+                    .entry(subnet.layer(b))
+                    .or_default()
+                    .push((t.start, t.kind, t.subnet.0));
+            }
+        }
+        for (layer, mut accesses) in per_layer {
+            accesses.sort_by_key(|&(t, kind, id)| (t, id, kind));
+            let mut expect: Vec<(TaskKind, u64)> = accesses
+                .iter()
+                .map(|&(_, kind, id)| (kind, id))
+                .collect();
+            // Sequential order: by subnet id, forward before backward.
+            expect.sort_by_key(|&(kind, id)| (id, kind != TaskKind::Forward));
+            // Wait: TaskKind::Forward < Backward in enum order already.
+            let got: Vec<(TaskKind, u64)> =
+                accesses.iter().map(|&(_, kind, id)| (kind, id)).collect();
+            assert_eq!(got, expect, "layer {layer} access order violates CSP");
+        }
+    }
+
+    #[test]
+    fn bsp_bulk_groups_forwards() {
+        // Under BSP the forwards of a bulk all read the pre-bulk weights:
+        // at stage 0 the forwards of the bulk run before any backward.
+        let out = run(SyncPolicy::Bsp { bulk: 3, swap: false }, 4, 6);
+        let stage0: Vec<&TaskRecord> = out
+            .tasks
+            .iter()
+            .filter(|t| t.stage == StageId(0))
+            .collect();
+        let kinds: Vec<TaskKind> = stage0.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            &kinds[..3],
+            &[TaskKind::Forward; 3],
+            "first bulk's forwards should precede its backwards at stage 0"
+        );
+    }
+
+    #[test]
+    fn asp_keeps_pipeline_fuller_than_bsp() {
+        let asp = run(SyncPolicy::Asp, 4, 40);
+        let bsp = run(SyncPolicy::Bsp { bulk: 0, swap: false }, 4, 40);
+        assert!(
+            asp.report.bubble_ratio < bsp.report.bubble_ratio,
+            "ASP {} !< BSP {}",
+            asp.report.bubble_ratio,
+            bsp.report.bubble_ratio
+        );
+    }
+
+    #[test]
+    fn without_scheduler_bubble_grows() {
+        let with = run(SyncPolicy::naspipe(), 4, 30);
+        let without = run(
+            SyncPolicy::Csp {
+                scheduler: false,
+                predictor: true,
+                mirroring: true,
+            },
+            4,
+            30,
+        );
+        assert!(
+            without.report.bubble_ratio > with.report.bubble_ratio,
+            "w/o scheduler {} !> with {}",
+            without.report.bubble_ratio,
+            with.report.bubble_ratio
+        );
+    }
+
+    #[test]
+    fn cache_hit_rate_present_only_when_swapping() {
+        let nas = run(SyncPolicy::naspipe(), 4, 20);
+        assert!(nas.report.cache_hit_rate.is_some());
+        let gpipe = run(SyncPolicy::Bsp { bulk: 0, swap: false }, 4, 20);
+        assert!(gpipe.report.cache_hit_rate.is_none());
+    }
+
+    #[test]
+    fn predictor_raises_hit_rate_over_vpipe() {
+        let nas = run(SyncPolicy::naspipe(), 4, 40);
+        let vpipe = run(SyncPolicy::Bsp { bulk: 0, swap: true }, 4, 40);
+        let nas_hit = nas.report.cache_hit_rate.unwrap();
+        let vpipe_hit = vpipe.report.cache_hit_rate.unwrap();
+        assert!(
+            nas_hit > vpipe_hit,
+            "NASPipe hit {nas_hit} !> VPipe hit {vpipe_hit}"
+        );
+    }
+
+    #[test]
+    fn oom_for_policies_that_cannot_swap() {
+        // NLP.c0's supernet does not fit in GPU memory without swapping.
+        let space = SearchSpace::nlp_c0();
+        let cfg = PipelineConfig {
+            num_gpus: 8,
+            batch: 0,
+            num_subnets: 4,
+            policy: SyncPolicy::Bsp { bulk: 0, swap: false },
+            max_queue: 30,
+            cache_factor: 3.0,
+            fault_rate: 0.0,
+            gpus_per_host: 4,
+            recompute_ahead: true,
+            jitter: 0.0,
+            seed: 0,
+        };
+        match run_pipeline(&space, &cfg) {
+            Err(PipelineError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_subnets_must_match_count() {
+        let space = small_space();
+        let cfg = PipelineConfig::naspipe(2, 3).with_batch(8);
+        let err = run_pipeline_with_subnets(&space, &cfg, vec![]).unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidConfig(_)));
+        assert!(err.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn single_gpu_pipeline_works() {
+        let out = run(SyncPolicy::naspipe(), 1, 10);
+        assert_eq!(out.report.subnets_completed, 10);
+        // On one GPU there is no pipeline overlap: tasks are serial.
+        for w in out.tasks.windows(2) {
+            assert!(w[1].start >= w[0].end);
+        }
+    }
+
+    #[test]
+    fn more_stages_than_blocks_yields_empty_stage_tasks() {
+        // D = 8 over 4 blocks: some stages own no blocks; their tasks are
+        // zero-cost pass-throughs but must still flow for the pipeline to
+        // make progress.
+        let space = SearchSpace::uniform(Domain::Nlp, 4, 4);
+        let cfg = PipelineConfig::naspipe(8, 10).with_batch(8);
+        let out = run_pipeline(&space, &cfg).unwrap();
+        assert_eq!(out.report.subnets_completed, 10);
+        assert_eq!(out.tasks.len(), 10 * 8 * 2);
+        assert!(out.tasks.iter().any(|t| t.blocks.is_empty()));
+    }
+
+    #[test]
+    fn single_subnet_fill_drain() {
+        let out = run(SyncPolicy::naspipe(), 4, 1);
+        assert_eq!(out.report.subnets_completed, 1);
+        // One subnet cannot overlap with anything: high bubble.
+        assert!(out.report.bubble_ratio > 0.5);
+    }
+
+    #[test]
+    fn queue_cap_one_is_strictly_sequential() {
+        let space = small_space();
+        let subnets = UniformSampler::new(&space, 2).take_subnets(8);
+        let mut cfg = PipelineConfig::naspipe(4, 8).with_batch(8).with_seed(2);
+        cfg.max_queue = 1;
+        let out = run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
+        // With one subnet in flight at a time, completions are in order
+        // and never overlap.
+        let mut completions: Vec<(u64, SimTime, SimTime)> = out
+            .tasks
+            .iter()
+            .filter(|t| t.kind == TaskKind::Backward && t.stage == StageId(0))
+            .map(|t| (t.subnet.0, t.start, t.end))
+            .collect();
+        completions.sort_by_key(|&(_, s, _)| s);
+        let ids: Vec<u64> = completions.iter().map(|&(id, _, _)| id).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fault_injection_retries_and_stays_reproducible() {
+        let space = small_space();
+        let subnets = UniformSampler::new(&space, 5).take_subnets(30);
+        let run_with_faults = |gpus: u32| {
+            let cfg = PipelineConfig::naspipe(gpus, 30)
+                .with_batch(16)
+                .with_seed(5)
+                .with_fault_rate(0.15);
+            run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap()
+        };
+        let out4 = run_with_faults(4);
+        assert_eq!(out4.report.subnets_completed, 30, "all subnets survive faults");
+        assert!(out4.report.faults_injected > 0, "faults should have fired");
+        // Faulty runs stay deterministic...
+        let again = run_with_faults(4);
+        assert_eq!(out4.tasks, again.tasks);
+        // ...and CSP order still holds, so training is still reproducible.
+        let out8 = run_with_faults(8);
+        use crate::train::{replay_training, TrainConfig};
+        let tc = TrainConfig { dim: 4, rows: 2, ..TrainConfig::default() };
+        assert_eq!(
+            replay_training(&space, &out4, &tc).final_hash,
+            replay_training(&space, &out8, &tc).final_hash,
+        );
+    }
+
+    #[test]
+    fn faults_slow_the_pipeline_down() {
+        let space = small_space();
+        let subnets = UniformSampler::new(&space, 5).take_subnets(30);
+        let run_rate = |rate: f64| {
+            let cfg = PipelineConfig::naspipe(4, 30)
+                .with_batch(16)
+                .with_seed(5)
+                .with_fault_rate(rate);
+            run_pipeline_with_subnets(&space, &cfg, subnets.clone())
+                .unwrap()
+                .report
+                .makespan_secs
+        };
+        assert!(run_rate(0.3) > run_rate(0.0));
+    }
+
+    #[test]
+    fn forward_precedes_backward_per_stage() {
+        let out = run(SyncPolicy::naspipe(), 4, 15);
+        use std::collections::HashMap;
+        let mut fwd_end: HashMap<(u64, u32), SimTime> = HashMap::new();
+        for t in &out.tasks {
+            match t.kind {
+                TaskKind::Forward => {
+                    fwd_end.insert((t.subnet.0, t.stage.0), t.end);
+                }
+                TaskKind::Backward => {
+                    let f = fwd_end[&(t.subnet.0, t.stage.0)];
+                    assert!(t.start >= f, "backward before forward for {:?}", t);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! A multi-threaded, decentralised CSP pipeline runtime.
+//!
+//! The discrete-event engine ([`crate::pipeline`]) *simulates* timing; this
+//! module actually runs a pipeline across OS threads, one per stage, the
+//! way NASPipe spawns one worker process per GPU:
+//!
+//! * each stage thread **owns** its slice of the supernet's parameters
+//!   (static partition) — synchronisation is by message passing only, with
+//!   no global server, matching the paper's decentralised design;
+//! * forwards/backwards flow through channels; each stage runs the
+//!   Algorithm 1 loop locally: backwards first, then the first
+//!   CSP-admissible forward from its queue;
+//! * thread scheduling is **nondeterministic**, yet the final parameters
+//!   are **bitwise identical** to sequential training — the strongest
+//!   demonstration of Definition 1: reproducibility comes from dependency
+//!   preservation, not from lockstep timing.
+
+use crate::partition::Partition;
+use crate::task::FinishedSet;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::{Subnet, SubnetId};
+use naspipe_tensor::data::SyntheticDataset;
+use naspipe_tensor::layers::DenseParams;
+use naspipe_tensor::model::{ForwardCtx, NumericSupernet, ParamStore};
+use naspipe_tensor::tensor::Tensor;
+use crate::train::{TrainConfig, TrainResult};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+enum Msg {
+    Fwd(SubnetId, Tensor),
+    Bwd(SubnetId, Tensor),
+}
+
+struct StageWorker {
+    stage: usize,
+    blocks: Range<usize>,
+    last: bool,
+    total: u64,
+    window: u64,
+    subnets: Arc<Vec<Subnet>>,
+    data: Arc<SyntheticDataset>,
+    engine: NumericSupernet,
+    // Owned parameter slice: params[block - blocks.start][choice].
+    params: Vec<Vec<DenseParams>>,
+    rx: Receiver<Msg>,
+    next_tx: Option<Sender<Msg>>,
+    prev_tx: Option<Sender<Msg>>,
+    fwd_queue: Vec<(SubnetId, Tensor)>,
+    bwd_queue: BTreeMap<u64, Tensor>,
+    ctxs: BTreeMap<u64, ForwardCtx>,
+    finished: FinishedSet,
+    finished_count: u64,
+    injected: u64,
+    losses: BTreeMap<u64, f32>,
+}
+
+impl StageWorker {
+    fn layer_params(&self, block: usize, choice: u32) -> &DenseParams {
+        &self.params[block - self.blocks.start][choice as usize]
+    }
+
+    fn admissible(&self, y: SubnetId) -> bool {
+        let subnet = &self.subnets[y.0 as usize];
+        for x in self.finished.unfinished_below(y) {
+            let earlier = &self.subnets[x.0 as usize];
+            if subnet.conflicts_within(self.blocks.clone(), earlier) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn forward_slice(&self, subnet: &Subnet, input: &Tensor) -> ForwardCtx {
+        // Build a scratch store view? The engine API reads from ParamStore;
+        // here we own raw slices, so inline the slice loop.
+        let mut x = input.clone();
+        let mut layers = Vec::with_capacity(self.blocks.len());
+        for b in self.blocks.clone() {
+            if subnet.skips(b) {
+                continue; // stateless pass-through block
+            }
+            let layer = subnet.layer(b);
+            let (y, cache) = naspipe_tensor::layers::dense_forward(
+                self.layer_params(b, layer.choice),
+                &x,
+                self.engine.residual_scale(),
+            );
+            x = y;
+            layers.push((layer, cache));
+        }
+        ForwardCtx::from_parts(layers, x)
+    }
+
+    fn run_forward(&mut self, y: SubnetId, input: Tensor) {
+        let subnet = self.subnets[y.0 as usize].clone();
+        let ctx = self.forward_slice(&subnet, &input);
+        if self.last {
+            let target = self.data.step_batch(y.0).1;
+            let (loss, grad) = naspipe_tensor::loss::mse(ctx.output(), &target);
+            self.losses.insert(y.0, loss);
+            self.bwd_queue.insert(y.0, grad);
+        } else {
+            let out = ctx.output().clone();
+            self.next_tx
+                .as_ref()
+                .expect("non-last stage has successor")
+                .send(Msg::Fwd(y, out))
+                .expect("successor alive");
+        }
+        self.ctxs.insert(y.0, ctx);
+    }
+
+    fn run_backward(&mut self, y: SubnetId, grad_out: Tensor) {
+        let ctx = self.ctxs.remove(&y.0).expect("forward context present");
+        // Backward + apply on the owned slice.
+        let mut grad = grad_out;
+        let mut updates = Vec::with_capacity(ctx.layers().len());
+        for (layer, cache) in ctx.layers().iter().rev() {
+            let params = self.layer_params(layer.block as usize, layer.choice);
+            let (grad_in, g) = naspipe_tensor::layers::dense_backward(
+                params,
+                cache,
+                &grad,
+                self.engine.residual_scale(),
+            );
+            grad = grad_in;
+            updates.push((*layer, g));
+        }
+        for (layer, g) in updates.into_iter().rev() {
+            let params =
+                &mut self.params[layer.block as usize - self.blocks.start][layer.choice as usize];
+            self.engine.step_layer(layer, params, &g);
+        }
+        if let Some(prev) = &self.prev_tx {
+            prev.send(Msg::Bwd(y, grad)).expect("predecessor alive");
+        }
+        self.finished.insert(y);
+        self.finished_count += 1;
+    }
+
+    fn try_inject(&mut self) {
+        debug_assert_eq!(self.stage, 0);
+        while self.injected < self.total && self.injected - self.finished_count < self.window {
+            let y = SubnetId(self.injected);
+            let input = self.data.step_batch(y.0).0;
+            self.fwd_queue.push((y, input));
+            self.injected += 1;
+        }
+    }
+
+    fn run(mut self) -> (Vec<Vec<DenseParams>>, BTreeMap<u64, f32>) {
+        while self.finished_count < self.total {
+            if self.stage == 0 {
+                self.try_inject();
+            }
+            // Backwards first (they resolve dependencies).
+            if let Some((&id, _)) = self.bwd_queue.iter().next() {
+                let grad = self.bwd_queue.remove(&id).expect("present");
+                self.run_backward(SubnetId(id), grad);
+                continue;
+            }
+            // Then the first admissible forward (Algorithm 2).
+            let pick = self
+                .fwd_queue
+                .iter()
+                .position(|(id, _)| self.admissible(*id));
+            if let Some(i) = pick {
+                let (y, input) = self.fwd_queue.remove(i);
+                self.run_forward(y, input);
+                continue;
+            }
+            // Nothing runnable: block for a message.
+            match self.rx.recv() {
+                Ok(Msg::Fwd(y, act)) => self.fwd_queue.push((y, act)),
+                Ok(Msg::Bwd(y, grad)) => {
+                    self.bwd_queue.insert(y.0, grad);
+                }
+                Err(_) => break,
+            }
+        }
+        (self.params, self.losses)
+    }
+}
+
+/// Trains `subnets` on `gpus` stage threads with CSP scheduling; returns
+/// the same [`TrainResult`] shape as the sequential reference, and is
+/// bitwise equal to it for any `gpus`/`window`.
+///
+/// `window` bounds the in-flight subnets (the paper's `|L_q|`, default 30
+/// when `0` is passed).
+///
+/// # Panics
+///
+/// Panics if `gpus == 0`, if `subnets` is not consecutively numbered from
+/// 0, or if a subnet is invalid for `space`.
+pub fn run_threaded(
+    space: &SearchSpace,
+    subnets: Vec<Subnet>,
+    cfg: &TrainConfig,
+    gpus: u32,
+    window: u64,
+) -> TrainResult {
+    assert!(gpus > 0, "need at least one stage thread");
+    for (i, s) in subnets.iter().enumerate() {
+        assert_eq!(s.seq_id().0, i as u64, "subnets must be numbered from 0");
+        assert!(s.is_valid_for(space), "subnet {s} invalid for space");
+    }
+    let window = if window == 0 { 30 } else { window };
+    let m = space.num_blocks();
+    let partition = Partition::balanced(&vec![1.0; m], gpus);
+    let total = subnets.len() as u64;
+    let subnets = Arc::new(subnets);
+    let data = Arc::new(SyntheticDataset::new(cfg.seed, cfg.rows, cfg.dim));
+    let init = ParamStore::init(space, cfg.dim, cfg.seed);
+
+    // Channels: stage k receives from one rx; neighbours hold its tx.
+    let mut txs = Vec::with_capacity(gpus as usize);
+    let mut rxs = Vec::with_capacity(gpus as usize);
+    for _ in 0..gpus {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut handles = Vec::with_capacity(gpus as usize);
+    for k in (0..gpus as usize).rev() {
+        let blocks = partition.stage_range(crate::task::StageId(k as u32));
+        let params: Vec<Vec<DenseParams>> = blocks
+            .clone()
+            .map(|b| {
+                (0..space.block(b).num_choices())
+                    .map(|c| {
+                        init.layer(naspipe_supernet::layer::LayerRef::new(b as u32, c))
+                            .clone()
+                    })
+                    .collect()
+            })
+            .collect();
+        let worker = StageWorker {
+            stage: k,
+            blocks,
+            last: k == gpus as usize - 1,
+            total,
+            window,
+            subnets: Arc::clone(&subnets),
+            data: Arc::clone(&data),
+            engine: cfg.engine(),
+            params,
+            rx: rxs.remove(k),
+            next_tx: txs.get(k + 1).cloned(),
+            prev_tx: if k > 0 { Some(txs[k - 1].clone()) } else { None },
+            fwd_queue: Vec::new(),
+            bwd_queue: BTreeMap::new(),
+            ctxs: BTreeMap::new(),
+            finished: FinishedSet::new(),
+            finished_count: 0,
+            injected: 0,
+            losses: BTreeMap::new(),
+        };
+        handles.push((k, std::thread::spawn(move || worker.run())));
+    }
+    drop(txs);
+
+    let mut store = init;
+    let mut losses: BTreeMap<u64, f32> = BTreeMap::new();
+    for (k, handle) in handles {
+        let (params, stage_losses) = handle.join().expect("stage thread panicked");
+        let blocks = partition.stage_range(crate::task::StageId(k as u32));
+        for (i, b) in blocks.enumerate() {
+            for (c, p) in params[i].iter().enumerate() {
+                *store.layer_mut(naspipe_supernet::layer::LayerRef::new(b as u32, c as u32)) =
+                    p.clone();
+            }
+        }
+        losses.extend(stage_losses);
+    }
+
+    TrainResult {
+        losses: losses.into_iter().collect(),
+        final_hash: store.bitwise_hash(),
+        store,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::sequential_training;
+    use naspipe_supernet::layer::Domain;
+    use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+
+    fn space() -> SearchSpace {
+        SearchSpace::uniform(Domain::Nlp, 8, 5)
+    }
+
+    fn subnets(space: &SearchSpace, n: usize) -> Vec<Subnet> {
+        UniformSampler::new(space, 99).take_subnets(n)
+    }
+
+    #[test]
+    fn threaded_csp_matches_sequential_bitwise() {
+        let space = space();
+        let list = subnets(&space, 30);
+        let cfg = TrainConfig::default();
+        let seq = sequential_training(&space, &list, &cfg);
+        for gpus in [1, 2, 4] {
+            let res = run_threaded(&space, list.clone(), &cfg, gpus, 0);
+            assert_eq!(
+                res.final_hash, seq.final_hash,
+                "threaded run on {gpus} threads diverged"
+            );
+            assert_eq!(res.losses, seq.losses);
+        }
+    }
+
+    #[test]
+    fn repeated_threaded_runs_are_bitwise_equal() {
+        // Thread timing varies between runs; results must not.
+        let space = space();
+        let list = subnets(&space, 25);
+        let cfg = TrainConfig::default();
+        let a = run_threaded(&space, list.clone(), &cfg, 4, 8);
+        let b = run_threaded(&space, list, &cfg, 4, 8);
+        assert_eq!(a.final_hash, b.final_hash);
+    }
+
+    #[test]
+    fn window_size_does_not_change_result() {
+        let space = space();
+        let list = subnets(&space, 20);
+        let cfg = TrainConfig::default();
+        let small = run_threaded(&space, list.clone(), &cfg, 2, 2);
+        let large = run_threaded(&space, list, &cfg, 2, 16);
+        assert_eq!(small.final_hash, large.final_hash);
+    }
+
+    #[test]
+    fn more_threads_than_blocks_works() {
+        let space = SearchSpace::uniform(Domain::Cv, 3, 4);
+        let list = subnets(&space, 10);
+        let cfg = TrainConfig::default();
+        let seq = sequential_training(&space, &list, &cfg);
+        let res = run_threaded(&space, list, &cfg, 6, 0);
+        assert_eq!(res.final_hash, seq.final_hash);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 0")]
+    fn misnumbered_subnets_panic() {
+        let space = space();
+        let list = vec![Subnet::new(SubnetId(3), vec![0; 8])];
+        run_threaded(&space, list, &TrainConfig::default(), 2, 0);
+    }
+}

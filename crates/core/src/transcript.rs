@@ -1,0 +1,350 @@
+//! Schedule transcripts: serialise a pipeline run's task schedule to a
+//! plain-text format and load it back.
+//!
+//! The paper's reproducibility pitch is that researchers can "easily
+//! debug, reproduce, and analyze any supernet training procedures with a
+//! simple and deterministic training replay" (§1). A transcript captures
+//! everything the numeric replay needs — the subnet stream and the
+//! executed task schedule — so a trial recorded on one machine can be
+//! replayed bit-for-bit on another, without re-running the scheduler.
+//!
+//! The format is line-based and versioned:
+//!
+//! ```text
+//! naspipe-transcript v1
+//! subnet <id> <choice>,<choice>,...      (skip rendered as "~")
+//! task <start_us> <end_us> <F|B> <subnet> <stage> <block_lo> <block_hi>
+//! ```
+
+use crate::pipeline::{PipelineOutcome, TaskRecord};
+use crate::task::{StageId, TaskKind};
+use naspipe_sim::time::SimTime;
+use naspipe_supernet::subnet::{Subnet, SubnetId, SKIP_CHOICE};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A replayable record of one pipeline run.
+///
+/// # Example
+///
+/// ```
+/// use naspipe_core::config::PipelineConfig;
+/// use naspipe_core::pipeline::run_pipeline;
+/// use naspipe_core::transcript::Transcript;
+/// use naspipe_supernet::space::SearchSpace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = SearchSpace::nlp_c3();
+/// let out = run_pipeline(&space, &PipelineConfig::naspipe(2, 4).with_batch(8))?;
+/// let text = Transcript::from_outcome(&out).to_text();
+/// let parsed = Transcript::read(&mut text.as_bytes())?;
+/// assert_eq!(parsed.tasks.len(), 4 * 2 * 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transcript {
+    /// The subnets trained, in exploration order.
+    pub subnets: Vec<Subnet>,
+    /// The executed tasks, in schedule order.
+    pub tasks: Vec<TaskRecord>,
+}
+
+/// Errors from parsing a transcript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTranscriptError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseTranscriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transcript line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTranscriptError {}
+
+impl Transcript {
+    /// Captures the replayable parts of a pipeline outcome.
+    pub fn from_outcome(outcome: &PipelineOutcome) -> Self {
+        Self {
+            subnets: outcome.subnets.clone(),
+            tasks: outcome.tasks.clone(),
+        }
+    }
+
+    /// Writes the transcript in the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write(&self, out: &mut impl Write) -> std::io::Result<()> {
+        writeln!(out, "naspipe-transcript v1")?;
+        for s in &self.subnets {
+            let choices = s
+                .choices()
+                .iter()
+                .map(|&c| {
+                    if c == SKIP_CHOICE {
+                        "~".to_string()
+                    } else {
+                        c.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            writeln!(out, "subnet {} {}", s.seq_id().0, choices)?;
+        }
+        for t in &self.tasks {
+            let kind = match t.kind {
+                TaskKind::Forward => "F",
+                TaskKind::Backward => "B",
+            };
+            writeln!(
+                out,
+                "task {} {} {kind} {} {} {} {}",
+                t.start.as_us(),
+                t.end.as_us(),
+                t.subnet.0,
+                t.stage.0,
+                t.blocks.start,
+                t.blocks.end,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Renders the transcript to a string.
+    pub fn to_text(&self) -> String {
+        let mut buf = Vec::new();
+        self.write(&mut buf).expect("writing to memory cannot fail");
+        String::from_utf8(buf).expect("transcript is ASCII")
+    }
+
+    /// Parses a transcript from the v1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTranscriptError`] describing the offending line.
+    pub fn read(input: &mut impl BufRead) -> Result<Self, ParseTranscriptError> {
+        let err = |line: usize, message: &str| ParseTranscriptError {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = Vec::new();
+        for (i, l) in input.lines().enumerate() {
+            let l = l.map_err(|e| err(i + 1, &format!("I/O error: {e}")))?;
+            lines.push(l);
+        }
+        if lines.first().map(String::as_str) != Some("naspipe-transcript v1") {
+            return Err(err(1, "missing 'naspipe-transcript v1' header"));
+        }
+        let mut subnets = Vec::new();
+        let mut tasks = Vec::new();
+        for (i, line) in lines.iter().enumerate().skip(1) {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("subnet") => {
+                    let id: u64 = parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad subnet id"))?;
+                    let choices: Vec<u32> = parts
+                        .next()
+                        .ok_or_else(|| err(lineno, "missing choices"))?
+                        .split(',')
+                        .map(|c| {
+                            if c == "~" {
+                                Ok(SKIP_CHOICE)
+                            } else {
+                                c.parse().map_err(|_| err(lineno, "bad choice"))
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
+                    subnets.push(Subnet::new(SubnetId(id), choices));
+                }
+                Some("task") => {
+                    let mut next_u64 = || -> Result<u64, ParseTranscriptError> {
+                        parts
+                            .next()
+                            .and_then(|p| p.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad task field"))
+                    };
+                    let start = next_u64()?;
+                    let end = next_u64()?;
+                    let kind = match parts.next() {
+                        Some("F") => TaskKind::Forward,
+                        Some("B") => TaskKind::Backward,
+                        _ => return Err(err(lineno, "bad task kind (want F|B)")),
+                    };
+                    let mut next_u64 = || -> Result<u64, ParseTranscriptError> {
+                        parts
+                            .next()
+                            .and_then(|p| p.parse().ok())
+                            .ok_or_else(|| err(lineno, "bad task field"))
+                    };
+                    let subnet = next_u64()?;
+                    let stage = next_u64()? as u32;
+                    let lo = next_u64()? as usize;
+                    let hi = next_u64()? as usize;
+                    if lo > hi {
+                        return Err(err(lineno, "block range reversed"));
+                    }
+                    tasks.push(TaskRecord {
+                        start: SimTime::from_us(start),
+                        end: SimTime::from_us(end),
+                        kind,
+                        subnet: SubnetId(subnet),
+                        stage: StageId(stage),
+                        blocks: lo..hi,
+                    });
+                }
+                Some(other) => {
+                    return Err(err(lineno, &format!("unknown record '{other}'")));
+                }
+                None => {}
+            }
+        }
+        Ok(Self { subnets, tasks })
+    }
+
+    /// Reconstructs a minimal [`PipelineOutcome`]-shaped pair for
+    /// [`crate::train::replay_training`]: `(subnets, tasks)`.
+    pub fn into_parts(self) -> (Vec<Subnet>, Vec<TaskRecord>) {
+        (self.subnets, self.tasks)
+    }
+}
+
+/// Replays a transcript numerically — identical semantics to
+/// [`crate::train::replay_training`] on the original outcome.
+pub fn replay_transcript(
+    space: &naspipe_supernet::space::SearchSpace,
+    transcript: &Transcript,
+    cfg: &crate::train::TrainConfig,
+) -> crate::train::TrainResult {
+    // Rebuild the minimal outcome shape the trainer consumes.
+    let outcome = PipelineOutcome {
+        report: crate::report::PipelineReport {
+            space: space.id(),
+            policy: crate::config::SyncPolicy::naspipe(),
+            num_gpus: transcript
+                .tasks
+                .iter()
+                .map(|t| t.stage.0 + 1)
+                .max()
+                .unwrap_or(1),
+            batch: 0,
+            makespan_secs: 0.0,
+            subnets_completed: transcript.subnets.len() as u64,
+            samples_processed: 0,
+            bubble_ratio: 0.0,
+            total_alu: 0.0,
+            gpu_mem_factor: 0.0,
+            cpu_mem_gib: 0.0,
+            avg_subnet_exec_secs: 0.0,
+            cache_hit_rate: None,
+            reported_param_bytes: 0,
+            cache_stats: crate::context::CacheStats::default(),
+            scheduler_stats: crate::scheduler::SchedulerStats::default(),
+            faults_injected: 0,
+            stage_idle_blocked_secs: Vec::new(),
+            stage_idle_empty_secs: Vec::new(),
+        },
+        tasks: transcript.tasks.clone(),
+        trace: naspipe_sim::trace::Trace::new(),
+        subnets: transcript.subnets.clone(),
+    };
+    crate::train::replay_training(space, &outcome, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::run_pipeline_with_subnets;
+    use crate::train::{replay_training, TrainConfig};
+    use naspipe_supernet::layer::Domain;
+    use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+    use naspipe_supernet::space::SearchSpace;
+
+    fn outcome() -> (SearchSpace, PipelineOutcome) {
+        let space = SearchSpace::uniform(Domain::Nlp, 8, 4);
+        let subnets = UniformSampler::new(&space, 3).take_subnets(12);
+        let cfg = PipelineConfig::naspipe(4, 12).with_batch(16).with_seed(3);
+        let out = run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
+        (space, out)
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let (_, out) = outcome();
+        let t = Transcript::from_outcome(&out);
+        let text = t.to_text();
+        let parsed = Transcript::read(&mut text.as_bytes()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn replayed_transcript_equals_direct_replay() {
+        let (space, out) = outcome();
+        let cfg = TrainConfig::default();
+        let direct = replay_training(&space, &out, &cfg);
+        let t = Transcript::from_outcome(&out);
+        let text = t.to_text();
+        let parsed = Transcript::read(&mut text.as_bytes()).unwrap();
+        let replayed = replay_transcript(&space, &parsed, &cfg);
+        assert_eq!(direct.final_hash, replayed.final_hash);
+        assert_eq!(direct.losses, replayed.losses);
+    }
+
+    #[test]
+    fn skip_choices_round_trip() {
+        use naspipe_supernet::subnet::SKIP_CHOICE;
+        let t = Transcript {
+            subnets: vec![Subnet::new(SubnetId(0), vec![1, SKIP_CHOICE, 2])],
+            tasks: vec![],
+        };
+        let text = t.to_text();
+        assert!(text.contains("1,~,2"));
+        let parsed = Transcript::read(&mut text.as_bytes()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let e = Transcript::read(&mut "bogus\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn bad_records_rejected() {
+        let header = "naspipe-transcript v1\n";
+        for bad in [
+            "subnet x 1,2\n",
+            "subnet 0\n",
+            "task 1 2 Q 0 0 0 1\n",
+            "task 1 2 F 0 0 5 1\n",
+            "frobnicate\n",
+        ] {
+            let text = format!("{header}{bad}");
+            assert!(
+                Transcript::read(&mut text.as_bytes()).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_parts_decomposes() {
+        let (_, out) = outcome();
+        let t = Transcript::from_outcome(&out);
+        let (subnets, tasks) = t.into_parts();
+        assert_eq!(subnets.len(), 12);
+        assert_eq!(tasks.len(), 12 * 4 * 2);
+    }
+}

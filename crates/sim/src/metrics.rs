@@ -1,0 +1,159 @@
+//! Derived run metrics: bubble ratio, ALU utilisation, throughput.
+//!
+//! The paper normalises total GPU memory and ALU usage "to a single GPU's
+//! memory limit (e.g., 11 GB) and ALU limit (100%)" — so 8 GPUs at 50 %
+//! utilisation report `4.0x`. [`RunMetrics`] reproduces those conventions.
+
+use crate::cluster::Cluster;
+use crate::time::SimTime;
+
+/// Aggregate metrics of one simulated pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Wall-clock end of the run on the virtual clock.
+    pub makespan: SimTime,
+    /// Per-GPU compute utilisation in `[0, 1]`.
+    pub gpu_utilization: Vec<f64>,
+    /// Per-GPU memory high-water marks, bytes.
+    pub gpu_mem_high_water: Vec<u64>,
+    /// Per-GPU memory capacity, bytes.
+    pub gpu_mem_capacity: Vec<u64>,
+    /// Subnets fully trained during the run.
+    pub subnets_completed: u64,
+    /// Input samples consumed (subnets x batch size).
+    pub samples_processed: u64,
+}
+
+impl RunMetrics {
+    /// Collects metrics from a cluster after a run ending at `makespan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `makespan` is zero.
+    pub fn collect(
+        cluster: &Cluster,
+        makespan: SimTime,
+        subnets_completed: u64,
+        samples_processed: u64,
+    ) -> Self {
+        assert!(makespan > SimTime::ZERO, "makespan must be positive");
+        Self {
+            makespan,
+            gpu_utilization: cluster
+                .gpus()
+                .iter()
+                .map(|g| g.compute().utilization(makespan))
+                .collect(),
+            gpu_mem_high_water: cluster.gpus().iter().map(|g| g.memory().high_water()).collect(),
+            gpu_mem_capacity: cluster.gpus().iter().map(|g| g.memory().capacity()).collect(),
+            subnets_completed,
+            samples_processed,
+        }
+    }
+
+    /// Number of GPUs in the run.
+    pub fn num_gpus(&self) -> usize {
+        self.gpu_utilization.len()
+    }
+
+    /// Total ALU utilisation normalised to one GPU's limit (the paper's
+    /// `x` factors, e.g. `3.9x` over 8 GPUs).
+    pub fn total_alu(&self) -> f64 {
+        self.gpu_utilization.iter().sum()
+    }
+
+    /// Mean idle fraction across GPUs — the pipeline bubble time ratio.
+    pub fn bubble_ratio(&self) -> f64 {
+        1.0 - self.total_alu() / self.num_gpus() as f64
+    }
+
+    /// Total memory high-water normalised to one GPU's capacity (the
+    /// paper's "GPU Mem" column, e.g. `7.8x` across 8 GPUs).
+    pub fn total_mem_factor(&self) -> f64 {
+        self.gpu_mem_high_water
+            .iter()
+            .zip(&self.gpu_mem_capacity)
+            .map(|(&hw, &cap)| hw as f64 / cap as f64)
+            .sum()
+    }
+
+    /// Samples per second of virtual time.
+    pub fn throughput_samples_per_sec(&self) -> f64 {
+        self.samples_processed as f64 / self.makespan.as_secs()
+    }
+
+    /// Subnets traversed per hour of virtual time (the red-bar annotations
+    /// in Figures 5 and 6).
+    pub fn subnets_per_hour(&self) -> f64 {
+        self.subnets_completed as f64 / (self.makespan.as_secs() / 3_600.0)
+    }
+
+    /// Average execution time per completed subnet, seconds.
+    pub fn avg_subnet_exec_secs(&self) -> f64 {
+        if self.subnets_completed == 0 {
+            return 0.0;
+        }
+        // Bubble-eliminated: total busy compute time divided by subnets.
+        let busy: f64 = self
+            .gpu_utilization
+            .iter()
+            .map(|u| u * self.makespan.as_secs())
+            .sum();
+        busy / self.subnets_completed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuId;
+    use crate::time::SimDuration;
+
+    fn busy_cluster() -> (Cluster, SimTime) {
+        let mut c = Cluster::new(2, 1_000);
+        let horizon = SimTime::from_us(1_000);
+        c.gpu_mut(GpuId(0))
+            .compute_mut()
+            .reserve_from(SimTime::ZERO, SimDuration::from_us(600));
+        c.gpu_mut(GpuId(1))
+            .compute_mut()
+            .reserve_from(SimTime::ZERO, SimDuration::from_us(400));
+        c.gpu_mut(GpuId(0)).memory_mut().alloc(500).unwrap();
+        c.gpu_mut(GpuId(1)).memory_mut().alloc(250).unwrap();
+        (c, horizon)
+    }
+
+    #[test]
+    fn totals_and_bubble() {
+        let (c, horizon) = busy_cluster();
+        let m = RunMetrics::collect(&c, horizon, 10, 100);
+        assert!((m.total_alu() - 1.0).abs() < 1e-9); // 0.6 + 0.4
+        assert!((m.bubble_ratio() - 0.5).abs() < 1e-9);
+        assert!((m.total_mem_factor() - 0.75).abs() < 1e-9); // 0.5 + 0.25
+        assert_eq!(m.num_gpus(), 2);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let (c, horizon) = busy_cluster();
+        let m = RunMetrics::collect(&c, horizon, 10, 100);
+        // 100 samples over 1 ms = 100k samples/s.
+        assert!((m.throughput_samples_per_sec() - 100_000.0).abs() < 1.0);
+        assert!(m.subnets_per_hour() > 0.0);
+        assert!(m.avg_subnet_exec_secs() > 0.0);
+    }
+
+    #[test]
+    fn zero_subnets_has_zero_exec() {
+        let (c, horizon) = busy_cluster();
+        let m = RunMetrics::collect(&c, horizon, 0, 0);
+        assert_eq!(m.avg_subnet_exec_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "makespan must be positive")]
+    fn zero_makespan_panics() {
+        let (c, _) = busy_cluster();
+        RunMetrics::collect(&c, SimTime::ZERO, 0, 0);
+    }
+}

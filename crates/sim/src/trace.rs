@@ -1,0 +1,181 @@
+//! Execution traces.
+//!
+//! Every pipeline run records what each GPU did and when. Traces back the
+//! reproducibility checks (two runs are equivalent iff their per-layer
+//! access sub-traces match) and the bubble/utilisation metrics.
+
+use crate::gpu::GpuId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// What happened in one trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A compute task started (label is caller-defined, e.g. "SN3.fwd").
+    ComputeStart(String),
+    /// A compute task finished.
+    ComputeEnd(String),
+    /// A parameter swap CPU->GPU started.
+    SwapInStart(String),
+    /// A parameter swap CPU->GPU finished.
+    SwapInEnd(String),
+    /// A parameter eviction GPU->CPU.
+    Evict(String),
+    /// Execution stalled waiting for a synchronous swap (cache miss).
+    Stall(String),
+    /// An activation/gradient message left this stage.
+    Send(String),
+    /// An activation/gradient message arrived at this stage.
+    Receive(String),
+}
+
+impl TraceKind {
+    /// The caller-defined label of this record.
+    pub fn label(&self) -> &str {
+        match self {
+            TraceKind::ComputeStart(l)
+            | TraceKind::ComputeEnd(l)
+            | TraceKind::SwapInStart(l)
+            | TraceKind::SwapInEnd(l)
+            | TraceKind::Evict(l)
+            | TraceKind::Stall(l)
+            | TraceKind::Send(l)
+            | TraceKind::Receive(l) => l,
+        }
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::ComputeStart(l) => write!(f, "compute-start {l}"),
+            TraceKind::ComputeEnd(l) => write!(f, "compute-end {l}"),
+            TraceKind::SwapInStart(l) => write!(f, "swapin-start {l}"),
+            TraceKind::SwapInEnd(l) => write!(f, "swapin-end {l}"),
+            TraceKind::Evict(l) => write!(f, "evict {l}"),
+            TraceKind::Stall(l) => write!(f, "stall {l}"),
+            TraceKind::Send(l) => write!(f, "send {l}"),
+            TraceKind::Receive(l) => write!(f, "recv {l}"),
+        }
+    }
+}
+
+/// One timestamped record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Which GPU it happened on.
+    pub gpu: GpuId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An append-only sequence of trace events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, time: SimTime, gpu: GpuId, kind: TraceKind) {
+        self.events.push(TraceEvent { time, gpu, kind });
+    }
+
+    /// All records in append order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records on one GPU, in append order.
+    pub fn on_gpu(&self, gpu: GpuId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.gpu == gpu)
+    }
+
+    /// Records whose label contains `needle`, in append order.
+    pub fn with_label(&self, needle: &str) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let needle = needle.to_owned();
+        self.events
+            .iter()
+            .filter(move |e| e.kind.label().contains(&needle))
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Compute-start labels in chronological order (stable sort by time,
+    /// then append order) — the canonical execution order used by
+    /// reproducibility comparisons.
+    pub fn compute_order(&self) -> Vec<String> {
+        let mut starts: Vec<(SimTime, usize, &str)> = self
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match &e.kind {
+                TraceKind::ComputeStart(l) => Some((e.time, i, l.as_str())),
+                _ => None,
+            })
+            .collect();
+        starts.sort_by_key(|&(t, i, _)| (t, i));
+        starts.into_iter().map(|(_, _, l)| l.to_owned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn record_and_filter() {
+        let mut tr = Trace::new();
+        tr.record(t(10), GpuId(0), TraceKind::ComputeStart("a".into()));
+        tr.record(t(20), GpuId(1), TraceKind::ComputeStart("b".into()));
+        tr.record(t(30), GpuId(0), TraceKind::ComputeEnd("a".into()));
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.on_gpu(GpuId(0)).count(), 2);
+        assert_eq!(tr.with_label("a").count(), 2);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn compute_order_sorts_by_time() {
+        let mut tr = Trace::new();
+        tr.record(t(20), GpuId(0), TraceKind::ComputeStart("second".into()));
+        tr.record(t(10), GpuId(1), TraceKind::ComputeStart("first".into()));
+        tr.record(t(15), GpuId(1), TraceKind::Stall("noise".into()));
+        assert_eq!(tr.compute_order(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn compute_order_ties_stable() {
+        let mut tr = Trace::new();
+        tr.record(t(5), GpuId(0), TraceKind::ComputeStart("x".into()));
+        tr.record(t(5), GpuId(1), TraceKind::ComputeStart("y".into()));
+        assert_eq!(tr.compute_order(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn kind_labels_and_display() {
+        let k = TraceKind::SwapInStart("SN1".into());
+        assert_eq!(k.label(), "SN1");
+        assert_eq!(k.to_string(), "swapin-start SN1");
+        assert_eq!(TraceKind::Evict("z".into()).to_string(), "evict z");
+    }
+}

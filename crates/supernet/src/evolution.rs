@@ -1,0 +1,247 @@
+//! Regularised evolution search (Real et al.), the paper's default search
+//! strategy once a supernet is trained.
+//!
+//! Evolution maintains a population of architectures. Each round it samples
+//! a tournament, mutates the winner's architecture in one random block, and
+//! retires the oldest member. Fitness is supplied by a caller-provided
+//! evaluator (validation quality of the subnet under the trained supernet
+//! weights), so the search itself is fully deterministic given the seed and
+//! a deterministic evaluator.
+
+use crate::rng::DetRng;
+use crate::space::SearchSpace;
+use crate::subnet::{Subnet, SubnetId};
+
+/// Configuration of the regularised evolution loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionConfig {
+    /// Population size (alive individuals).
+    pub population: usize,
+    /// Tournament sample size per round.
+    pub tournament: usize,
+    /// Number of evolution rounds after the initial population.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        Self {
+            population: 32,
+            tournament: 8,
+            rounds: 128,
+            seed: 0,
+        }
+    }
+}
+
+/// One evaluated architecture in the population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual {
+    /// The architecture (sequence ID records discovery order).
+    pub subnet: Subnet,
+    /// Fitness — higher is better.
+    pub fitness: f64,
+}
+
+/// Outcome of an evolution search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The best individual ever evaluated.
+    pub best: Individual,
+    /// Total number of fitness evaluations performed.
+    pub evaluations: usize,
+    /// Best fitness after each round (monotone non-decreasing).
+    pub history: Vec<f64>,
+}
+
+/// Runs regularised evolution over `space`, scoring candidates with
+/// `evaluate`.
+///
+/// `evaluate` receives each candidate subnet and returns its fitness
+/// (higher is better). The search is deterministic for a deterministic
+/// evaluator and fixed config.
+///
+/// # Panics
+///
+/// Panics if `config.population == 0`, `config.tournament == 0`, or
+/// `config.tournament > config.population`.
+///
+/// # Example
+///
+/// ```
+/// use naspipe_supernet::evolution::{evolve, EvolutionConfig};
+/// use naspipe_supernet::space::SearchSpace;
+///
+/// let space = SearchSpace::nlp_c3();
+/// // Toy fitness: prefer low choice indices.
+/// let outcome = evolve(&space, EvolutionConfig::default(), |s| {
+///     -(s.choices().iter().map(|&c| c as f64).sum::<f64>())
+/// });
+/// assert!(outcome.evaluations > 0);
+/// ```
+pub fn evolve<F>(space: &SearchSpace, config: EvolutionConfig, mut evaluate: F) -> SearchOutcome
+where
+    F: FnMut(&Subnet) -> f64,
+{
+    assert!(config.population > 0, "population must be positive");
+    assert!(config.tournament > 0, "tournament must be positive");
+    assert!(
+        config.tournament <= config.population,
+        "tournament cannot exceed population"
+    );
+
+    let mut rng = DetRng::new(config.seed).split(0x45564f4c); // "EVOL"
+    let mut next_id = 0u64;
+    let sample = |rng: &mut DetRng, next_id: &mut u64| {
+        let choices = space
+            .blocks()
+            .iter()
+            .map(|b| rng.next_below(u64::from(b.num_choices())) as u32)
+            .collect();
+        let s = Subnet::new(SubnetId(*next_id), choices);
+        *next_id += 1;
+        s
+    };
+
+    let mut population: Vec<Individual> = Vec::with_capacity(config.population);
+    for _ in 0..config.population {
+        let subnet = sample(&mut rng, &mut next_id);
+        let fitness = evaluate(&subnet);
+        population.push(Individual { subnet, fitness });
+    }
+    let mut evaluations = population.len();
+    let mut best = population
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+        .expect("population is non-empty");
+
+    let mut history = Vec::with_capacity(config.rounds);
+    for _ in 0..config.rounds {
+        // Tournament: sample indices without replacement.
+        let mut idx: Vec<usize> = (0..population.len()).collect();
+        rng.shuffle(&mut idx);
+        let winner = idx[..config.tournament]
+            .iter()
+            .copied()
+            .max_by(|&a, &b| population[a].fitness.total_cmp(&population[b].fitness))
+            .expect("tournament is non-empty");
+
+        // Mutate one block of the winner.
+        let parent = population[winner].subnet.clone();
+        let mut choices = parent.choices().to_vec();
+        let block = rng.index(choices.len());
+        let n = space.block(block).num_choices();
+        if n > 1 {
+            let mut c = rng.next_below(u64::from(n)) as u32;
+            if c == choices[block] {
+                c = (c + 1) % n;
+            }
+            choices[block] = c;
+        }
+        let child = Subnet::new(SubnetId(next_id), choices);
+        next_id += 1;
+        let fitness = evaluate(&child);
+        evaluations += 1;
+        if fitness > best.fitness {
+            best = Individual {
+                subnet: child.clone(),
+                fitness,
+            };
+        }
+        // Regularised: retire the oldest (front), append the child.
+        population.remove(0);
+        population.push(Individual {
+            subnet: child,
+            fitness,
+        });
+        history.push(best.fitness);
+    }
+
+    SearchOutcome {
+        best,
+        evaluations,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Domain;
+
+    fn toy_space() -> SearchSpace {
+        SearchSpace::uniform(Domain::Nlp, 6, 8)
+    }
+
+    /// Fitness peaked at all-zero choices.
+    fn fitness(s: &Subnet) -> f64 {
+        -(s.choices().iter().map(|&c| f64::from(c)).sum::<f64>())
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let space = toy_space();
+        let cfg = EvolutionConfig {
+            seed: 5,
+            ..Default::default()
+        };
+        let a = evolve(&space, cfg, fitness);
+        let b = evolve(&space, cfg, fitness);
+        assert_eq!(a.best.subnet.choices(), b.best.subnet.choices());
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn evolution_improves_over_random() {
+        let space = toy_space();
+        let cfg = EvolutionConfig {
+            rounds: 300,
+            ..Default::default()
+        };
+        let out = evolve(&space, cfg, fitness);
+        // Random expectation is -6*3.5 = -21; evolution should do much better.
+        assert!(out.best.fitness > -10.0, "best {}", out.best.fitness);
+        assert_eq!(out.evaluations, cfg.population + cfg.rounds);
+    }
+
+    #[test]
+    fn history_is_monotone() {
+        let out = evolve(&toy_space(), EvolutionConfig::default(), fitness);
+        for w in out.history.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_block_or_none() {
+        // Use a 2-choice space so mutation always flips.
+        let space = SearchSpace::uniform(Domain::Cv, 5, 2);
+        let out = evolve(
+            &space,
+            EvolutionConfig {
+                rounds: 50,
+                ..Default::default()
+            },
+            fitness,
+        );
+        assert!(out.best.subnet.is_valid_for(&space));
+    }
+
+    #[test]
+    #[should_panic(expected = "tournament cannot exceed population")]
+    fn oversized_tournament_panics() {
+        evolve(
+            &toy_space(),
+            EvolutionConfig {
+                population: 4,
+                tournament: 8,
+                rounds: 1,
+                seed: 0,
+            },
+            fitness,
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! A Retiarii-style programming frontend.
+//!
+//! The paper's NASPipe sits *behind* a supernet programming framework:
+//! Retiarii describes the search space (choice blocks of candidate
+//! operators) and generates subnets "in a producer-consumer way, where
+//! NASPipe is the consumer" (§4.1). This module provides the equivalent
+//! surface:
+//!
+//! * [`SupernetBuilder`] — a fluent mutator-like API for declaring choice
+//!   blocks of named candidate operators, producing a [`SearchSpace`]
+//!   plus a name table;
+//! * [`ExplorationSession`] — runs any [`ExplorationStrategy`] on a
+//!   producer thread and hands subnets to the training system through a
+//!   bounded channel, preserving the exploration order exactly.
+
+use crate::layer::{candidate_cost, Domain, LayerCost, LayerKind};
+use crate::sampler::ExplorationStrategy;
+use crate::space::{ChoiceBlock, SearchSpace};
+use crate::subnet::{Subnet, SubnetId};
+use std::sync::mpsc;
+
+/// One candidate operator in a choice block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSpec {
+    name: String,
+    kind: LayerKind,
+    cost: LayerCost,
+}
+
+impl OpSpec {
+    /// A named operator with the catalog cost of `kind`.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            cost: kind.profiled_cost(),
+        }
+    }
+
+    /// A named operator with an explicit cost (custom profiling).
+    pub fn with_cost(name: impl Into<String>, kind: LayerKind, cost: LayerCost) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            cost,
+        }
+    }
+
+    /// The operator's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Fluent builder for a supernet search space with named blocks and
+/// operators.
+///
+/// # Example
+///
+/// ```
+/// use naspipe_supernet::frontend::{OpSpec, SupernetBuilder};
+/// use naspipe_supernet::layer::{Domain, LayerKind};
+///
+/// let (space, names) = SupernetBuilder::new(Domain::Nlp)
+///     .choice_block("embed", vec![
+///         OpSpec::new("conv3x1", LayerKind::Conv3x1),
+///         OpSpec::new("attention", LayerKind::Attention8Head),
+///     ])
+///     .repeat_catalog_blocks("body", 4, 8)
+///     .build();
+/// assert_eq!(space.num_blocks(), 5);
+/// assert_eq!(names.block_name(0), "embed");
+/// assert_eq!(names.op_name(0, 1), "attention");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SupernetBuilder {
+    domain: Domain,
+    blocks: Vec<(String, Vec<OpSpec>)>,
+}
+
+/// Name table produced by [`SupernetBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameTable {
+    blocks: Vec<(String, Vec<String>)>,
+}
+
+impl NameTable {
+    /// The declared name of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block_name(&self, b: usize) -> &str {
+        &self.blocks[b].0
+    }
+
+    /// The declared name of candidate `c` of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn op_name(&self, b: usize, c: usize) -> &str {
+        &self.blocks[b].1[c]
+    }
+
+    /// Renders a subnet as `block=op` assignments (skipped blocks
+    /// omitted) — human-readable architecture descriptions for logs.
+    pub fn describe(&self, subnet: &Subnet) -> String {
+        subnet
+            .layers()
+            .map(|l| {
+                format!(
+                    "{}={}",
+                    self.block_name(l.block as usize),
+                    self.op_name(l.block as usize, l.choice as usize)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl SupernetBuilder {
+    /// Starts a builder for `domain`.
+    pub fn new(domain: Domain) -> Self {
+        Self {
+            domain,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Declares one choice block of named candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn choice_block(mut self, name: impl Into<String>, ops: Vec<OpSpec>) -> Self {
+        assert!(!ops.is_empty(), "a choice block needs at least one operator");
+        self.blocks.push((name.into(), ops));
+        self
+    }
+
+    /// Declares `count` blocks named `prefix-0..` with `choices`
+    /// candidates each from the domain's catalog (auto-named by kind).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `choices == 0`.
+    pub fn repeat_catalog_blocks(mut self, prefix: &str, count: u32, choices: u32) -> Self {
+        assert!(count > 0 && choices > 0, "count and choices must be positive");
+        for i in 0..count {
+            let ops = (0..choices)
+                .map(|c| {
+                    let (kind, cost) = candidate_cost(self.domain, c);
+                    OpSpec::with_cost(format!("{kind}#{c}"), kind, cost)
+                })
+                .collect();
+            self.blocks.push((format!("{prefix}-{i}"), ops));
+        }
+        self
+    }
+
+    /// Finalises the space and its name table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block was declared.
+    pub fn build(self) -> (SearchSpace, NameTable) {
+        assert!(!self.blocks.is_empty(), "a supernet needs at least one block");
+        let names = NameTable {
+            blocks: self
+                .blocks
+                .iter()
+                .map(|(n, ops)| {
+                    (n.clone(), ops.iter().map(|o| o.name.clone()).collect())
+                })
+                .collect(),
+        };
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|(_, ops)| {
+                ChoiceBlock::from_costs(ops.into_iter().map(|o| (o.kind, o.cost)).collect())
+            })
+            .collect();
+        (SearchSpace::from_blocks(self.domain, blocks), names)
+    }
+}
+
+/// A producer-consumer exploration session: the strategy runs on its own
+/// thread (the "frontend", like Retiarii's exploration engine) and the
+/// training system consumes subnets through a bounded channel.
+///
+/// The channel preserves order, so the consumer sees exactly the
+/// strategy's exploration order — the total order CSP makes the parallel
+/// training equivalent to.
+#[derive(Debug)]
+pub struct ExplorationSession {
+    rx: mpsc::Receiver<Subnet>,
+    next_id: u64,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExplorationSession {
+    /// Spawns `strategy` on a producer thread, generating `total` subnets
+    /// with at most `capacity` buffered ahead of the consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn spawn<S>(mut strategy: S, total: u64, capacity: usize) -> Self
+    where
+        S: ExplorationStrategy + Send + 'static,
+    {
+        assert!(capacity > 0, "capacity must be positive");
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        let start = strategy.next_seq_id().0;
+        let handle = std::thread::spawn(move || {
+            for _ in 0..total {
+                if tx.send(strategy.next_subnet()).is_err() {
+                    break; // consumer hung up early
+                }
+            }
+        });
+        Self {
+            rx,
+            next_id: start,
+            handle: Some(handle),
+        }
+    }
+
+    /// Collects all remaining subnets, joining the producer.
+    pub fn drain(mut self) -> Vec<Subnet> {
+        let mut all = Vec::new();
+        while let Ok(s) = self.rx.recv() {
+            all.push(s);
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        all
+    }
+}
+
+impl ExplorationStrategy for ExplorationSession {
+    /// # Panics
+    ///
+    /// Panics if the producer finished and the session is exhausted.
+    fn next_subnet(&mut self) -> Subnet {
+        let s = self.rx.recv().expect("exploration session exhausted");
+        self.next_id = s.seq_id().0 + 1;
+        s
+    }
+
+    fn next_seq_id(&self) -> SubnetId {
+        SubnetId(self.next_id)
+    }
+}
+
+impl Drop for ExplorationSession {
+    fn drop(&mut self) {
+        // Unblock and join the producer: dropping rx first would leave it
+        // parked on send; take the handle and let the send error out.
+        if let Some(h) = self.handle.take() {
+            // Drain whatever is buffered so the producer can observe the
+            // hang-up promptly, then join.
+            while self.rx.try_recv().is_ok() {}
+            drop(std::mem::replace(&mut self.rx, {
+                let (_, rx) = mpsc::channel();
+                rx
+            }));
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::UniformSampler;
+
+    #[test]
+    fn builder_produces_named_space() {
+        let (space, names) = SupernetBuilder::new(Domain::Cv)
+            .choice_block(
+                "stem",
+                vec![
+                    OpSpec::new("conv3x3", LayerKind::Conv3x3),
+                    OpSpec::new("sep3x3", LayerKind::SepConv3x3),
+                ],
+            )
+            .repeat_catalog_blocks("cell", 3, 4)
+            .build();
+        assert_eq!(space.num_blocks(), 4);
+        assert_eq!(space.block(0).num_choices(), 2);
+        assert_eq!(names.block_name(0), "stem");
+        assert_eq!(names.block_name(3), "cell-2");
+        assert_eq!(names.op_name(0, 0), "conv3x3");
+    }
+
+    #[test]
+    fn describe_renders_assignments() {
+        let (space, names) = SupernetBuilder::new(Domain::Nlp)
+            .choice_block(
+                "enc",
+                vec![
+                    OpSpec::new("light", LayerKind::LightConv5x1),
+                    OpSpec::new("attn", LayerKind::Attention8Head),
+                ],
+            )
+            .choice_block(
+                "dec",
+                vec![
+                    OpSpec::new("conv", LayerKind::Conv3x1),
+                    OpSpec::new("sep", LayerKind::SepConv7x1),
+                ],
+            )
+            .build();
+        let s = Subnet::new(SubnetId(0), vec![1, 0]);
+        assert!(s.is_valid_for(&space));
+        assert_eq!(names.describe(&s), "enc=attn dec=conv");
+    }
+
+    #[test]
+    fn custom_cost_is_respected() {
+        let cost = LayerCost {
+            fwd_ms: 1.0,
+            bwd_ms: 2.0,
+            swap_ms: 0.5,
+            param_bytes: 1_000,
+        };
+        let (space, _) = SupernetBuilder::new(Domain::Nlp)
+            .choice_block(
+                "b",
+                vec![OpSpec::with_cost("tiny", LayerKind::LightConv5x1, cost)],
+            )
+            .build();
+        assert_eq!(space.block(0).cost(0), cost);
+    }
+
+    #[test]
+    fn session_preserves_exploration_order() {
+        let space = SearchSpace::uniform(Domain::Nlp, 6, 4);
+        let reference = UniformSampler::new(&space, 3);
+        let mut direct = UniformSampler::new(&space, 3);
+        let mut session = ExplorationSession::spawn(reference, 20, 4);
+        for i in 0..20u64 {
+            assert_eq!(session.next_seq_id(), SubnetId(i));
+            assert_eq!(session.next_subnet(), direct.next_subnet());
+        }
+    }
+
+    #[test]
+    fn session_drain_collects_everything() {
+        let space = SearchSpace::uniform(Domain::Cv, 4, 3);
+        let session = ExplorationSession::spawn(UniformSampler::new(&space, 5), 12, 3);
+        let all = session.drain();
+        assert_eq!(all.len(), 12);
+        assert!(all.iter().enumerate().all(|(i, s)| s.seq_id().0 == i as u64));
+    }
+
+    #[test]
+    fn dropping_session_early_does_not_hang() {
+        let space = SearchSpace::uniform(Domain::Cv, 4, 3);
+        let mut session = ExplorationSession::spawn(UniformSampler::new(&space, 5), 1_000, 2);
+        let _ = session.next_subnet();
+        drop(session); // must join the producer without deadlock
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operator")]
+    fn empty_block_panics() {
+        SupernetBuilder::new(Domain::Nlp).choice_block("x", vec![]);
+    }
+}

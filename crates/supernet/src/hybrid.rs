@@ -1,0 +1,360 @@
+//! Hybrid traversal of multiple search spaces and dynamic (slimmable)
+//! subnet sampling — the two future applications of §5.5.
+//!
+//! NASPipe's runtime "is flexible to hold any number of causal dependency
+//! relations", so nothing stops one training run from interleaving
+//! subnets of *several* search spaces: embed the spaces side by side in a
+//! union supernet and let each subnet skip the blocks of the other
+//! spaces. Skipped blocks are stateless ([`crate::subnet::SKIP_CHOICE`]),
+//! so subnets of different member spaces never causally depend on each
+//! other — the scheduler interleaves them freely while still serialising
+//! same-space conflicts.
+//!
+//! The same skip mechanism models *dynamic/slimmable networks* [Li et
+//! al.]: [`SlimmableSampler`] samples subnets of varying depth, skipping
+//! a deterministic subset of blocks.
+
+use crate::rng::DetRng;
+use crate::sampler::ExplorationStrategy;
+use crate::space::{SearchSpace, ChoiceBlock};
+use crate::subnet::{Subnet, SubnetId, SKIP_CHOICE};
+
+/// A union supernet embedding several member search spaces side by side.
+///
+/// # Example
+///
+/// ```
+/// use naspipe_supernet::hybrid::HybridSpace;
+/// use naspipe_supernet::layer::Domain;
+/// use naspipe_supernet::space::SearchSpace;
+/// use naspipe_supernet::subnet::SubnetId;
+///
+/// let a = SearchSpace::uniform(Domain::Nlp, 4, 3);
+/// let b = SearchSpace::uniform(Domain::Nlp, 6, 3);
+/// let hybrid = HybridSpace::new(&[&a, &b]);
+/// assert_eq!(hybrid.union().num_blocks(), 10);
+/// let s = hybrid.embed(1, SubnetId(0), &[0, 1, 2, 0, 1, 2]);
+/// assert!(s.skips(0)); // member 0's blocks are skipped
+/// assert_eq!(hybrid.member_of(&s), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridSpace {
+    union: SearchSpace,
+    // offsets[i]..offsets[i+1] are member i's blocks within the union.
+    offsets: Vec<usize>,
+}
+
+impl HybridSpace {
+    /// Concatenates `members` into one union supernet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or the members' domains differ (a
+    /// union supernet runs on one cost catalog).
+    pub fn new(members: &[&SearchSpace]) -> Self {
+        assert!(!members.is_empty(), "a hybrid needs at least one member space");
+        let domain = members[0].domain();
+        assert!(
+            members.iter().all(|m| m.domain() == domain),
+            "hybrid members must share a domain"
+        );
+        let mut offsets = vec![0usize];
+        let mut blocks: Vec<ChoiceBlock> = Vec::new();
+        for m in members {
+            blocks.extend(m.blocks().iter().cloned());
+            offsets.push(blocks.len());
+        }
+        Self {
+            union: SearchSpace::from_blocks(domain, blocks),
+            offsets,
+        }
+    }
+
+    /// The union supernet (what the pipeline trains).
+    pub fn union(&self) -> &SearchSpace {
+        &self.union
+    }
+
+    /// Number of member spaces.
+    pub fn num_members(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The union-block range of member `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn member_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Embeds a member-space subnet into union coordinates: member `i`'s
+    /// choices land in its block range, every other block is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the choice count mismatches the
+    /// member's block count.
+    pub fn embed(&self, i: usize, seq_id: SubnetId, choices: &[u32]) -> Subnet {
+        let range = self.member_range(i);
+        assert_eq!(
+            choices.len(),
+            range.len(),
+            "member {i} has {} blocks, got {} choices",
+            range.len(),
+            choices.len()
+        );
+        let mut union_choices = vec![SKIP_CHOICE; self.union.num_blocks()];
+        union_choices[range].copy_from_slice(choices);
+        Subnet::new(seq_id, union_choices)
+    }
+
+    /// The member a union subnet belongs to, if it activates exactly one
+    /// member's range.
+    pub fn member_of(&self, subnet: &Subnet) -> Option<usize> {
+        let mut member = None;
+        for (b, &c) in subnet.choices().iter().enumerate() {
+            if c == SKIP_CHOICE {
+                continue;
+            }
+            let owner = (0..self.num_members()).find(|&i| self.member_range(i).contains(&b))?;
+            match member {
+                None => member = Some(owner),
+                Some(m) if m == owner => {}
+                Some(_) => return None,
+            }
+        }
+        member
+    }
+}
+
+/// Uniformly samples subnets from the members of a [`HybridSpace`],
+/// cycling members round-robin — one interleaved exploration order over
+/// several spaces, trained by a single pipeline.
+#[derive(Debug, Clone)]
+pub struct HybridSampler {
+    hybrid_offsets: Vec<usize>,
+    union_blocks: usize,
+    choices_per_block: Vec<u32>,
+    rng: DetRng,
+    next_id: u64,
+}
+
+impl HybridSampler {
+    /// Creates a sampler over `hybrid` seeded with `seed`.
+    pub fn new(hybrid: &HybridSpace, seed: u64) -> Self {
+        Self {
+            hybrid_offsets: hybrid.offsets.clone(),
+            union_blocks: hybrid.union.num_blocks(),
+            choices_per_block: hybrid
+                .union
+                .blocks()
+                .iter()
+                .map(|b| b.num_choices())
+                .collect(),
+            rng: DetRng::new(seed).split(0x4859_4252), // "HYBR"
+            next_id: 0,
+        }
+    }
+
+    fn num_members(&self) -> usize {
+        self.hybrid_offsets.len() - 1
+    }
+}
+
+impl ExplorationStrategy for HybridSampler {
+    fn next_subnet(&mut self) -> Subnet {
+        let member = (self.next_id as usize) % self.num_members();
+        let range = self.hybrid_offsets[member]..self.hybrid_offsets[member + 1];
+        let mut choices = vec![SKIP_CHOICE; self.union_blocks];
+        for b in range {
+            choices[b] = self.rng.next_below(u64::from(self.choices_per_block[b])) as u32;
+        }
+        let id = SubnetId(self.next_id);
+        self.next_id += 1;
+        Subnet::new(id, choices)
+    }
+
+    fn next_seq_id(&self) -> SubnetId {
+        SubnetId(self.next_id)
+    }
+}
+
+/// Samples dynamic-depth (slimmable) subnets: each block beyond a minimum
+/// prefix is skipped with probability `skip_prob`, so sampled subnets
+/// have varying depth — the dynamic-network workload of §5.5.
+#[derive(Debug, Clone)]
+pub struct SlimmableSampler {
+    choices_per_block: Vec<u32>,
+    min_depth: usize,
+    skip_prob: f64,
+    rng: DetRng,
+    next_id: u64,
+}
+
+impl SlimmableSampler {
+    /// Creates a sampler over `space` keeping at least the first
+    /// `min_depth` blocks active and skipping later blocks with
+    /// probability `skip_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_depth` is zero or exceeds the block count, or if
+    /// `skip_prob` is outside `[0, 1)`.
+    pub fn new(space: &SearchSpace, min_depth: usize, skip_prob: f64, seed: u64) -> Self {
+        assert!(
+            min_depth >= 1 && min_depth <= space.num_blocks(),
+            "min_depth must be in 1..={}",
+            space.num_blocks()
+        );
+        assert!((0.0..1.0).contains(&skip_prob), "skip_prob must be in [0, 1)");
+        Self {
+            choices_per_block: space.blocks().iter().map(|b| b.num_choices()).collect(),
+            min_depth,
+            skip_prob,
+            rng: DetRng::new(seed).split(0x534c_494d), // "SLIM"
+            next_id: 0,
+        }
+    }
+}
+
+impl ExplorationStrategy for SlimmableSampler {
+    fn next_subnet(&mut self) -> Subnet {
+        let choices = self
+            .choices_per_block
+            .iter()
+            .enumerate()
+            .map(|(b, &n)| {
+                if b >= self.min_depth && self.rng.next_f64() < self.skip_prob {
+                    SKIP_CHOICE
+                } else {
+                    self.rng.next_below(u64::from(n)) as u32
+                }
+            })
+            .collect();
+        let id = SubnetId(self.next_id);
+        self.next_id += 1;
+        Subnet::new(id, choices)
+    }
+
+    fn next_seq_id(&self) -> SubnetId {
+        SubnetId(self.next_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Domain;
+
+    fn members() -> (SearchSpace, SearchSpace) {
+        (
+            SearchSpace::uniform(Domain::Nlp, 6, 4),
+            SearchSpace::uniform(Domain::Nlp, 10, 3),
+        )
+    }
+
+    #[test]
+    fn union_concatenates_blocks() {
+        let (a, b) = members();
+        let hybrid = HybridSpace::new(&[&a, &b]);
+        assert_eq!(hybrid.union().num_blocks(), 16);
+        assert_eq!(hybrid.num_members(), 2);
+        assert_eq!(hybrid.member_range(0), 0..6);
+        assert_eq!(hybrid.member_range(1), 6..16);
+    }
+
+    #[test]
+    fn embedded_subnets_skip_foreign_blocks() {
+        let (a, b) = members();
+        let hybrid = HybridSpace::new(&[&a, &b]);
+        let s = hybrid.embed(1, SubnetId(0), &[0, 1, 2, 0, 1, 2, 0, 1, 2, 0]);
+        assert!(s.is_valid_for(hybrid.union()));
+        for blk in 0..6 {
+            assert!(s.skips(blk), "member 0's blocks must be skipped");
+        }
+        assert!(!s.skips(6));
+        assert_eq!(hybrid.member_of(&s), Some(1));
+    }
+
+    #[test]
+    fn cross_member_subnets_never_conflict() {
+        let (a, b) = members();
+        let hybrid = HybridSpace::new(&[&a, &b]);
+        let sa = hybrid.embed(0, SubnetId(0), &[0; 6]);
+        let sb = hybrid.embed(1, SubnetId(1), &[0; 10]);
+        assert!(!sa.conflicts_with(&sb));
+        assert!(!sb.conflicts_with(&sa));
+    }
+
+    #[test]
+    fn same_member_subnets_can_conflict() {
+        let (a, b) = members();
+        let hybrid = HybridSpace::new(&[&a, &b]);
+        let s1 = hybrid.embed(0, SubnetId(0), &[0; 6]);
+        let s2 = hybrid.embed(0, SubnetId(1), &[0; 6]);
+        assert!(s1.conflicts_with(&s2));
+    }
+
+    #[test]
+    fn hybrid_sampler_round_robins_members() {
+        let (a, b) = members();
+        let hybrid = HybridSpace::new(&[&a, &b]);
+        let mut sampler = HybridSampler::new(&hybrid, 4);
+        for i in 0..10u64 {
+            let s = sampler.next_subnet();
+            assert_eq!(s.seq_id(), SubnetId(i));
+            assert!(s.is_valid_for(hybrid.union()));
+            assert_eq!(
+                hybrid.member_of(&s),
+                Some((i % 2) as usize),
+                "round-robin order"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_sampler_is_deterministic() {
+        let (a, b) = members();
+        let hybrid = HybridSpace::new(&[&a, &b]);
+        let mut s1 = HybridSampler::new(&hybrid, 9);
+        let mut s2 = HybridSampler::new(&hybrid, 9);
+        for _ in 0..12 {
+            assert_eq!(s1.next_subnet(), s2.next_subnet());
+        }
+    }
+
+    #[test]
+    fn slimmable_sampler_varies_depth() {
+        let space = SearchSpace::uniform(Domain::Cv, 12, 4);
+        let mut sampler = SlimmableSampler::new(&space, 4, 0.5, 7);
+        let mut depths = std::collections::BTreeSet::new();
+        for _ in 0..40 {
+            let s = sampler.next_subnet();
+            assert!(s.is_valid_for(&space));
+            let depth = s.layers().count();
+            assert!(depth >= 4, "minimum prefix always active");
+            depths.insert(depth);
+            for b in 0..4 {
+                assert!(!s.skips(b));
+            }
+        }
+        assert!(depths.len() > 3, "depth should vary, got {depths:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must share a domain")]
+    fn mixed_domain_hybrid_panics() {
+        let a = SearchSpace::uniform(Domain::Nlp, 4, 4);
+        let b = SearchSpace::uniform(Domain::Cv, 4, 4);
+        HybridSpace::new(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_depth")]
+    fn zero_min_depth_panics() {
+        let space = SearchSpace::uniform(Domain::Nlp, 4, 4);
+        SlimmableSampler::new(&space, 0, 0.5, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Dense layers with explicit forward and backward passes.
+//!
+//! Autograd is deliberately manual: the training engine must control
+//! exactly when parameters are *read* (forward) and *written* (optimizer
+//! step after backward), because the interleaving of those accesses across
+//! subnets is what CSP/BSP/ASP differ on.
+
+use crate::tensor::Tensor;
+use naspipe_supernet::rng::DetRng;
+
+/// Parameters of one residual dense layer: `y = x + tanh(x W + b)`.
+///
+/// The residual connection keeps gradients flowing through the dozens of
+/// chained choice blocks a supernet stacks (48 for the NLP spaces), like
+/// the skip connections of the real Evolved-Transformer/AmoebaNet cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseParams {
+    /// Weight matrix, `[in, out]`.
+    pub weight: Tensor,
+    /// Bias row, `[1, out]`.
+    pub bias: Tensor,
+}
+
+impl DenseParams {
+    /// Deterministically initialises a `[dim, dim]` layer from `rng`
+    /// with scaled-uniform weights.
+    pub fn init(dim: usize, rng: &mut DetRng) -> Self {
+        let scale = 1.0 / (dim as f32).sqrt();
+        let weight = Tensor::from_vec(
+            (0..dim * dim)
+                .map(|_| (rng.next_f32() * 2.0 - 1.0) * scale)
+                .collect(),
+            &[dim, dim],
+        );
+        let bias = Tensor::zeros(&[1, dim]);
+        Self { weight, bias }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+}
+
+/// Cached activations needed by the backward pass of one dense layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseCache {
+    /// The layer input `x`.
+    pub input: Tensor,
+    /// The pre-residual activation `t = tanh(x W + b)`.
+    pub tanh_out: Tensor,
+}
+
+/// Gradients of one dense layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGrads {
+    /// `dL/dW`, `[in, out]`.
+    pub weight: Tensor,
+    /// `dL/db`, `[1, out]`.
+    pub bias: Tensor,
+}
+
+/// Forward pass: `y = x + scale * tanh(x W + b)`. Returns the output and
+/// the cache for [`dense_backward`].
+///
+/// `scale` damps the residual branch so stacks of dozens of blocks keep
+/// O(1) activations (pick ~`1/sqrt(depth)`); pass `1.0` for the plain
+/// residual layer.
+pub fn dense_forward(params: &DenseParams, input: &Tensor, scale: f32) -> (Tensor, DenseCache) {
+    let tanh_out = input.matmul(&params.weight).add_row(&params.bias).tanh();
+    let output = input.add(&tanh_out.scale(scale));
+    (
+        output,
+        DenseCache {
+            input: input.clone(),
+            tanh_out,
+        },
+    )
+}
+
+/// Backward pass given `dL/dy` (with the same `scale` as the forward).
+/// Returns `(dL/dx, grads)`.
+pub fn dense_backward(
+    params: &DenseParams,
+    cache: &DenseCache,
+    grad_output: &Tensor,
+    scale: f32,
+) -> (Tensor, DenseGrads) {
+    // Through the scaled tanh branch; the residual passes grad_output
+    // through untouched.
+    let dz = Tensor::tanh_backward(&cache.tanh_out, &grad_output.scale(scale));
+    let grad_weight = cache.input.transpose().matmul(&dz);
+    let grad_bias = dz.sum_rows();
+    let grad_input = grad_output.add(&dz.matmul(&params.weight.transpose()));
+    (
+        grad_input,
+        DenseGrads {
+            weight: grad_weight,
+            bias: grad_bias,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DenseParams {
+        let mut rng = DetRng::new(42);
+        DenseParams::init(4, &mut rng)
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let mut r1 = DetRng::new(7);
+        let mut r2 = DetRng::new(7);
+        assert_eq!(DenseParams::init(8, &mut r1), DenseParams::init(8, &mut r2));
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let p = params();
+        let x = Tensor::zeros(&[3, 4]);
+        let (y, cache) = dense_forward(&p, &x, 1.0);
+        assert_eq!(y.shape(), &[3, 4]);
+        assert_eq!(cache.input.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn zero_input_gives_tanh_bias() {
+        // With x = 0 the residual contributes nothing: y = tanh(b).
+        let mut p = params();
+        p.bias = Tensor::from_vec(vec![0.5; 4], &[1, 4]);
+        let x = Tensor::zeros(&[1, 4]);
+        let (y, _) = dense_forward(&p, &x, 1.0);
+        for &v in y.data() {
+            assert!((v - 0.5f32.tanh()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn residual_passes_input_through() {
+        // With zero weights and bias, the layer is the identity.
+        let p = DenseParams {
+            weight: Tensor::zeros(&[4, 4]),
+            bias: Tensor::zeros(&[1, 4]),
+        };
+        let x = Tensor::from_vec(vec![0.1, -0.2, 0.3, -0.4], &[1, 4]);
+        let (y, _) = dense_forward(&p, &x, 1.0);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn gradient_check() {
+        // Finite-difference check of dL/dW for L = mean(y).
+        let p = params();
+        let mut rng = DetRng::new(3);
+        let x = Tensor::from_vec((0..8).map(|_| rng.next_f32()).collect(), &[2, 4]);
+        let (y, cache) = dense_forward(&p, &x, 1.0);
+        // dL/dy for L = sum(y): all ones.
+        let grad_out = Tensor::from_vec(vec![1.0; y.numel()], y.shape());
+        let (_, grads) = dense_backward(&p, &cache, &grad_out, 1.0);
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 10, 15] {
+            let mut p_plus = p.clone();
+            p_plus.weight.data_mut()[idx] += eps;
+            let (y_plus, _) = dense_forward(&p_plus, &x, 1.0);
+            let mut p_minus = p.clone();
+            p_minus.weight.data_mut()[idx] -= eps;
+            let (y_minus, _) = dense_forward(&p_minus, &x, 1.0);
+            let num: f32 = y_plus
+                .data()
+                .iter()
+                .zip(y_minus.data())
+                .map(|(a, b)| a - b)
+                .sum::<f32>()
+                / (2.0 * eps);
+            let ana = grads.weight.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "grad mismatch at {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_input_check() {
+        let p = params();
+        let mut rng = DetRng::new(9);
+        let x = Tensor::from_vec((0..4).map(|_| rng.next_f32()).collect(), &[1, 4]);
+        let (y, cache) = dense_forward(&p, &x, 1.0);
+        let grad_out = Tensor::from_vec(vec![1.0; y.numel()], y.shape());
+        let (grad_in, _) = dense_backward(&p, &cache, &grad_out, 1.0);
+
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let (yp, _) = dense_forward(&p, &xp, 1.0);
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let (ym, _) = dense_forward(&p, &xm, 1.0);
+            let num: f32 =
+                yp.data().iter().zip(ym.data()).map(|(a, b)| a - b).sum::<f32>() / (2.0 * eps);
+            let ana = grad_in.data()[idx];
+            assert!((num - ana).abs() < 1e-2, "dx mismatch at {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn scaled_residual_gradcheck() {
+        // Finite-difference check with a non-unit residual scale.
+        let p = params();
+        let scale = 0.3f32;
+        let mut rng = DetRng::new(5);
+        let x = Tensor::from_vec((0..4).map(|_| rng.next_f32()).collect(), &[1, 4]);
+        let (y, cache) = dense_forward(&p, &x, scale);
+        let grad_out = Tensor::from_vec(vec![1.0; y.numel()], y.shape());
+        let (grad_in, grads) = dense_backward(&p, &cache, &grad_out, scale);
+        let eps = 1e-3f32;
+        for idx in [0usize, 7, 13] {
+            let mut pp = p.clone();
+            pp.weight.data_mut()[idx] += eps;
+            let (yp, _) = dense_forward(&pp, &x, scale);
+            let mut pm = p.clone();
+            pm.weight.data_mut()[idx] -= eps;
+            let (ym, _) = dense_forward(&pm, &x, scale);
+            let num: f32 =
+                yp.data().iter().zip(ym.data()).map(|(a, b)| a - b).sum::<f32>() / (2.0 * eps);
+            assert!((num - grads.weight.data()[idx]).abs() < 1e-2);
+        }
+        for idx in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let (yp, _) = dense_forward(&p, &xp, scale);
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let (ym, _) = dense_forward(&p, &xm, scale);
+            let num: f32 =
+                yp.data().iter().zip(ym.data()).map(|(a, b)| a - b).sum::<f32>() / (2.0 * eps);
+            assert!((num - grad_in.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn numel_counts_weight_and_bias() {
+        assert_eq!(params().numel(), 16 + 4);
+    }
+}

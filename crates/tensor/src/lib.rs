@@ -1,0 +1,41 @@
+//! Deterministic numeric substrate for reproducible supernet training.
+//!
+//! The paper's reproducibility property (Definition 1) is *bitwise*
+//! equality of all layer parameters after training, across repeated runs on
+//! clusters of different sizes. Demonstrating it requires real floating-
+//! point training whose only source of divergence is the read/write
+//! interleaving on shared layers. This crate provides that substrate:
+//!
+//! * [`tensor::Tensor`] — dense f32 tensors whose every operation iterates
+//!   in a fixed order (no data-dependent reassociation), so identical
+//!   operand sequences give bit-identical results on any platform,
+//! * [`layers`] — explicit forward/backward dense layers,
+//! * [`model::NumericSupernet`] + [`model::ParamStore`] — a trainable
+//!   supernet holding one small layer per (block, choice) candidate,
+//! * [`optim::Sgd`] — deterministic SGD,
+//! * [`data::SyntheticDataset`] — seed-reproducible stand-ins for
+//!   WNMT/ImageNet batches,
+//! * [`hash`] — FNV-1a hashing of parameter bit patterns for cheap bitwise
+//!   equality checks.
+//!
+//! # Example
+//!
+//! ```
+//! use naspipe_tensor::tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod data;
+pub mod hash;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod tensor;
+
+pub use model::{NumericSupernet, ParamStore};
+pub use tensor::Tensor;

@@ -1,0 +1,516 @@
+//! A trainable numeric supernet.
+//!
+//! [`ParamStore`] holds one [`DenseParams`] per `(block, choice)` candidate
+//! — the shared weights that subnets read and write. [`NumericSupernet`]
+//! runs a subnet's forward/backward against a given store. The training
+//! engine (in `naspipe-core`) decides *which* store state each access sees,
+//! which is exactly where CSP, BSP and ASP semantics diverge.
+
+use crate::layers::{
+    dense_backward, dense_forward, DenseCache, DenseGrads, DenseParams,
+};
+use crate::loss::mse;
+use crate::optim::{MomentumSgd, Sgd};
+use crate::tensor::Tensor;
+use naspipe_supernet::layer::LayerRef;
+use naspipe_supernet::rng::DetRng;
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::Subnet;
+
+/// The supernet's shared parameters: one dense layer per candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamStore {
+    dim: usize,
+    // params[block][choice]
+    params: Vec<Vec<DenseParams>>,
+}
+
+impl ParamStore {
+    /// Initialises all candidate layers of `space` at width `dim`,
+    /// deterministically from `seed`.
+    ///
+    /// Each layer's weights depend only on `(seed, block, choice)`, never
+    /// on iteration order, so any two stores created with the same
+    /// arguments are bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn init(space: &SearchSpace, dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        let root = DetRng::new(seed);
+        let params = space
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(b, block)| {
+                (0..block.num_choices())
+                    .map(|c| {
+                        let mut rng = root.split(((b as u64) << 32) | u64::from(c));
+                        DenseParams::init(dim, &mut rng)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { dim, params }
+    }
+
+    /// Layer width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of blocks covered.
+    pub fn num_blocks(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameters of one candidate layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer(&self, layer: LayerRef) -> &DenseParams {
+        &self.params[layer.block as usize][layer.choice as usize]
+    }
+
+    /// Mutable access to one candidate layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_mut(&mut self, layer: LayerRef) -> &mut DenseParams {
+        &mut self.params[layer.block as usize][layer.choice as usize]
+    }
+
+    /// Bitwise FNV-1a fingerprint of every parameter in block/choice
+    /// order — equal iff the whole store is bitwise equal.
+    pub fn bitwise_hash(&self) -> u64 {
+        self.bitwise_hash_blocks(0..self.params.len())
+    }
+
+    /// Bitwise fingerprint restricted to `blocks` — for comparing one
+    /// member space's slice of a hybrid union supernet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is out of range.
+    pub fn bitwise_hash_blocks(&self, blocks: std::ops::Range<usize>) -> u64 {
+        let mut h = crate::hash::BitHasher::new();
+        for block in &self.params[blocks] {
+            for p in block {
+                h.write_tensor(&p.weight);
+                h.write_tensor(&p.bias);
+            }
+        }
+        h.finish()
+    }
+
+    /// Total scalar parameter count.
+    pub fn numel(&self) -> usize {
+        self.params
+            .iter()
+            .map(|b| b.iter().map(DenseParams::numel).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Per-layer state captured by a subnet's forward pass, consumed by its
+/// backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardCtx {
+    layers: Vec<(LayerRef, DenseCache)>,
+    output: Tensor,
+}
+
+impl ForwardCtx {
+    /// Assembles a context from per-layer caches and the slice output —
+    /// for runtimes that execute layers outside [`NumericSupernet`] (e.g.
+    /// stage workers owning raw parameter slices).
+    pub fn from_parts(layers: Vec<(LayerRef, DenseCache)>, output: Tensor) -> Self {
+        Self { layers, output }
+    }
+
+    /// The subnet's output activations.
+    pub fn output(&self) -> &Tensor {
+        &self.output
+    }
+
+    /// The per-layer caches in block order.
+    pub fn layers(&self) -> &[(LayerRef, DenseCache)] {
+        &self.layers
+    }
+}
+
+/// Gradients for each activated layer of a subnet, in block order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubnetGrads {
+    grads: Vec<(LayerRef, DenseGrads)>,
+}
+
+impl SubnetGrads {
+    /// `(layer, gradient)` pairs in block order.
+    pub fn iter(&self) -> impl Iterator<Item = &(LayerRef, DenseGrads)> {
+        self.grads.iter()
+    }
+}
+
+/// The optimizer a [`NumericSupernet`] updates parameters with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Optimizer {
+    /// Plain SGD.
+    Sgd(Sgd),
+    /// SGD with momentum and decoupled weight decay (per-layer state).
+    Momentum(MomentumSgd),
+}
+
+impl Optimizer {
+    /// Applies one update to `layer`'s parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gradient shapes mismatch the parameters.
+    pub fn step(&mut self, layer: LayerRef, params: &mut DenseParams, grads: &DenseGrads) {
+        match self {
+            Optimizer::Sgd(o) => o.step(params, grads),
+            Optimizer::Momentum(o) => o.step(layer, params, grads),
+        }
+    }
+}
+
+/// Runs subnets against a [`ParamStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericSupernet {
+    optimizer: Optimizer,
+    residual_scale: f32,
+}
+
+impl NumericSupernet {
+    /// Creates an engine updating parameters with learning rate `lr` and
+    /// an unscaled residual branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            optimizer: Optimizer::Sgd(Sgd::new(lr)),
+            residual_scale: 1.0,
+        }
+    }
+
+    /// Switches to SGD with momentum `mu` and weight decay `wd`
+    /// (per-layer velocity state; still bitwise deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficients are out of range (see
+    /// [`MomentumSgd::new`]).
+    pub fn with_momentum(mut self, lr: f32, mu: f32, wd: f32) -> Self {
+        self.optimizer = Optimizer::Momentum(MomentumSgd::new(lr, mu, wd));
+        self
+    }
+
+    /// Sets the residual branch scale (`~1/sqrt(depth)` keeps deep stacks
+    /// well conditioned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn with_residual_scale(mut self, scale: f32) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        self.residual_scale = scale;
+        self
+    }
+
+    /// The residual branch scale in effect.
+    pub fn residual_scale(&self) -> f32 {
+        self.residual_scale
+    }
+
+    /// Applies one optimizer update to a single layer — exposed so
+    /// decentralised runtimes owning raw parameter slices update them
+    /// with identical arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gradient shapes mismatch the parameters.
+    pub fn step_layer(
+        &mut self,
+        layer: LayerRef,
+        params: &mut DenseParams,
+        grads: &DenseGrads,
+    ) {
+        self.optimizer.step(layer, params, grads);
+    }
+
+    /// Forward pass of `subnet` on `input`, reading weights from `store`.
+    ///
+    /// Which store snapshot is passed here determines the READ side of the
+    /// causal dependency semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subnet or input do not match the store.
+    pub fn forward(&self, store: &ParamStore, subnet: &Subnet, input: &Tensor) -> ForwardCtx {
+        self.forward_slice(store, subnet, 0..subnet.num_layers(), input)
+    }
+
+    /// Forward pass restricted to `blocks` — one pipeline *stage* of the
+    /// subnet. An empty range passes `input` through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` exceeds the subnet or shapes mismatch.
+    pub fn forward_slice(
+        &self,
+        store: &ParamStore,
+        subnet: &Subnet,
+        blocks: std::ops::Range<usize>,
+        input: &Tensor,
+    ) -> ForwardCtx {
+        assert!(
+            blocks.end <= subnet.num_layers(),
+            "block range {blocks:?} exceeds subnet of {} layers",
+            subnet.num_layers()
+        );
+        let mut x = input.clone();
+        let mut layers = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            if subnet.skips(b) {
+                continue; // stateless pass-through block
+            }
+            let layer = subnet.layer(b);
+            let (y, cache) = dense_forward(store.layer(layer), &x, self.residual_scale);
+            x = y;
+            layers.push((layer, cache));
+        }
+        ForwardCtx { layers, output: x }
+    }
+
+    /// Backward pass of one forward slice given `dL/d(output)`. Returns
+    /// the gradient with respect to the slice input plus the per-layer
+    /// parameter gradients. Reads weights from `store`, writes nothing.
+    pub fn backward_slice(
+        &self,
+        store: &ParamStore,
+        ctx: &ForwardCtx,
+        grad_output: &Tensor,
+    ) -> (Tensor, SubnetGrads) {
+        let mut grad = grad_output.clone();
+        let mut grads = Vec::with_capacity(ctx.layers.len());
+        for (layer, cache) in ctx.layers.iter().rev() {
+            let (grad_in, g) =
+                dense_backward(store.layer(*layer), cache, &grad, self.residual_scale);
+            grad = grad_in;
+            grads.push((*layer, g));
+        }
+        grads.reverse();
+        (grad, SubnetGrads { grads })
+    }
+
+    /// Backward pass: computes the MSE loss against `target` and the
+    /// gradients of every activated layer. Reads weights from `store`
+    /// (they are needed to propagate gradients), writes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target`'s shape differs from the forward output.
+    pub fn backward(
+        &self,
+        store: &ParamStore,
+        ctx: &ForwardCtx,
+        target: &Tensor,
+    ) -> (f32, SubnetGrads) {
+        let (loss, grad) = mse(&ctx.output, target);
+        let (_, grads) = self.backward_slice(store, ctx, &grad);
+        (loss, grads)
+    }
+
+    /// Applies `grads` to `store` — the WRITE side of a subnet's
+    /// backward pass. Layers update in block order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gradient shape mismatches its layer.
+    pub fn apply(&mut self, store: &mut ParamStore, grads: &SubnetGrads) {
+        for (layer, g) in &grads.grads {
+            self.optimizer.step(*layer, store.layer_mut(*layer), g);
+        }
+    }
+
+    /// Convenience: full sequential step (forward, backward, apply) of
+    /// one subnet on one batch; returns the loss. This is the
+    /// *reference semantics* all parallel schedules must be equivalent to.
+    pub fn train_step(
+        &mut self,
+        store: &mut ParamStore,
+        subnet: &Subnet,
+        input: &Tensor,
+        target: &Tensor,
+    ) -> f32 {
+        let ctx = self.forward(store, subnet, input);
+        let (loss, grads) = self.backward(store, &ctx, target);
+        self.apply(store, &grads);
+        loss
+    }
+
+    /// Evaluates `subnet` on one batch without updating weights; returns
+    /// the loss.
+    pub fn evaluate(
+        &self,
+        store: &ParamStore,
+        subnet: &Subnet,
+        input: &Tensor,
+        target: &Tensor,
+    ) -> f32 {
+        let ctx = self.forward(store, subnet, input);
+        mse(&ctx.output, target).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDataset;
+    use naspipe_supernet::layer::Domain;
+    use naspipe_supernet::subnet::SubnetId;
+
+    fn setup() -> (SearchSpace, ParamStore, NumericSupernet, SyntheticDataset) {
+        let space = SearchSpace::uniform(Domain::Nlp, 4, 3);
+        let store = ParamStore::init(&space, 8, 42);
+        let engine = NumericSupernet::new(0.05);
+        let data = SyntheticDataset::new(7, 4, 8);
+        (space, store, engine, data)
+    }
+
+    #[test]
+    fn init_is_bitwise_deterministic() {
+        let space = SearchSpace::uniform(Domain::Nlp, 4, 3);
+        let a = ParamStore::init(&space, 8, 1);
+        let b = ParamStore::init(&space, 8, 1);
+        assert_eq!(a.bitwise_hash(), b.bitwise_hash());
+        let c = ParamStore::init(&space, 8, 2);
+        assert_ne!(a.bitwise_hash(), c.bitwise_hash());
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (_space, mut store, mut engine, data) = setup();
+        let subnet = Subnet::new(SubnetId(0), vec![0, 1, 2, 0]);
+        let (x0, y0) = data.step_batch(0);
+        let first = engine.train_step(&mut store, &subnet, &x0, &y0);
+        let mut last = first;
+        for step in 1..200 {
+            let (x, y) = data.step_batch(step);
+            last = engine.train_step(&mut store, &subnet, &x, &y);
+        }
+        assert!(last < first * 0.8, "loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn train_step_is_bitwise_reproducible() {
+        let (_space, store, mut engine, data) = setup();
+        let mut s1 = store.clone();
+        let mut s2 = store;
+        let subnet = Subnet::new(SubnetId(0), vec![0, 0, 0, 0]);
+        for step in 0..20 {
+            let (x, y) = data.step_batch(step);
+            engine.train_step(&mut s1, &subnet, &x, &y);
+            engine.train_step(&mut s2, &subnet, &x, &y);
+        }
+        assert_eq!(s1.bitwise_hash(), s2.bitwise_hash());
+    }
+
+    #[test]
+    fn only_activated_layers_change() {
+        let (_space, mut store, mut engine, data) = setup();
+        let before = store.clone();
+        let subnet = Subnet::new(SubnetId(0), vec![1, 1, 1, 1]);
+        let (x, y) = data.step_batch(0);
+        engine.train_step(&mut store, &subnet, &x, &y);
+        for b in 0..4u32 {
+            for c in 0..3u32 {
+                let l = LayerRef::new(b, c);
+                if c == 1 {
+                    assert_ne!(store.layer(l), before.layer(l), "activated layer unchanged");
+                } else {
+                    assert_eq!(store.layer(l), before.layer(l), "inactive layer changed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_does_not_mutate() {
+        let (_space, store, mut engine, data) = setup();
+        let hash_before = store.bitwise_hash();
+        let subnet = Subnet::new(SubnetId(0), vec![0, 1, 0, 1]);
+        let (x, y) = data.step_batch(0);
+        let loss = engine.evaluate(&store, &subnet, &x, &y);
+        assert!(loss > 0.0);
+        assert_eq!(store.bitwise_hash(), hash_before);
+    }
+
+    #[test]
+    fn split_phases_equal_train_step() {
+        // forward+backward+apply == train_step bitwise.
+        let (_space, store, mut engine, data) = setup();
+        let mut s1 = store.clone();
+        let mut s2 = store;
+        let subnet = Subnet::new(SubnetId(0), vec![2, 0, 1, 2]);
+        let (x, y) = data.step_batch(3);
+        let l1 = engine.train_step(&mut s1, &subnet, &x, &y);
+        let ctx = engine.forward(&s2, &subnet, &x);
+        let (l2, grads) = engine.backward(&s2, &ctx, &y);
+        engine.apply(&mut s2, &grads);
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(s1.bitwise_hash(), s2.bitwise_hash());
+    }
+
+    #[test]
+    fn sliced_execution_equals_whole_subnet() {
+        // Forward/backward in two pipeline stages must equal the
+        // unsliced pass bitwise.
+        let (_space, store, mut engine, data) = setup();
+        let subnet = Subnet::new(SubnetId(0), vec![0, 2, 1, 0]);
+        let (x, y) = data.step_batch(5);
+
+        let mut whole = store.clone();
+        let l_whole = engine.train_step(&mut whole, &subnet, &x, &y);
+
+        let mut split = store;
+        let ctx0 = engine.forward_slice(&split, &subnet, 0..2, &x);
+        let ctx1 = engine.forward_slice(&split, &subnet, 2..4, ctx0.output());
+        let (l_split, grad) = crate::loss::mse(ctx1.output(), &y);
+        let (grad_mid, g1) = engine.backward_slice(&split, &ctx1, &grad);
+        engine.apply(&mut split, &g1);
+        let (_, g0) = engine.backward_slice(&split, &ctx0, &grad_mid);
+        engine.apply(&mut split, &g0);
+
+        assert_eq!(l_whole.to_bits(), l_split.to_bits());
+        assert_eq!(whole.bitwise_hash(), split.bitwise_hash());
+    }
+
+    #[test]
+    fn empty_slice_passes_through() {
+        let (_space, store, mut engine, data) = setup();
+        let subnet = Subnet::new(SubnetId(0), vec![0, 0, 0, 0]);
+        let (x, _) = data.step_batch(0);
+        let ctx = engine.forward_slice(&store, &subnet, 2..2, &x);
+        assert_eq!(ctx.output(), &x);
+        let grad = Tensor::from_vec(vec![1.0; x.numel()], x.shape());
+        let (grad_in, grads) = engine.backward_slice(&store, &ctx, &grad);
+        assert_eq!(grad_in, grad);
+        assert_eq!(grads.iter().count(), 0);
+    }
+
+    #[test]
+    fn store_accessors() {
+        let (space, store, _, _) = setup();
+        assert_eq!(store.num_blocks(), space.num_blocks());
+        assert_eq!(store.dim(), 8);
+        // 4 blocks x 3 choices x (8*8 + 8) params.
+        assert_eq!(store.numel(), 4 * 3 * 72);
+    }
+}

@@ -1,0 +1,375 @@
+//! Dense f32 tensors with deterministic operations.
+//!
+//! Every reduction iterates in a single fixed order, so results are
+//! bit-reproducible across runs and platforms (IEEE-754 f32 arithmetic is
+//! deterministic when the operation order is fixed — the property the
+//! paper's "intra-subnet reproducibility" relies on deterministic CUDA
+//! libraries for).
+
+use std::fmt;
+
+/// A dense row-major f32 tensor of rank 1 or 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat `data` vector with the given `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates the `n` x `n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of rows of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() requires a matrix");
+        self.shape[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() requires a matrix");
+        self.shape[1]
+    }
+
+    /// Flat element view.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat element view.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(row, col)` of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range or the tensor is not rank 2.
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at() requires a matrix");
+        assert!(row < self.shape[0] && col < self.shape[1], "index out of range");
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Matrix product `self x rhs` with fixed i-k-j loop order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not `[m, k]` x `[k, n]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be a matrix");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be a matrix");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &rhs.data[kk * n..(kk + 1) * n];
+                let dst = &mut out.data[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a matrix");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "add shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape, rhs.shape, "hadamard shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// Adds a row vector `bias` (shape `[1, n]` or `[n]`) to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths do not match.
+    pub fn add_row(&self, bias: &Tensor) -> Tensor {
+        let n = *self.shape.last().expect("non-scalar");
+        assert_eq!(bias.numel(), n, "bias width mismatch");
+        let mut out = self.clone();
+        for row in out.data.chunks_mut(n) {
+            for (d, &b) in row.iter_mut().zip(&bias.data) {
+                *d += b;
+            }
+        }
+        out
+    }
+
+    /// Sums over rows, producing a `[1, n]` tensor (fixed top-to-bottom
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "sum_rows requires a matrix");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[1, n]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j] += self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise `tanh`.
+    pub fn tanh(&self) -> Tensor {
+        let data = self.data.iter().map(|a| a.tanh()).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// Derivative of `tanh` given the *activation output* `y`: `1 - y^2`.
+    pub fn tanh_backward(y: &Tensor, grad: &Tensor) -> Tensor {
+        assert_eq!(y.shape, grad.shape, "tanh_backward shape mismatch");
+        let data = y
+            .data
+            .iter()
+            .zip(&grad.data)
+            .map(|(y, g)| (1.0 - y * y) * g)
+            .collect();
+        Tensor::from_vec(data, &y.shape)
+    }
+
+    /// Mean of all elements (fixed left-to-right accumulation).
+    pub fn mean(&self) -> f32 {
+        let mut acc = 0.0f32;
+        for &x in &self.data {
+            acc += x;
+        }
+        acc / self.data.len() as f32
+    }
+
+    /// Sum of squared elements (fixed order).
+    pub fn sum_sq(&self) -> f32 {
+        let mut acc = 0.0f32;
+        for &x in &self.data {
+            acc += x * x;
+        }
+        acc
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.sum_sq().sqrt()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_is_bitwise_repeatable() {
+        let a = Tensor::from_vec((0..64).map(|i| (i as f32).sin()).collect(), &[8, 8]);
+        let b = Tensor::from_vec((0..64).map(|i| (i as f32).cos()).collect(), &[8, 8]);
+        let c1 = a.matmul(&b);
+        let c2 = a.matmul(&b);
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), &[3, 2]);
+        assert_eq!(a.transpose().at(0, 1), 4.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[1, 2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.hadamard(&b).data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn add_row_broadcasts() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[1, 2]);
+        assert_eq!(x.add_row(&b).data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn sum_rows_reduces() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(x.sum_rows().data(), &[4.0, 6.0]);
+        assert_eq!(x.sum_rows().shape(), &[1, 2]);
+    }
+
+    #[test]
+    fn tanh_and_backward() {
+        let x = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let y = x.tanh();
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 0.7615942).abs() < 1e-6);
+        let g = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let dx = Tensor::tanh_backward(&y, &g);
+        assert_eq!(dx.data()[0], 1.0); // 1 - tanh(0)^2
+    }
+
+    #[test]
+    fn reductions() {
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]);
+        assert_eq!(x.mean(), 3.5);
+        assert_eq!(x.sum_sq(), 25.0);
+        assert_eq!(x.norm(), 5.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let x = Tensor::zeros(&[3, 4]);
+        assert_eq!(x.rows(), 3);
+        assert_eq!(x.cols(), 4);
+        assert_eq!(x.numel(), 12);
+        assert_eq!(x.to_string(), "Tensor[3, 4]");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_shape_panics() {
+        Tensor::from_vec(vec![1.0], &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn bad_matmul_panics() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+}

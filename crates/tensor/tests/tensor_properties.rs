@@ -1,0 +1,123 @@
+//! Property tests of the numeric substrate's determinism and calculus.
+
+use naspipe_supernet::layer::Domain;
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::{Subnet, SubnetId};
+use naspipe_tensor::data::SyntheticDataset;
+use naspipe_tensor::hash::hash_tensors;
+use naspipe_tensor::layers::{dense_backward, dense_forward, DenseParams};
+use naspipe_tensor::model::{NumericSupernet, ParamStore};
+use naspipe_tensor::tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, 9).prop_map(|v| Tensor::from_vec(v, &[3, 3]))
+}
+
+proptest! {
+    /// Matmul distributes over addition up to float tolerance, and is
+    /// bitwise repeatable.
+    #[test]
+    fn matmul_distributes(a in small_matrix(), b in small_matrix(), c in small_matrix()) {
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+        let again = a.add(&b).matmul(&c);
+        for (x, y) in lhs.data().iter().zip(again.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The analytic gradient matches finite differences for random
+    /// parameters, inputs, and residual scales.
+    #[test]
+    fn gradients_match_finite_differences(
+        seed in 0u64..1_000,
+        scale in 0.1f32..1.0,
+        idx in 0usize..16,
+    ) {
+        let mut rng = naspipe_supernet::rng::DetRng::new(seed);
+        let p = DenseParams::init(4, &mut rng);
+        let x = Tensor::from_vec((0..4).map(|_| rng.next_f32() - 0.5).collect(), &[1, 4]);
+        let (y, cache) = dense_forward(&p, &x, scale);
+        let grad_out = Tensor::from_vec(vec![1.0; y.numel()], y.shape());
+        let (_, grads) = dense_backward(&p, &cache, &grad_out, scale);
+        let eps = 1e-3f32;
+        let mut pp = p.clone();
+        pp.weight.data_mut()[idx] += eps;
+        let (yp, _) = dense_forward(&pp, &x, scale);
+        let mut pm = p.clone();
+        pm.weight.data_mut()[idx] -= eps;
+        let (ym, _) = dense_forward(&pm, &x, scale);
+        let numeric: f32 =
+            yp.data().iter().zip(ym.data()).map(|(a, b)| a - b).sum::<f32>() / (2.0 * eps);
+        prop_assert!(
+            (numeric - grads.weight.data()[idx]).abs() < 2e-2,
+            "numeric {numeric} vs analytic {}",
+            grads.weight.data()[idx]
+        );
+    }
+
+    /// Training any subnet stream twice gives bitwise-identical stores
+    /// (determinism of the full numeric stack), and touches only the
+    /// activated layers.
+    #[test]
+    fn train_steps_are_deterministic_and_local(
+        choices in proptest::collection::vec(proptest::collection::vec(0u32..3, 5), 1..10),
+        seed in 0u64..100,
+    ) {
+        let space = SearchSpace::uniform(Domain::Nlp, 5, 3);
+        let data = SyntheticDataset::new(seed, 2, 4);
+        let run = || {
+            let mut store = ParamStore::init(&space, 4, seed);
+            let mut engine = NumericSupernet::new(0.05).with_residual_scale(0.4);
+            for (i, c) in choices.iter().enumerate() {
+                let s = Subnet::new(SubnetId(i as u64), c.clone());
+                let (x, y) = data.step_batch(i as u64);
+                engine.train_step(&mut store, &s, &x, &y);
+            }
+            store
+        };
+        let s1 = run();
+        let s2 = run();
+        prop_assert_eq!(s1.bitwise_hash(), s2.bitwise_hash());
+        // Untouched layers stay at init.
+        let init = ParamStore::init(&space, 4, seed);
+        for b in 0..5u32 {
+            for c in 0..3u32 {
+                let l = naspipe_supernet::layer::LayerRef::new(b, c);
+                let used = choices.iter().any(|row| row[b as usize] == c);
+                if !used {
+                    prop_assert_eq!(s1.layer(l), init.layer(l), "untouched layer changed");
+                }
+            }
+        }
+    }
+
+    /// The bitwise hash separates stores that differ in any single ULP.
+    #[test]
+    fn hash_is_ulp_sensitive(values in proptest::collection::vec(-10.0f32..10.0, 1..32), idx in 0usize..32) {
+        prop_assume!(idx < values.len());
+        let t = Tensor::from_vec(values.clone(), &[values.len()]);
+        let mut bumped = values;
+        let bits = bumped[idx].to_bits();
+        bumped[idx] = f32::from_bits(bits ^ 1);
+        let tb = Tensor::from_vec(bumped, &[t.numel()]);
+        prop_assert_ne!(hash_tensors([&t]), hash_tensors([&tb]));
+    }
+
+    /// Synthetic data is a pure function of (seed, step): any access
+    /// pattern yields the same batches.
+    #[test]
+    fn dataset_is_pure(seed in 0u64..1_000, mut steps in proptest::collection::vec(0u64..50, 1..20)) {
+        let d = SyntheticDataset::new(seed, 2, 4);
+        let first: Vec<Tensor> = steps.iter().map(|&s| d.step_batch(s).0).collect();
+        steps.reverse();
+        let second: Vec<Tensor> = steps.iter().map(|&s| d.step_batch(s).0).collect();
+        for (a, b) in first.iter().zip(second.iter().rev()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The `naspipe` command-line tool: train, replay, and search supernets
+//! from the shell.
+//!
+//! ```text
+//! naspipe spaces
+//! naspipe train  --space NLP.c2 --gpus 8 --subnets 120 [--system gpipe]
+//!                [--seed 7] [--batch 64] [--transcript run.nt]
+//! naspipe replay --space NLP.c2 --transcript run.nt [--seed 7]
+//! naspipe search --space CV.c2 --gpus 8 --subnets 120 --rounds 96 [--seed 7]
+//! ```
+
+use naspipe::baselines::SystemKind;
+use naspipe::core::pipeline::run_pipeline_with_subnets;
+use naspipe::core::train::{replay_training, search_best_subnet, TrainConfig};
+use naspipe::core::transcript::{replay_transcript, Transcript};
+use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe::supernet::space::{SearchSpace, SpaceId};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+/// Parsed `--key value` options plus the subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Args {
+    command: String,
+    options: BTreeMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let command = argv.first().cloned().ok_or("missing subcommand")?;
+    let mut options = BTreeMap::new();
+    let mut i = 1;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got '{}'", argv[i]))?;
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        options.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(Args {
+        command,
+        options,
+    })
+}
+
+impl Args {
+    fn space(&self) -> Result<SearchSpace, String> {
+        let name = self.options.get("space").ok_or("--space is required")?;
+        SpaceId::ALL
+            .into_iter()
+            .find(|id| id.to_string() == *name)
+            .map(SearchSpace::from_id)
+            .ok_or_else(|| format!("unknown space '{name}' (try `naspipe spaces`)"))
+    }
+
+    fn u64_opt(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer")),
+        }
+    }
+
+    fn system(&self) -> Result<SystemKind, String> {
+        match self.options.get("system").map(String::as_str) {
+            None | Some("naspipe") => Ok(SystemKind::NasPipe),
+            Some("gpipe") => Ok(SystemKind::GPipe),
+            Some("pipedream") => Ok(SystemKind::PipeDream),
+            Some("vpipe") => Ok(SystemKind::VPipe),
+            Some(other) => Err(format!(
+                "unknown system '{other}' (naspipe|gpipe|pipedream|vpipe)"
+            )),
+        }
+    }
+}
+
+fn train_config(seed: u64) -> TrainConfig {
+    TrainConfig {
+        seed,
+        residual_scale: 0.15,
+        ..TrainConfig::default()
+    }
+}
+
+fn cmd_spaces() {
+    println!("space    blocks  choices  dataset   supernet params");
+    for id in SpaceId::ALL {
+        let space = SearchSpace::from_id(id);
+        let (blocks, choices) = id.shape();
+        println!(
+            "{:<8} {:<7} {:<8} {:<9} {:.1}B",
+            id.to_string(),
+            blocks,
+            choices,
+            id.dataset(),
+            space.supernet_param_bytes() as f64 / 4e9,
+        );
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let space = args.space()?;
+    let gpus = args.u64_opt("gpus", 8)? as u32;
+    let n = args.u64_opt("subnets", 64)?;
+    let seed = args.u64_opt("seed", 0)?;
+    let batch = args.u64_opt("batch", 0)? as u32;
+    let system = args.system()?;
+
+    let subnets = UniformSampler::new(&space, seed).take_subnets(n as usize);
+    let mut cfg = system.config(gpus, n).with_seed(seed);
+    cfg.batch = batch;
+    let outcome =
+        run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
+    let r = &outcome.report;
+    println!(
+        "{system} on {} x {gpus} GPUs: {} subnets, batch {}",
+        args.options["space"], r.subnets_completed, r.batch
+    );
+    println!(
+        "  throughput {:.0} samples/s ({:.0} subnets/h), bubble {:.2}, ALU {:.2}x",
+        r.throughput_samples_per_sec(),
+        r.subnets_per_hour(),
+        r.bubble_ratio,
+        r.total_alu,
+    );
+    if let Some(hit) = r.cache_hit_rate {
+        println!("  cache hit {:.1}%, CPU memory {:.1} GiB", hit * 100.0, r.cpu_mem_gib);
+    }
+
+    let trained = replay_training(&space, &outcome, &train_config(seed));
+    println!(
+        "  trained: converged loss {:.4}, parameter hash {:016x}",
+        trained.converged_loss(),
+        trained.final_hash,
+    );
+
+    if let Some(path) = args.options.get("transcript") {
+        let t = Transcript::from_outcome(&outcome);
+        let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        t.write(&mut file).map_err(|e| e.to_string())?;
+        println!("  transcript written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let space = args.space()?;
+    let seed = args.u64_opt("seed", 0)?;
+    let path = args
+        .options
+        .get("transcript")
+        .ok_or("--transcript is required")?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let t = Transcript::read(&mut BufReader::new(file)).map_err(|e| e.to_string())?;
+    println!("replaying {} tasks over {} subnets...", t.tasks.len(), t.subnets.len());
+    let result = replay_transcript(&space, &t, &train_config(seed));
+    println!(
+        "converged loss {:.4}, parameter hash {:016x}",
+        result.converged_loss(),
+        result.final_hash,
+    );
+    println!("top-5 subnets by training loss:");
+    for (step, loss) in result.quality_ranking().into_iter().take(5) {
+        println!("  SN{step}: {loss:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let space = args.space()?;
+    let gpus = args.u64_opt("gpus", 8)? as u32;
+    let n = args.u64_opt("subnets", 64)?;
+    let seed = args.u64_opt("seed", 0)?;
+    let rounds = args.u64_opt("rounds", 64)? as usize;
+
+    let subnets = UniformSampler::new(&space, seed).take_subnets(n as usize);
+    let cfg = naspipe::core::config::PipelineConfig::naspipe(gpus, n).with_seed(seed);
+    let outcome =
+        run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
+    let tc = train_config(seed);
+    let trained = replay_training(&space, &outcome, &tc);
+    let (loss, best) = search_best_subnet(&space, &trained.store, &tc, rounds);
+    println!(
+        "trained {n} subnets, searched {rounds} rounds: best {} with validation loss {loss:.4}",
+        best.seq_id(),
+    );
+    let head: Vec<u32> = best.choices().iter().take(12).copied().collect();
+    println!("winning choices (first 12 blocks): {head:?}");
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: naspipe <spaces|train|replay|search> [--option value ..]\n\
+     \n\
+     naspipe spaces\n\
+     naspipe train  --space NLP.c2 [--gpus 8] [--subnets 64] [--seed 0]\n\
+     \x20              [--batch 0] [--system naspipe|gpipe|pipedream|vpipe]\n\
+     \x20              [--transcript FILE]\n\
+     naspipe replay --space NLP.c2 --transcript FILE [--seed 0]\n\
+     naspipe search --space CV.c2 [--gpus 8] [--subnets 64] [--rounds 64]"
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "spaces" => {
+            cmd_spaces();
+            Ok(())
+        }
+        "train" => cmd_train(&args),
+        "replay" => cmd_replay(&args),
+        "search" => cmd_search(&args),
+        other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse_args(&argv("train --space NLP.c2 --gpus 4")).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.options["space"], "NLP.c2");
+        assert_eq!(a.u64_opt("gpus", 8).unwrap(), 4);
+        assert_eq!(a.u64_opt("subnets", 64).unwrap(), 64);
+    }
+
+    #[test]
+    fn rejects_malformed_options() {
+        assert!(parse_args(&argv("train space NLP.c2")).is_err());
+        assert!(parse_args(&argv("train --space")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn resolves_spaces_and_systems() {
+        let a = parse_args(&argv("train --space CV.c3 --system vpipe")).unwrap();
+        assert_eq!(a.space().unwrap().num_blocks(), 32);
+        assert_eq!(a.system().unwrap(), SystemKind::VPipe);
+        let bad = parse_args(&argv("train --space Nope")).unwrap();
+        assert!(bad.space().is_err());
+        let bad_sys = parse_args(&argv("train --space CV.c3 --system zz")).unwrap();
+        assert!(bad_sys.system().is_err());
+    }
+}

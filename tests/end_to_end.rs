@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: the full NASPipe workflow from search
+//! space to trained, searched, bitwise-reproducible supernet.
+
+use naspipe::baselines::SystemKind;
+use naspipe::core::config::{PipelineConfig, SyncPolicy};
+use naspipe::core::pipeline::{run_pipeline_with_subnets, PipelineError};
+use naspipe::core::repro::verify_csp_order;
+use naspipe::core::runtime::run_threaded;
+use naspipe::core::train::{
+    replay_training, search_best_subnet, sequential_training, TrainConfig,
+};
+use naspipe::supernet::layer::Domain;
+use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe::supernet::space::{SearchSpace, SpaceId};
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        seed: 77,
+        residual_scale: 0.2,
+        ..TrainConfig::default()
+    }
+}
+
+/// The artifact's Experiment 1: training outputs in full floating-point
+/// precision match between the 1-GPU and 4-GPU settings, step by step.
+#[test]
+fn artifact_experiment_1_single_vs_four_gpus() {
+    let space = SearchSpace::uniform(Domain::Nlp, 24, 8);
+    let subnets = UniformSampler::new(&space, 77).take_subnets(60);
+    let cfg = train_cfg();
+    let single = {
+        let pc = PipelineConfig::naspipe(1, 60).with_batch(16).with_seed(77);
+        let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
+        replay_training(&space, &out, &cfg)
+    };
+    let four = {
+        let pc = PipelineConfig::naspipe(4, 60).with_batch(16).with_seed(77);
+        let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
+        replay_training(&space, &out, &cfg)
+    };
+    assert_eq!(single.losses.len(), four.losses.len());
+    for (a, b) in single.losses.iter().zip(&four.losses) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "step {} loss differs", a.0);
+    }
+    assert_eq!(single.final_hash, four.final_hash);
+}
+
+/// The artifact's Experiment 2: training throughput orders by search-space
+/// size, T(NLP.c0) > T(NLP.c1) > T(NLP.c2) > T(NLP.c3), because larger
+/// spaces have fewer causal dependencies between chronologically close
+/// subnets.
+#[test]
+fn artifact_experiment_2_throughput_ordering() {
+    let mut throughputs = Vec::new();
+    for id in [SpaceId::NlpC0, SpaceId::NlpC1, SpaceId::NlpC2, SpaceId::NlpC3] {
+        let space = SearchSpace::from_id(id);
+        let subnets = UniformSampler::new(&space, 1).take_subnets(64);
+        let cfg = PipelineConfig::naspipe(4, 64).with_seed(1);
+        let out = run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
+        throughputs.push((id, out.report.throughput_samples_per_sec()));
+    }
+    for pair in throughputs.windows(2) {
+        assert!(
+            pair[0].1 > pair[1].1,
+            "throughput must fall with space size: {pair:?}"
+        );
+    }
+}
+
+/// End-to-end NAS: pipeline-train, replay, search — twice — and get the
+/// identical searched architecture.
+#[test]
+fn search_after_training_is_deterministic() {
+    let space = SearchSpace::uniform(Domain::Cv, 16, 6);
+    let subnets = UniformSampler::new(&space, 5).take_subnets(50);
+    let cfg = train_cfg();
+    let run = |gpus: u32| {
+        let pc = PipelineConfig::naspipe(gpus, 50).with_batch(16).with_seed(5);
+        let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
+        let trained = replay_training(&space, &out, &cfg);
+        search_best_subnet(&space, &trained.store, &cfg, 40)
+    };
+    let (loss_a, best_a) = run(2);
+    let (loss_b, best_b) = run(8);
+    assert_eq!(best_a, best_b, "different GPU counts found different architectures");
+    assert_eq!(loss_a, loss_b);
+}
+
+/// Every synchronisation policy trains every Table 2 space end to end
+/// (with swapping where needed).
+#[test]
+fn all_systems_run_all_table2_spaces() {
+    for id in SpaceId::TABLE2 {
+        let space = SearchSpace::from_id(id);
+        for system in SystemKind::ALL {
+            let subnets = UniformSampler::new(&space, 9).take_subnets(8);
+            match system.run(&space, 8, subnets) {
+                Ok(out) => assert_eq!(out.report.subnets_completed, 8, "{system} on {id}"),
+                Err(PipelineError::OutOfMemory { .. }) => {
+                    panic!("{system} should hold {id} on 8 GPUs")
+                }
+                Err(e) => panic!("{system} on {id}: {e}"),
+            }
+        }
+    }
+}
+
+/// CSP order verification passes for the simulated engine and the result
+/// matches the threaded runtime and the sequential reference — three
+/// implementations, one answer.
+#[test]
+fn three_runtimes_one_answer() {
+    let space = SearchSpace::uniform(Domain::Nlp, 12, 5);
+    let subnets = UniformSampler::new(&space, 13).take_subnets(40);
+    let cfg = train_cfg();
+
+    let sequential = sequential_training(&space, &subnets, &cfg);
+
+    let pc = PipelineConfig::naspipe(4, 40).with_batch(16).with_seed(13);
+    let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
+    verify_csp_order(&out).expect("CSP order holds");
+    let simulated = replay_training(&space, &out, &cfg);
+
+    let threaded = run_threaded(&space, subnets, &cfg, 4, 10);
+
+    assert_eq!(sequential.final_hash, simulated.final_hash);
+    assert_eq!(sequential.final_hash, threaded.final_hash);
+}
+
+/// Reproducibility holds when crossing host boundaries in the simulated
+/// cluster (more than 4 GPUs spans the Ethernet link).
+#[test]
+fn reproducible_across_host_boundary() {
+    let space = SearchSpace::uniform(Domain::Nlp, 16, 4);
+    let subnets = UniformSampler::new(&space, 21).take_subnets(30);
+    let cfg = train_cfg();
+    let hashes: Vec<u64> = [2u32, 6, 12]
+        .into_iter()
+        .map(|gpus| {
+            let pc = PipelineConfig::naspipe(gpus, 30).with_batch(16).with_seed(21);
+            let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
+            replay_training(&space, &out, &cfg).final_hash
+        })
+        .collect();
+    assert!(hashes.windows(2).all(|w| w[0] == w[1]), "{hashes:?}");
+}
+
+/// BSP and ASP do *not* pass the same bar: their replays differ from the
+/// sequential reference on this conflict-heavy workload.
+#[test]
+fn baselines_break_reproducibility() {
+    let space = SearchSpace::uniform(Domain::Nlp, 12, 3);
+    let subnets = UniformSampler::new(&space, 31).take_subnets(40);
+    let cfg = train_cfg();
+    let sequential = sequential_training(&space, &subnets, &cfg);
+    for policy in [SyncPolicy::Bsp { bulk: 0, swap: false }, SyncPolicy::Asp] {
+        let pc = PipelineConfig {
+            num_gpus: 8,
+            batch: 16,
+            num_subnets: 40,
+            policy,
+            max_queue: 30,
+            cache_factor: 3.0,
+            fault_rate: 0.0,
+            gpus_per_host: 4,
+            recompute_ahead: true,
+            jitter: 0.0,
+            seed: 31,
+        };
+        let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
+        let replay = replay_training(&space, &out, &cfg);
+        assert_ne!(
+            replay.final_hash, sequential.final_hash,
+            "{policy:?} unexpectedly matched the sequential reference"
+        );
+    }
+}

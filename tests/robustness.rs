@@ -1,0 +1,114 @@
+//! Robustness tests: perturb the *timing* of the pipeline (compute
+//! jitter, injected faults) and verify the *training result* is
+//! untouched — the deepest consequence of dependency preservation.
+//! Reproducibility under CSP comes from the causal order, not from any
+//! timing assumption; the predictor's accuracy may degrade, correctness
+//! may not.
+
+use naspipe::core::config::PipelineConfig;
+use naspipe::core::pipeline::run_pipeline_with_subnets;
+use naspipe::core::repro::verify_csp_order;
+use naspipe::core::train::{replay_training, sequential_training, TrainConfig};
+use naspipe::supernet::layer::Domain;
+use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe::supernet::space::SearchSpace;
+
+fn setup() -> (SearchSpace, Vec<naspipe::supernet::subnet::Subnet>, TrainConfig) {
+    let space = SearchSpace::uniform(Domain::Nlp, 16, 5);
+    let subnets = UniformSampler::new(&space, 33).take_subnets(40);
+    let cfg = TrainConfig {
+        seed: 33,
+        residual_scale: 0.2,
+        ..TrainConfig::default()
+    };
+    (space, subnets, cfg)
+}
+
+/// Jitter changes the schedule (different task timings) but CSP's replay
+/// stays bitwise equal to the sequential reference.
+#[test]
+fn jitter_changes_schedule_not_result() {
+    let (space, subnets, cfg) = setup();
+    let reference = sequential_training(&space, &subnets, &cfg);
+
+    let clean = {
+        let pc = PipelineConfig::naspipe(4, 40).with_batch(16).with_seed(33);
+        run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap()
+    };
+    let jittered = {
+        let pc = PipelineConfig::naspipe(4, 40)
+            .with_batch(16)
+            .with_seed(33)
+            .with_jitter(0.4);
+        run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap()
+    };
+    assert_ne!(
+        clean.tasks, jittered.tasks,
+        "40% jitter should perturb the schedule"
+    );
+    verify_csp_order(&jittered).expect("CSP order holds under jitter");
+    assert_eq!(
+        replay_training(&space, &jittered, &cfg).final_hash,
+        reference.final_hash,
+        "timing perturbations must not change the training result"
+    );
+}
+
+/// Faults + jitter together: the pipeline limps, the result is identical.
+#[test]
+fn faults_and_jitter_combined_stay_correct() {
+    let (space, subnets, cfg) = setup();
+    let reference = sequential_training(&space, &subnets, &cfg);
+    for gpus in [2u32, 6] {
+        let pc = PipelineConfig::naspipe(gpus, 40)
+            .with_batch(16)
+            .with_seed(33)
+            .with_fault_rate(0.2)
+            .with_jitter(0.3);
+        let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
+        assert_eq!(out.report.subnets_completed, 40);
+        assert!(out.report.faults_injected > 0);
+        assert_eq!(
+            replay_training(&space, &out, &cfg).final_hash,
+            reference.final_hash,
+            "{gpus} GPUs with faults+jitter diverged"
+        );
+    }
+}
+
+/// The predictor's hit rate may degrade under heavy jitter but stays
+/// functional (prefetching is advisory, never load-bearing).
+#[test]
+fn predictor_degrades_gracefully_under_jitter() {
+    let (space, subnets, _) = setup();
+    let hit = |jitter: f64| {
+        let pc = PipelineConfig::naspipe(4, 40)
+            .with_batch(16)
+            .with_seed(33)
+            .with_jitter(jitter);
+        run_pipeline_with_subnets(&space, &pc, subnets.clone())
+            .unwrap()
+            .report
+            .cache_hit_rate
+            .unwrap()
+    };
+    let clean = hit(0.0);
+    let noisy = hit(0.5);
+    assert!(clean > 0.5, "baseline hit rate sane: {clean}");
+    assert!(noisy > 0.3, "jittered hit rate still functional: {noisy}");
+}
+
+/// Jittered runs are themselves deterministic: the jitter is a pure
+/// function of the seed.
+#[test]
+fn jitter_is_deterministic() {
+    let (space, subnets, _) = setup();
+    let run = || {
+        let pc = PipelineConfig::naspipe(4, 40)
+            .with_batch(16)
+            .with_seed(33)
+            .with_jitter(0.25);
+        run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap()
+    };
+    assert_eq!(run().tasks, run().tasks);
+}
