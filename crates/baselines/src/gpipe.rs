@@ -52,8 +52,7 @@ mod tests {
         let subnets = UniformSampler::new(&space, 3).take_subnets(60);
         let mut cfg = config(8, 60);
         cfg.batch = 32;
-        let out =
-            naspipe_core::pipeline::run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
+        let out = naspipe_core::pipeline::run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
         // bulk = D/2 + 1 = 5; bubble ~ (D-1)/(bulk + D-1) = 7/12 ~ 0.58.
         let b = out.report.bubble_ratio;
         assert!((0.40..0.75).contains(&b), "bubble {b} out of GPipe range");

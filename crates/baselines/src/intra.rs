@@ -50,12 +50,21 @@ pub fn estimate(
     microbatches: u32,
     sample_subnets: u32,
 ) -> IntraSubnetEstimate {
-    assert!(gpus > 0 && batch > 0 && microbatches > 0, "arguments must be positive");
-    assert!(microbatches <= batch, "cannot split {batch} samples into {microbatches}");
-    let reference = space.id().map(|id| id.default_batch()).unwrap_or(match space.domain() {
-        naspipe_supernet::layer::Domain::Nlp => 192,
-        naspipe_supernet::layer::Domain::Cv => 64,
-    });
+    assert!(
+        gpus > 0 && batch > 0 && microbatches > 0,
+        "arguments must be positive"
+    );
+    assert!(
+        microbatches <= batch,
+        "cannot split {batch} samples into {microbatches}"
+    );
+    let reference = space
+        .id()
+        .map(|id| id.default_batch())
+        .unwrap_or(match space.domain() {
+            naspipe_supernet::layer::Domain::Nlp => 192,
+            naspipe_supernet::layer::Domain::Cv => 64,
+        });
     let micro = batch / microbatches;
     let profile = ProfiledSpace::new(space, reference);
 

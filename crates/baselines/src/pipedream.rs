@@ -63,15 +63,10 @@ mod tests {
             .verdict
             .batch()
             .unwrap();
-        let gp = naspipe_core::memory::plan(
-            &space,
-            SystemKind::GPipe.config(8, 1).policy,
-            8,
-            3.0,
-        )
-        .verdict
-        .batch()
-        .unwrap();
+        let gp = naspipe_core::memory::plan(&space, SystemKind::GPipe.config(8, 1).policy, 8, 3.0)
+            .verdict
+            .batch()
+            .unwrap();
         assert!(pd < gp, "PipeDream {pd} !< GPipe {gp}");
     }
 

@@ -41,10 +41,7 @@ pub struct RetiariiEstimate {
 /// Panics if `num_gpus == 0`.
 pub fn estimate(space: &SearchSpace, num_gpus: u32, sample_rounds: u32) -> RetiariiEstimate {
     assert!(num_gpus > 0, "need at least one GPU");
-    let batch = space
-        .id()
-        .map(|id| id.default_batch())
-        .unwrap_or(64);
+    let batch = space.id().map(|id| id.default_batch()).unwrap_or(64);
     let profile = ProfiledSpace::new(space, batch);
     let subnet_bytes = naspipe_core::memory::mean_subnet_param_bytes(space);
     let feasible = subnet_bytes + WORKSPACE_BYTES < GPU_MEMORY_BYTES;
@@ -64,8 +61,7 @@ pub fn estimate(space: &SearchSpace, num_gpus: u32, sample_rounds: u32) -> Retia
         }
         // PS sync: every GPU pushes gradients and pulls parameters for a
         // whole subnet through the central server, serialised there.
-        let sync_ms =
-            net.transfer_time(2 * subnet_bytes).as_ms() * f64::from(num_gpus);
+        let sync_ms = net.transfer_time(2 * subnet_bytes).as_ms() * f64::from(num_gpus);
         let round_ms = slowest_ms + sync_ms;
         sync_total += sync_ms;
         round_total += round_ms;

@@ -2,9 +2,7 @@
 //! display names — the row/series labels of Table 2 and Figures 4–7.
 
 use naspipe_core::config::{PipelineConfig, SyncPolicy};
-use naspipe_core::pipeline::{
-    run_pipeline_with_subnets, PipelineError, PipelineOutcome,
-};
+use naspipe_core::pipeline::{run_pipeline_with_subnets, PipelineError, PipelineOutcome};
 use naspipe_supernet::space::SearchSpace;
 use naspipe_supernet::subnet::Subnet;
 use std::fmt;

@@ -55,15 +55,11 @@ mod tests {
             .verdict
             .batch()
             .unwrap();
-        let nas = naspipe_core::memory::plan(
-            &space,
-            SystemKind::NasPipe.config(8, 1).policy,
-            8,
-            3.0,
-        )
-        .verdict
-        .batch()
-        .unwrap();
+        let nas =
+            naspipe_core::memory::plan(&space, SystemKind::NasPipe.config(8, 1).policy, 8, 3.0)
+                .verdict
+                .batch()
+                .unwrap();
         assert_eq!(vp, nas);
     }
 

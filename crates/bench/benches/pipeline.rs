@@ -17,17 +17,19 @@ fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_32_subnets_8_gpus");
     for (name, policy) in [
         ("csp", SyncPolicy::naspipe()),
-        ("bsp", SyncPolicy::Bsp { bulk: 0, swap: false }),
+        (
+            "bsp",
+            SyncPolicy::Bsp {
+                bulk: 0,
+                swap: false,
+            },
+        ),
         ("asp", SyncPolicy::Asp),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             let mut cfg = PipelineConfig::naspipe(8, 32).with_batch(32);
             cfg.policy = policy;
-            b.iter(|| {
-                black_box(
-                    run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap(),
-                )
-            })
+            b.iter(|| black_box(run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap()))
         });
     }
     group.finish();

@@ -28,7 +28,7 @@ fn scenario() -> (Vec<SubnetId>, Vec<FinishedSet>, SubnetTable) {
     let mut sampler = UniformSampler::new(&space, 1);
     for subnet in sampler.take_subnets(60) {
         let p = partitioner.partition_for(&subnet);
-        table.insert(subnet, p);
+        table.insert(subnet, p).expect("fresh sequence IDs");
     }
     let mut finished = vec![FinishedSet::new(); 8];
     for f in &mut finished {

@@ -10,16 +10,30 @@
 //! floating-point training for dozens of pipeline schedules.
 
 use naspipe_bench::experiments::{
-    cache_sweep, fig1, fig4, fig5, fig6, fig7, generation, recompute, soundness, table1, table2,
-    table3, table4, table5, topology,
+    cache_sweep, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute, soundness, table1,
+    table2, table3, table4, table5, topology,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
 use naspipe_supernet::space::SpaceId;
 use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "table1", "fig4", "fig5", "table2", "table3", "table4", "table5", "fig6", "fig7",
-    "cache", "soundness", "generation", "topology", "recompute",
+    "fig1",
+    "table1",
+    "fig4",
+    "fig5",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig6",
+    "fig7",
+    "cache",
+    "soundness",
+    "generation",
+    "topology",
+    "recompute",
+    "obs",
 ];
 
 fn main() {
@@ -61,7 +75,10 @@ fn run_experiment(name: &str) {
             println!("{}", fig1::run().render());
         }
         "table1" => {
-            banner("Table 1", "Default evaluation setup of the seven search spaces.");
+            banner(
+                "Table 1",
+                "Default evaluation setup of the seven search spaces.",
+            );
             println!("{}", table1::render(&table1::run()));
         }
         "fig4" => {
@@ -97,7 +114,10 @@ fn run_experiment(name: &str) {
                 "Table 4",
                 "Access & update order of the most-shared layer, 4 vs 8 GPUs (nF = read by n-th subnet's forward, nB = written by its backward).",
             );
-            println!("{}", table4::render(&table4::run(SpaceId::NlpC2, TRAINING_SUBNETS)));
+            println!(
+                "{}",
+                table4::render(&table4::run(SpaceId::NlpC2, TRAINING_SUBNETS))
+            );
         }
         "table5" => {
             banner(
@@ -118,7 +138,10 @@ fn run_experiment(name: &str) {
                 "Figure 7",
                 "Total GPU ALU utilisation with scaled GPU counts, NLP.c1 (batch fixed at the 8-GPU configuration).",
             );
-            println!("{}", fig7::render(&fig7::run(SpaceId::NlpC1, THROUGHPUT_SUBNETS)));
+            println!(
+                "{}",
+                fig7::render(&fig7::run(SpaceId::NlpC1, THROUGHPUT_SUBNETS))
+            );
         }
         "cache" => {
             banner(
@@ -145,7 +168,10 @@ fn run_experiment(name: &str) {
                 "Extra: interconnect sensitivity",
                 "NASPipe on 8 GPUs packed 1/2/4/8 per host (7/3/1/0 Ethernet boundaries), CV.c1 — isolating the 5.4 communication effect (CV boundary tensors are ~50 MiB).",
             );
-            println!("{}", topology::render(&topology::run(SpaceId::CvC1, THROUGHPUT_SUBNETS)));
+            println!(
+                "{}",
+                topology::render(&topology::run(SpaceId::CvC1, THROUGHPUT_SUBNETS))
+            );
         }
         "recompute" => {
             banner(
@@ -159,7 +185,22 @@ fn run_experiment(name: &str) {
                 "Extra: cross-stage soundness refinement",
                 "Stale reads a purely stage-local Algorithm 2 would admit under layer mirroring, prevented by the owner-stage check (DESIGN.md 3a.1).",
             );
-            println!("{}", soundness::render(&soundness::run(SpaceId::NlpC2, THROUGHPUT_SUBNETS)));
+            println!(
+                "{}",
+                soundness::render(&soundness::run(SpaceId::NlpC2, THROUGHPUT_SUBNETS))
+            );
+        }
+        "obs" => {
+            banner(
+                "Extra: per-stage runtime observability",
+                "The naspipe-obs report for a CSP run on NLP.c2, 8 GPUs: per-stage utilization, stall/bubble split, preemptions, queue depths, task latencies and cache behaviour. Set REPRO_OBS_JSON=1 to also dump JSON.",
+            );
+            let r = obs::run(SpaceId::NlpC2, 8, THROUGHPUT_SUBNETS);
+            println!("{}", obs::render(&r));
+            let json_on = std::env::var("REPRO_OBS_JSON").is_ok_and(|v| !v.is_empty() && v != "0");
+            if json_on {
+                println!("{}", obs::render_json(&r));
+            }
         }
         _ => unreachable!("validated in main"),
     }

@@ -84,7 +84,11 @@ mod tests {
         };
         assert!(hit(1.0) < hit(3.0), "1x {} !< 3x {}", hit(1.0), hit(3.0));
         // The paper's design point: ~90 % at ~3x.
-        assert!(hit(3.0) > 0.8, "3x cache should hit > 80 %, got {}", hit(3.0));
+        assert!(
+            hit(3.0) > 0.8,
+            "3x cache should hit > 80 %, got {}",
+            hit(3.0)
+        );
         // Diminishing returns beyond 3x.
         assert!(hit(6.0) - hit(3.0) < hit(3.0) - hit(1.0));
     }

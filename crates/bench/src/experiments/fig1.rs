@@ -78,7 +78,13 @@ pub fn run() -> Fig1 {
     let (space, subnets) = figure_subnets();
     let disciplines = [
         ("ASP", SyncPolicy::Asp),
-        ("BSP", SyncPolicy::Bsp { bulk: 0, swap: false }),
+        (
+            "BSP",
+            SyncPolicy::Bsp {
+                bulk: 0,
+                swap: false,
+            },
+        ),
         ("CSP", SyncPolicy::naspipe()),
     ];
     let mut gantts = Vec::new();
@@ -129,7 +135,12 @@ impl Fig1 {
             })
             .collect();
         let mut out = render_table(
-            &["Discipline", "Violated/dependent layers", "Bubble", "Dependencies preserved"],
+            &[
+                "Discipline",
+                "Violated/dependent layers",
+                "Bubble",
+                "Dependencies preserved",
+            ],
             &rows,
         );
         for (name, gantt) in &self.gantts {

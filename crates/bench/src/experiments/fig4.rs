@@ -42,8 +42,7 @@ fn smooth(losses: &[(u64, f32)], w: usize) -> Vec<(u64, f64)> {
         .map(|(i, &(step, _))| {
             let lo = i.saturating_sub(w - 1);
             let window = &losses[lo..=i];
-            let mean =
-                window.iter().map(|&(_, l)| f64::from(l)).sum::<f64>() / window.len() as f64;
+            let mean = window.iter().map(|&(_, l)| f64::from(l)).sum::<f64>() / window.len() as f64;
             (step, mean)
         })
         .collect()
@@ -70,7 +69,10 @@ pub fn panel_for(id: SpaceId, n: u64) -> Fig4Panel {
 
 /// Runs the figure over the six Table 2 spaces.
 pub fn run(n: u64) -> Vec<Fig4Panel> {
-    SpaceId::TABLE2.into_iter().map(|id| panel_for(id, n)).collect()
+    SpaceId::TABLE2
+        .into_iter()
+        .map(|id| panel_for(id, n))
+        .collect()
 }
 
 /// Renders one panel: loss at five checkpoints plus final score.

@@ -74,7 +74,14 @@ pub fn render(groups: &[Fig5Group]) -> String {
         })
         .collect();
     render_table(
-        &["Space", "NASPipe", "GPipe", "PipeDream", "VPipe", "NASPipe subnets/h"],
+        &[
+            "Space",
+            "NASPipe",
+            "GPipe",
+            "PipeDream",
+            "VPipe",
+            "NASPipe subnets/h",
+        ],
         &rows,
     )
 }
@@ -86,13 +93,14 @@ mod tests {
     #[test]
     fn naspipe_beats_gpipe_on_large_nlp_space() {
         let g = group_for(SpaceId::NlpC1, 8, 48);
-        let bar = |k: SystemKind| {
-            g.bars.iter().find(|(s, _)| *s == k).unwrap().1
-        };
+        let bar = |k: SystemKind| g.bars.iter().find(|(s, _)| *s == k).unwrap().1;
         let nas = bar(SystemKind::NasPipe).unwrap();
         let gp = bar(SystemKind::GPipe).unwrap();
         assert!((gp - 1.0).abs() < 1e-9, "GPipe is the normalisation base");
-        assert!(nas > 2.0, "NASPipe {nas} should beat GPipe by a wide margin");
+        assert!(
+            nas > 2.0,
+            "NASPipe {nas} should beat GPipe by a wide margin"
+        );
         assert!(g.naspipe_subnets_per_hour > 0.0);
     }
 

@@ -139,7 +139,13 @@ pub fn render(groups: &[Fig6Group]) -> String {
         })
         .collect();
     render_table(
-        &["Space", "NASPipe", "w/o scheduler", "w/o predictor", "w/o mirroring"],
+        &[
+            "Space",
+            "NASPipe",
+            "w/o scheduler",
+            "w/o predictor",
+            "w/o mirroring",
+        ],
         &rows,
     )
 }
@@ -188,7 +194,11 @@ mod tests {
         assert_eq!(Variant::Full.label(), "NASPipe");
         assert!(matches!(
             Variant::WithoutPredictor.policy(),
-            SyncPolicy::Csp { predictor: false, scheduler: true, mirroring: true }
+            SyncPolicy::Csp {
+                predictor: false,
+                scheduler: true,
+                mirroring: true
+            }
         ));
     }
 }

@@ -69,12 +69,9 @@ pub fn run(id: SpaceId, n: u64) -> Fig7 {
                     };
                     let subnets = crate::experiments::subnet_stream(&space, n);
                     let cfg = system.config(gpus, n).with_batch(batch);
-                    let out = naspipe_core::pipeline::run_pipeline_with_subnets(
-                        &space,
-                        &cfg,
-                        subnets,
-                    )
-                    .expect("feasible point runs");
+                    let out =
+                        naspipe_core::pipeline::run_pipeline_with_subnets(&space, &cfg, subnets)
+                            .expect("feasible point runs");
                     if system == SystemKind::NasPipe {
                         naspipe_bubbles.push(BubblePoint {
                             gpus,
@@ -187,7 +184,10 @@ mod tests {
     fn render_marks_infeasible_depths() {
         let fig = run(SpaceId::NlpC1, 16);
         let s = render(&fig);
-        assert!(s.contains("OOM"), "GPipe cannot hold NLP.c1 on 4 GPUs:\n{s}");
+        assert!(
+            s.contains("OOM"),
+            "GPipe cannot hold NLP.c1 on 4 GPUs:\n{s}"
+        );
         assert!(s.contains("bubble ratio"));
     }
 }

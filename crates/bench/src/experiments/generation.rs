@@ -37,8 +37,8 @@ pub fn run(id: SpaceId, n: u64) -> Vec<GenerationRow> {
         .map(|batch| {
             let subnets = crate::experiments::subnet_stream(&space, n);
             let cfg = SystemKind::NasPipe.config(8, n).with_batch(batch);
-            let out = run_pipeline_with_subnets(&space, &cfg, subnets)
-                .expect("swapping always fits");
+            let out =
+                run_pipeline_with_subnets(&space, &cfg, subnets).expect("swapping always fits");
             let micro = intra::estimate(&space, 8, batch, 8.min(batch), 16);
             GenerationRow {
                 batch,
@@ -67,7 +67,14 @@ pub fn render(rows: &[GenerationRow]) -> String {
         })
         .collect();
     render_table(
-        &["Batch", "Inter samples/s", "Inter ALU", "Intra samples/s", "Intra ALU", "Inter/Intra"],
+        &[
+            "Batch",
+            "Inter samples/s",
+            "Inter ALU",
+            "Intra samples/s",
+            "Intra ALU",
+            "Inter/Intra",
+        ],
         &cells,
     )
 }

@@ -7,6 +7,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod generation;
+pub mod obs;
 pub mod recompute;
 pub mod soundness;
 pub mod table1;

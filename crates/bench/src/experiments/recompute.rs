@@ -33,12 +33,11 @@ pub fn run(n: u64) -> Vec<RecomputeRow> {
         .into_iter()
         .map(|id| {
             let space = SearchSpace::from_id(id);
-            let mut measure = |ahead: bool| {
+            let measure = |ahead: bool| {
                 let subnets = subnet_stream(&space, n);
                 let mut cfg = SystemKind::NasPipe.config(8, n);
                 cfg.recompute_ahead = ahead;
-                let out = run_pipeline_with_subnets(&space, &cfg, subnets)
-                    .expect("NASPipe fits");
+                let out = run_pipeline_with_subnets(&space, &cfg, subnets).expect("NASPipe fits");
                 (
                     out.report.throughput_samples_per_sec(),
                     out.report.bubble_ratio,
@@ -94,6 +93,8 @@ mod tests {
             assert!(r.ahead_bubble <= r.inline_bubble + 0.01);
         }
         // The effect is material on at least one space.
-        assert!(rows.iter().any(|r| r.ahead_throughput > r.inline_throughput * 1.05));
+        assert!(rows
+            .iter()
+            .any(|r| r.ahead_throughput > r.inline_throughput * 1.05));
     }
 }

@@ -112,7 +112,11 @@ pub fn analyse(out: &PipelineOutcome) -> SoundnessReport {
 /// Renders the report.
 pub fn render(r: &SoundnessReport) -> String {
     render_table(
-        &["Forward tasks", "w/ cross-stage shared layer", "Stale reads prevented"],
+        &[
+            "Forward tasks",
+            "w/ cross-stage shared layer",
+            "Stale reads prevented",
+        ],
         &[vec![
             r.forwards.to_string(),
             r.cross_stage_shared.to_string(),

@@ -55,7 +55,14 @@ pub fn render(rows: &[Table1Row]) -> String {
         })
         .collect();
     render_table(
-        &["Search Space", "# Choice Blocks", "# Layer/Block", "Dataset", "Supernet Params", "Architectures"],
+        &[
+            "Search Space",
+            "# Choice Blocks",
+            "# Layer/Block",
+            "Dataset",
+            "Supernet Params",
+            "Architectures",
+        ],
         &cells,
     )
 }

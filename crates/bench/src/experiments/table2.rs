@@ -58,7 +58,9 @@ pub fn render(rows: &[Table2Row]) -> String {
                 },
                 format!("{:.2}", r.avg_subnet_exec_secs),
                 format!("{:.2}", r.bubble_ratio),
-                r.cache_hit_rate.map(percent).unwrap_or_else(|| "N/A".into()),
+                r.cache_hit_rate
+                    .map(percent)
+                    .unwrap_or_else(|| "N/A".into()),
             ],
             None => {
                 let mut v = vec![row.space.to_string(), row.system.to_string()];
@@ -68,7 +70,18 @@ pub fn render(rows: &[Table2Row]) -> String {
         })
         .collect();
     render_table(
-        &["Space", "System", "Para.", "Batch", "GPU Mem.", "GPU ALU", "CPU Mem.", "Exec.(s)", "Bub.", "Cache Hit"],
+        &[
+            "Space",
+            "System",
+            "Para.",
+            "Batch",
+            "GPU Mem.",
+            "GPU ALU",
+            "CPU Mem.",
+            "Exec.(s)",
+            "Bub.",
+            "Cache Hit",
+        ],
         &cells,
     )
 }
@@ -76,8 +89,8 @@ pub fn render(rows: &[Table2Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use naspipe_supernet::space::SearchSpace;
     use crate::experiments::throughput::run_system;
+    use naspipe_supernet::space::SearchSpace;
 
     fn report(id: SpaceId, system: SystemKind) -> PipelineReport {
         let space = SearchSpace::from_id(id);
@@ -91,7 +104,11 @@ mod tests {
     fn naspipe_nlp_c1_shape_matches_paper() {
         let r = report(SpaceId::NlpC1, SystemKind::NasPipe);
         assert_eq!(r.batch, 192);
-        assert!(r.cache_hit_rate.unwrap() > 0.7, "hit {:?}", r.cache_hit_rate);
+        assert!(
+            r.cache_hit_rate.unwrap() > 0.7,
+            "hit {:?}",
+            r.cache_hit_rate
+        );
         assert!(r.cpu_mem_gib > 30.0, "supernet lives in CPU memory");
         assert!(r.bubble_ratio < 0.7);
     }
@@ -107,14 +124,24 @@ mod tests {
     fn naspipe_bubble_grows_as_space_shrinks() {
         let b1 = report(SpaceId::NlpC1, SystemKind::NasPipe).bubble_ratio;
         let b3 = report(SpaceId::NlpC3, SystemKind::NasPipe).bubble_ratio;
-        assert!(b3 > b1, "more collisions -> more bubbles: c3 {b3} !> c1 {b1}");
+        assert!(
+            b3 > b1,
+            "more collisions -> more bubbles: c3 {b3} !> c1 {b1}"
+        );
     }
 
     #[test]
     fn vpipe_hit_rate_grows_as_space_shrinks() {
-        let h1 = report(SpaceId::CvC1, SystemKind::VPipe).cache_hit_rate.unwrap();
-        let h3 = report(SpaceId::CvC3, SystemKind::VPipe).cache_hit_rate.unwrap();
-        assert!(h3 > h1, "residual sharing rises with collisions: {h3} !> {h1}");
+        let h1 = report(SpaceId::CvC1, SystemKind::VPipe)
+            .cache_hit_rate
+            .unwrap();
+        let h3 = report(SpaceId::CvC3, SystemKind::VPipe)
+            .cache_hit_rate
+            .unwrap();
+        assert!(
+            h3 > h1,
+            "residual sharing rises with collisions: {h3} !> {h1}"
+        );
     }
 
     #[test]
@@ -122,7 +149,10 @@ mod tests {
         let nas = report(SpaceId::NlpC1, SystemKind::NasPipe).total_alu;
         let gp = report(SpaceId::NlpC1, SystemKind::GPipe).total_alu;
         let vp = report(SpaceId::NlpC1, SystemKind::VPipe).total_alu;
-        assert!(nas > gp && nas > vp, "NASPipe {nas} vs GPipe {gp}, VPipe {vp}");
+        assert!(
+            nas > gp && nas > vp,
+            "NASPipe {nas} vs GPipe {gp}, VPipe {vp}"
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl Table3Row {
 
 /// The disciplines compared, in the paper's order.
 pub fn disciplines() -> [SystemKind; 3] {
-    [SystemKind::NasPipe, SystemKind::GPipe, SystemKind::PipeDream]
+    [
+        SystemKind::NasPipe,
+        SystemKind::GPipe,
+        SystemKind::PipeDream,
+    ]
 }
 
 /// Runs one (space, discipline) row over all GPU counts.
@@ -92,8 +96,15 @@ pub fn render(rows: &[Table3Row]) -> String {
         .collect();
     render_table(
         &[
-            "Space", "Sync.", "Loss 4GPU", "Loss 8GPU", "Loss 16GPU",
-            "Score 4GPU", "Score 8GPU", "Score 16GPU", "Reproducible",
+            "Space",
+            "Sync.",
+            "Loss 4GPU",
+            "Loss 8GPU",
+            "Loss 16GPU",
+            "Score 4GPU",
+            "Score 8GPU",
+            "Score 16GPU",
+            "Reproducible",
         ],
         &cells,
     )
@@ -115,13 +126,21 @@ mod tests {
     #[test]
     fn bsp_row_diverges() {
         let row = row_for(SpaceId::CvC3, SystemKind::GPipe, 40);
-        assert!(!row.is_reproducible(), "BSP should diverge: {:?}", row.hashes);
+        assert!(
+            !row.is_reproducible(),
+            "BSP should diverge: {:?}",
+            row.hashes
+        );
     }
 
     #[test]
     fn asp_row_diverges() {
         let row = row_for(SpaceId::CvC3, SystemKind::PipeDream, 40);
-        assert!(!row.is_reproducible(), "ASP should diverge: {:?}", row.hashes);
+        assert!(
+            !row.is_reproducible(),
+            "ASP should diverge: {:?}",
+            row.hashes
+        );
     }
 
     #[test]

@@ -48,20 +48,24 @@ pub struct Table4 {
 pub fn run(id: SpaceId, n: u64) -> Table4 {
     let space = training_space(id);
     let reference = schedule(&space, SystemKind::NasPipe, 4, n);
-    let layer = most_contended_layer(&reference, 3)
-        .expect("a layer shared by >= 3 subnets (increase n)");
-    let rows = [SystemKind::NasPipe, SystemKind::GPipe, SystemKind::PipeDream]
-        .into_iter()
-        .map(|system| {
-            let out4 = schedule(&space, system, 4, n);
-            let out8 = schedule(&space, system, 8, n);
-            Table4Row {
-                system,
-                order_4gpu: layer_access_order(&out4, layer),
-                order_8gpu: layer_access_order(&out8, layer),
-            }
-        })
-        .collect();
+    let layer =
+        most_contended_layer(&reference, 3).expect("a layer shared by >= 3 subnets (increase n)");
+    let rows = [
+        SystemKind::NasPipe,
+        SystemKind::GPipe,
+        SystemKind::PipeDream,
+    ]
+    .into_iter()
+    .map(|system| {
+        let out4 = schedule(&space, system, 4, n);
+        let out8 = schedule(&space, system, 8, n);
+        Table4Row {
+            system,
+            order_4gpu: layer_access_order(&out4, layer),
+            order_8gpu: layer_access_order(&out8, layer),
+        }
+    })
+    .collect();
     Table4 { layer, rows }
 }
 
@@ -100,7 +104,10 @@ mod tests {
             .unwrap();
         assert!(nas.orders_match());
         assert!(nas.order_4gpu.is_sequential());
-        assert!(nas.order_4gpu.accesses().len() >= 6, "3+ subnets, F and B each");
+        assert!(
+            nas.order_4gpu.accesses().len() >= 6,
+            "3+ subnets, F and B each"
+        );
     }
 
     #[test]

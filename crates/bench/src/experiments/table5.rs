@@ -57,7 +57,10 @@ pub fn render(rows: &[Table5Row]) -> String {
             ]
         })
         .collect();
-    render_table(&["Domain", "Input Size", "Layer", "Comp. (ms)", "Swap (ms)"], &cells)
+    render_table(
+        &["Domain", "Input Size", "Layer", "Comp. (ms)", "Swap (ms)"],
+        &cells,
+    )
 }
 
 #[cfg(test)]
@@ -68,11 +71,11 @@ mod tests {
     fn eight_rows_matching_paper_values() {
         let rows = run();
         assert_eq!(rows.len(), 8);
-        let conv31 = rows
-            .iter()
-            .find(|r| r.layer == LayerKind::Conv3x1)
-            .unwrap();
-        assert_eq!((conv31.fwd_ms, conv31.bwd_ms, conv31.swap_ms), (5.0, 10.0, 1.76));
+        let conv31 = rows.iter().find(|r| r.layer == LayerKind::Conv3x1).unwrap();
+        assert_eq!(
+            (conv31.fwd_ms, conv31.bwd_ms, conv31.swap_ms),
+            (5.0, 10.0, 1.76)
+        );
         let attn = rows
             .iter()
             .find(|r| r.layer == LayerKind::Attention8Head)

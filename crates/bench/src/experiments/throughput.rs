@@ -34,12 +34,7 @@ impl SystemResult {
 ///
 /// Panics on configuration errors other than out-of-memory (those are
 /// harness bugs).
-pub fn run_system(
-    space: &SearchSpace,
-    system: SystemKind,
-    num_gpus: u32,
-    n: u64,
-) -> SystemResult {
+pub fn run_system(space: &SearchSpace, system: SystemKind, num_gpus: u32, n: u64) -> SystemResult {
     let subnets = subnet_stream(space, n);
     match system.run(space, num_gpus, subnets) {
         Ok(out) => SystemResult::Ok(Box::new(out.report)),
@@ -68,11 +63,7 @@ pub fn run_system_full(
 }
 
 /// All four systems on one space (Table 2 / Figure 5 cell group).
-pub fn run_all_systems(
-    id: SpaceId,
-    num_gpus: u32,
-    n: u64,
-) -> Vec<(SystemKind, SystemResult)> {
+pub fn run_all_systems(id: SpaceId, num_gpus: u32, n: u64) -> Vec<(SystemKind, SystemResult)> {
     let space = SearchSpace::from_id(id);
     SystemKind::ALL
         .into_iter()

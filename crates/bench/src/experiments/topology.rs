@@ -36,12 +36,11 @@ pub fn run(id: SpaceId, n: u64) -> Vec<TopologyRow> {
             let cfg = SystemKind::NasPipe
                 .config(8, n)
                 .with_gpus_per_host(gpus_per_host);
-            let out = run_pipeline_with_subnets(&space, &cfg, subnets)
-                .expect("NASPipe fits everywhere");
+            let out =
+                run_pipeline_with_subnets(&space, &cfg, subnets).expect("NASPipe fits everywhere");
             TopologyRow {
                 gpus_per_host,
-                ethernet_boundaries: (8 - 1) / gpus_per_host
-                    + u32::from(gpus_per_host == 1) * 0,
+                ethernet_boundaries: (8 - 1) / gpus_per_host,
                 throughput: out.report.throughput_samples_per_sec(),
                 bubble: out.report.bubble_ratio,
             }

@@ -217,11 +217,17 @@ mod tests {
 
     #[test]
     fn policy_properties() {
-        let gpipe = SyncPolicy::Bsp { bulk: 0, swap: false };
+        let gpipe = SyncPolicy::Bsp {
+            bulk: 0,
+            swap: false,
+        };
         assert!(!gpipe.swaps_parameters());
         assert!(gpipe.recomputes_activations());
         assert_eq!(gpipe.bulk_size(8), 5);
-        let vpipe = SyncPolicy::Bsp { bulk: 3, swap: true };
+        let vpipe = SyncPolicy::Bsp {
+            bulk: 3,
+            swap: true,
+        };
         assert!(vpipe.swaps_parameters());
         assert_eq!(vpipe.bulk_size(8), 3);
         assert!(!SyncPolicy::Asp.recomputes_activations());

@@ -21,6 +21,8 @@ pub struct CacheStats {
     pub bytes_fetched: u64,
     /// Bytes evicted GPU -> CPU.
     pub bytes_evicted: u64,
+    /// Layers evicted GPU -> CPU.
+    pub evictions: u64,
     /// Prefetches issued ahead of use.
     pub prefetches: u64,
 }
@@ -134,6 +136,7 @@ impl StageCache {
             let sz = self.resident[&victim];
             self.used -= sz;
             self.stats.bytes_evicted += sz;
+            self.stats.evictions += 1;
             self.resident.remove(&victim);
         }
     }
@@ -217,7 +220,10 @@ impl StageCache {
     ///
     /// Panics if `layer` is not pinned.
     pub fn unpin(&mut self, layer: LayerRef) {
-        let count = self.pinned.get_mut(&layer).expect("unpin of unpinned layer");
+        let count = self
+            .pinned
+            .get_mut(&layer)
+            .expect("unpin of unpinned layer");
         *count -= 1;
         if *count == 0 {
             self.pinned.remove(&layer);
@@ -239,6 +245,7 @@ impl StageCache {
         self.lru_remove(layer);
         self.used -= bytes;
         self.stats.bytes_evicted += bytes;
+        self.stats.evictions += 1;
         bytes
     }
 }

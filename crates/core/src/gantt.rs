@@ -55,7 +55,11 @@ pub fn render_gantt(outcome: &PipelineOutcome, width: usize) -> String {
     for k in 0..stages {
         for (kind, label) in [(TaskKind::Forward, 'F'), (TaskKind::Backward, 'B')] {
             let mut row = vec![b'.'; width];
-            for t in outcome.tasks.iter().filter(|t| t.stage.0 == k && t.kind == kind) {
+            for t in outcome
+                .tasks
+                .iter()
+                .filter(|t| t.stage.0 == k && t.kind == kind)
+            {
                 let lo = col(t.start);
                 let hi = col(t.end).max(lo + 1).min(width);
                 let sym = SYMBOLS[(t.subnet.0 % 36) as usize];

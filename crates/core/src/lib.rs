@@ -58,5 +58,6 @@ pub mod transcript;
 pub use config::{PipelineConfig, SyncPolicy};
 pub use pipeline::{run_pipeline, PipelineOutcome};
 pub use report::PipelineReport;
-pub use scheduler::{CspScheduler, SubnetTable};
+pub use runtime::{run_threaded, run_threaded_observed, TrainError};
+pub use scheduler::{CspScheduler, DuplicateSubnet, SubnetTable};
 pub use task::{StageId, Task, TaskKind};

@@ -18,9 +18,9 @@
 //! batch growing as the search space shrinks).
 
 use crate::config::SyncPolicy;
+use naspipe_sim::cluster::GPU_MEMORY_BYTES;
 use naspipe_supernet::layer::Domain;
 use naspipe_supernet::space::SearchSpace;
-use naspipe_sim::cluster::GPU_MEMORY_BYTES;
 
 /// Fixed per-GPU reservation for framework workspace, kernels, and
 /// fragmentation, bytes.
@@ -149,7 +149,7 @@ pub fn plan(
         SyncPolicy::Csp { .. } => 1.5,
         SyncPolicy::Bsp { swap: true, .. } => 1.5, // VPipe swaps activations too
         SyncPolicy::Bsp { swap: false, .. } => 2.5, // GPipe stashes bulk boundaries
-        SyncPolicy::Asp => d as f64, // PipeDream: no recompute, D versions live
+        SyncPolicy::Asp => d as f64,               // PipeDream: no recompute, D versions live
     };
     let act_per_sample = (working as f64 * inflight) as u64;
 
@@ -169,10 +169,7 @@ pub fn plan(
     }
     let free = available - param_per_gpu;
     let raw = (free / act_per_sample.max(1)) as u32;
-    let cap = space
-        .id()
-        .map(|id| id.default_batch())
-        .unwrap_or(u32::MAX);
+    let cap = space.id().map(|id| id.default_batch()).unwrap_or(u32::MAX);
     let batch = raw.min(cap).max(1);
     let batch = if batch >= 8 { batch / 8 * 8 } else { batch };
     MemoryPlan {
@@ -191,10 +188,16 @@ mod tests {
     use naspipe_supernet::space::SpaceId;
 
     fn gpipe() -> SyncPolicy {
-        SyncPolicy::Bsp { bulk: 0, swap: false }
+        SyncPolicy::Bsp {
+            bulk: 0,
+            swap: false,
+        }
     }
     fn vpipe() -> SyncPolicy {
-        SyncPolicy::Bsp { bulk: 0, swap: true }
+        SyncPolicy::Bsp {
+            bulk: 0,
+            swap: true,
+        }
     }
 
     #[test]
@@ -211,14 +214,20 @@ mod tests {
     fn pipedream_batch_below_gpipe() {
         let space = SearchSpace::nlp_c1();
         let gp = plan(&space, gpipe(), 8, 3.0).verdict.batch().unwrap();
-        let pd = plan(&space, SyncPolicy::Asp, 8, 3.0).verdict.batch().unwrap();
+        let pd = plan(&space, SyncPolicy::Asp, 8, 3.0)
+            .verdict
+            .batch()
+            .unwrap();
         assert!(pd < gp, "PipeDream {pd} !< GPipe {gp}");
     }
 
     #[test]
     fn vpipe_batch_close_to_naspipe() {
         let space = SearchSpace::cv_c1();
-        let nas = plan(&space, SyncPolicy::naspipe(), 8, 3.0).verdict.batch().unwrap();
+        let nas = plan(&space, SyncPolicy::naspipe(), 8, 3.0)
+            .verdict
+            .batch()
+            .unwrap();
         let vp = plan(&space, vpipe(), 8, 3.0).verdict.batch().unwrap();
         assert_eq!(nas, vp, "both hit the default-batch cap");
     }
@@ -227,17 +236,29 @@ mod tests {
     fn nlp_c0_does_not_fit_without_swapping() {
         let space = SearchSpace::nlp_c0();
         let gp = plan(&space, gpipe(), 8, 3.0);
-        assert!(matches!(gp.verdict, MemoryVerdict::ParametersDontFit { .. }));
+        assert!(matches!(
+            gp.verdict,
+            MemoryVerdict::ParametersDontFit { .. }
+        ));
         let pd = plan(&space, SyncPolicy::Asp, 8, 3.0);
-        assert!(matches!(pd.verdict, MemoryVerdict::ParametersDontFit { .. }));
+        assert!(matches!(
+            pd.verdict,
+            MemoryVerdict::ParametersDontFit { .. }
+        ));
         let nas = plan(&space, SyncPolicy::naspipe(), 8, 3.0);
         assert!(nas.verdict.batch().is_some());
     }
 
     #[test]
     fn smaller_spaces_allow_bigger_gpipe_batches() {
-        let b1 = plan(&SearchSpace::nlp_c1(), gpipe(), 8, 3.0).verdict.batch().unwrap();
-        let b3 = plan(&SearchSpace::nlp_c3(), gpipe(), 8, 3.0).verdict.batch().unwrap();
+        let b1 = plan(&SearchSpace::nlp_c1(), gpipe(), 8, 3.0)
+            .verdict
+            .batch()
+            .unwrap();
+        let b3 = plan(&SearchSpace::nlp_c3(), gpipe(), 8, 3.0)
+            .verdict
+            .batch()
+            .unwrap();
         assert!(b3 > b1, "NLP.c3 {b3} !> NLP.c1 {b1}");
     }
 

@@ -66,7 +66,10 @@ impl Partition {
     pub fn balanced(costs: &[f64], stages: u32) -> Self {
         assert!(!costs.is_empty(), "cannot partition zero blocks");
         assert!(stages > 0, "need at least one stage");
-        assert!(costs.iter().all(|&c| c >= 0.0), "costs must be non-negative");
+        assert!(
+            costs.iter().all(|&c| c >= 0.0),
+            "costs must be non-negative"
+        );
         let stages = stages as usize;
 
         // Feasibility: can we cover `costs` with `stages` ranges of sum <= cap?

@@ -25,6 +25,7 @@ use crate::predictor::{Fetch, PendingBackward, Predictor};
 use crate::report::{alu_efficiency, PipelineReport};
 use crate::scheduler::{CspScheduler, SubnetTable};
 use crate::task::{FinishedSet, StageId, TaskKind};
+use naspipe_obs::{Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, Sample};
 use naspipe_sim::cluster::Cluster;
 use naspipe_sim::event::EventQueue;
 use naspipe_sim::gpu::GpuId;
@@ -68,6 +69,9 @@ pub struct PipelineOutcome {
     pub trace: Trace,
     /// The subnets trained, in exploration order.
     pub subnets: Vec<Subnet>,
+    /// Per-stage observability metrics (queue depth, preemptions,
+    /// stall/bubble time, cache behaviour, task latencies).
+    pub obs: ObsReport,
 }
 
 /// Why a run could not be performed.
@@ -222,6 +226,12 @@ struct Engine<'a> {
     idle_blocked_us: Vec<u64>,
     idle_empty_us: Vec<u64>,
     faults: u64,
+    recorder: MetricsRecorder,
+    // Per-stage cache stats already folded into the recorder; the next
+    // sync emits only the delta.
+    cache_seen: Vec<CacheStats>,
+    // Debug-mode independent re-check of the CSP contract on CSP runs.
+    checker: Option<CspChecker>,
 }
 
 impl<'a> Engine<'a> {
@@ -275,8 +285,7 @@ impl<'a> Engine<'a> {
         // capacity is a soft limit: required swap-ins are always admitted,
         // prefetches are refused under pressure.
         let cache = if swap {
-            let mean_slice =
-                memory::mean_subnet_param_bytes(space) as f64 / f64::from(d);
+            let mean_slice = memory::mean_subnet_param_bytes(space) as f64 / f64::from(d);
             let factor = match config.policy {
                 SyncPolicy::Csp { .. } => config.cache_factor,
                 _ => 2.0, // VPipe: current + prefetched subnet
@@ -299,9 +308,11 @@ impl<'a> Engine<'a> {
             .collect();
 
         let injection = match config.policy {
-            SyncPolicy::Csp { scheduler, .. } => {
-                Injection::Window(if scheduler { config.max_queue as u64 } else { 1 })
-            }
+            SyncPolicy::Csp { scheduler, .. } => Injection::Window(if scheduler {
+                config.max_queue as u64
+            } else {
+                1
+            }),
             SyncPolicy::Bsp { .. } => Injection::Bulk(u64::from(config.policy.bulk_size(d))),
             // 1F1B keeps one forward and one backward of distinct batches
             // per stage in flight: 2D batches saturate the pipeline.
@@ -339,6 +350,11 @@ impl<'a> Engine<'a> {
             idle_blocked_us: vec![0; d as usize],
             idle_empty_us: vec![0; d as usize],
             faults: 0,
+            recorder: MetricsRecorder::new(),
+            cache_seen: vec![CacheStats::default(); d as usize],
+            // Only CSP runs promise the causal contract; debug builds
+            // re-verify every admission against it.
+            checker: (cfg!(debug_assertions) && use_csp).then(CspChecker::new),
         })
     }
 
@@ -375,7 +391,21 @@ impl<'a> Engine<'a> {
         for _ in 0..want {
             let subnet = self.subnets[self.injected as usize].clone();
             let partition = self.partitioner.partition_for(&subnet);
-            self.table.insert(subnet.clone(), partition);
+            if let Some(checker) = self.checker.as_mut() {
+                let layers = subnet.layers().map(|l| {
+                    let owner = partition
+                        .stage_of_block(l.block as usize)
+                        .map(|s| s.0)
+                        .unwrap_or(0);
+                    (l, owner)
+                });
+                checker
+                    .register(subnet.seq_id(), layers)
+                    .unwrap_or_else(|v| panic!("{v}"));
+            }
+            self.table
+                .insert(subnet.clone(), partition)
+                .unwrap_or_else(|dup| panic!("injection re-used a sequence ID: {dup}"));
             self.queue.push(
                 now,
                 Ev::FwdArrive {
@@ -429,10 +459,7 @@ impl<'a> Engine<'a> {
             }
         }
         if missing_bytes > 0 {
-            let (_, end) = self
-                .cluster
-                .pcie_mut(GpuId(k))
-                .transfer(now, missing_bytes);
+            let (_, end) = self.cluster.pcie_mut(GpuId(k)).transfer(now, missing_bytes);
             for (l, _) in &layers {
                 let stage = &mut self.stages[k as usize];
                 if !stage.ready_at.contains_key(l) {
@@ -447,6 +474,36 @@ impl<'a> Engine<'a> {
             );
         }
         ready
+    }
+
+    /// Folds stage `k`'s cache-stat growth since the last sync into the
+    /// recorder (one emission site covers accesses, prefetches, and
+    /// evictions alike).
+    fn sync_cache_metrics(&mut self, k: u32) {
+        let Some(cache) = self.stages[k as usize].cache.as_ref() else {
+            return;
+        };
+        let cur = cache.stats();
+        let prev = self.cache_seen[k as usize];
+        self.recorder
+            .incr(k, Counter::CacheHit, cur.hits - prev.hits);
+        self.recorder
+            .incr(k, Counter::CacheMiss, cur.misses - prev.misses);
+        self.recorder
+            .incr(k, Counter::CacheEviction, cur.evictions - prev.evictions);
+        self.recorder
+            .incr(k, Counter::CachePrefetch, cur.prefetches - prev.prefetches);
+        self.recorder.incr(
+            k,
+            Counter::CacheBytesFetched,
+            cur.bytes_fetched - prev.bytes_fetched,
+        );
+        self.recorder.incr(
+            k,
+            Counter::CacheBytesEvicted,
+            cur.bytes_evicted - prev.bytes_evicted,
+        );
+        self.cache_seen[k as usize] = cur;
     }
 
     fn release_context(&mut self, k: u32) {
@@ -482,6 +539,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        self.sync_cache_metrics(k);
     }
 
     /// Pending backwards at the last stage: queued forwards that are
@@ -504,8 +562,10 @@ impl<'a> Engine<'a> {
                             .table
                             .get(y)
                             .map(|e| {
-                                e.subnet
-                                    .conflicts_within(e.partition.stage_range(StageId(k)), &w.subnet)
+                                e.subnet.conflicts_within(
+                                    e.partition.stage_range(StageId(k)),
+                                    &w.subnet,
+                                )
                             })
                             .unwrap_or(false)
                 })
@@ -524,8 +584,14 @@ impl<'a> Engine<'a> {
         if self.stages[k as usize].busy {
             return;
         }
+        let depth =
+            self.stages[k as usize].fwd_ready.len() + self.stages[k as usize].bwd_ready.len();
+        self.recorder.sample(k, Sample::QueueDepth, depth as u64);
         // Backward tasks first (highest priority, lowest sequence ID).
         if !self.stages[k as usize].bwd_ready.is_empty() {
+            if !self.stages[k as usize].fwd_ready.is_empty() {
+                self.recorder.incr(k, Counter::BackwardPreemption, 1);
+            }
             let idx = self.stages[k as usize]
                 .bwd_ready
                 .iter()
@@ -569,6 +635,15 @@ impl<'a> Engine<'a> {
         now: SimTime,
         pending: Vec<PendingBackward>,
     ) {
+        // Debug-mode CSP assertion: the admission the scheduler just made
+        // must be one the sequential exploration order allows.
+        if kind == TaskKind::Forward {
+            if let Some(checker) = self.checker.as_mut() {
+                checker
+                    .on_admit_forward(subnet, k)
+                    .unwrap_or_else(|v| panic!("{v}"));
+            }
+        }
         // Predictor hooks (Algorithm 1 lines 6 and 21).
         if self.use_predictor {
             let stage = &mut self.stages[k as usize];
@@ -631,13 +706,12 @@ impl<'a> Engine<'a> {
                 // CSP hoists activation recomputation ahead of the
                 // gradient's arrival (reserved in `reserve_recompute`);
                 // BSP baselines rematerialise inside the backward pass.
-                let recompute = if self.config.policy.recomputes_activations()
-                    && !self.recompute_ahead()
-                {
-                    fwd_ms
-                } else {
-                    0.0
-                };
+                let recompute =
+                    if self.config.policy.recomputes_activations() && !self.recompute_ahead() {
+                        fwd_ms
+                    } else {
+                        0.0
+                    };
                 (bwd_ms + recompute) * scale
             }
         };
@@ -682,6 +756,13 @@ impl<'a> Engine<'a> {
             .gpu_mut(GpuId(k))
             .compute_mut()
             .reserve_span(ready, SimDuration::from_ms(ms));
+        let (latency, count) = match kind {
+            TaskKind::Forward => (Sample::ForwardLatencyUs, Counter::ForwardTask),
+            TaskKind::Backward => (Sample::BackwardLatencyUs, Counter::BackwardTask),
+        };
+        self.recorder.sample(k, latency, end.since(start).as_us());
+        self.recorder.incr(k, count, 1);
+        self.sync_cache_metrics(k);
         self.stages[k as usize].busy = true;
         let label = format!("{subnet}.{kind}@P{k}");
         self.trace
@@ -713,9 +794,7 @@ impl<'a> Engine<'a> {
     /// Deterministic per-task fault decision: a pure function of the
     /// seed and the task identity, so faulty runs stay reproducible.
     fn faulty(&self, subnet: SubnetId, stage: u32, kind: TaskKind) -> bool {
-        let tag = (subnet.0 << 8)
-            ^ (u64::from(stage) << 1)
-            ^ u64::from(kind == TaskKind::Backward);
+        let tag = (subnet.0 << 8) ^ (u64::from(stage) << 1) ^ u64::from(kind == TaskKind::Backward);
         let mut rng = naspipe_supernet::rng::DetRng::new(self.config.seed).split(tag);
         rng.next_f64() < self.config.fault_rate
     }
@@ -746,7 +825,8 @@ impl<'a> Engine<'a> {
         let label = format!("{subnet}.recompute@P{k}");
         self.trace
             .record(start, GpuId(k), TraceKind::ComputeStart(label.clone()));
-        self.trace.record(end, GpuId(k), TraceKind::ComputeEnd(label));
+        self.trace
+            .record(end, GpuId(k), TraceKind::ComputeEnd(label));
     }
 
     fn on_task_done(&mut self, subnet: SubnetId, k: u32, kind: TaskKind, now: SimTime) {
@@ -784,6 +864,11 @@ impl<'a> Engine<'a> {
                 }
             }
             TaskKind::Backward => {
+                if let Some(checker) = self.checker.as_mut() {
+                    checker
+                        .on_backward_done(subnet, k)
+                        .unwrap_or_else(|v| panic!("{v}"));
+                }
                 self.finished[k as usize].insert(subnet);
                 if k > 0 {
                     let dt = self
@@ -811,6 +896,9 @@ impl<'a> Engine<'a> {
                         .min()
                         .expect("at least one stage");
                     self.table.retire_below(min_unfinished);
+                    if let Some(checker) = self.checker.as_mut() {
+                        checker.retire_below(min_unfinished);
+                    }
                     self.try_inject(now);
                 }
             }
@@ -832,8 +920,10 @@ impl<'a> Engine<'a> {
                     }
                     if st.fwd_ready.is_empty() && st.bwd_ready.is_empty() {
                         self.idle_empty_us[k] += dt;
+                        self.recorder.incr(k as u32, Counter::BubbleUs, dt);
                     } else {
                         self.idle_blocked_us[k] += dt;
+                        self.recorder.incr(k as u32, Counter::StallUs, dt);
                     }
                 }
                 self.last_event = now;
@@ -847,7 +937,9 @@ impl<'a> Engine<'a> {
                     stage,
                     pending,
                 } => {
-                    self.stages[stage as usize].bwd_ready.push((subnet, pending));
+                    self.stages[stage as usize]
+                        .bwd_ready
+                        .push((subnet, pending));
                 }
                 Ev::TaskDone {
                     subnet,
@@ -871,6 +963,10 @@ impl<'a> Engine<'a> {
 
     fn finish(mut self) -> PipelineOutcome {
         let makespan = self.makespan.max(SimTime::from_us(1));
+        for k in 0..self.d {
+            self.sync_cache_metrics(k); // final deltas (e.g. releases)
+        }
+        let obs = self.recorder.report(makespan.as_us());
         let eff = alu_efficiency(self.batch, self.reference_batch);
         let busy: Vec<f64> = self
             .cluster
@@ -890,6 +986,7 @@ impl<'a> Engine<'a> {
                 acc.misses += s.misses;
                 acc.bytes_fetched += s.bytes_fetched;
                 acc.bytes_evicted += s.bytes_evicted;
+                acc.evictions += s.evictions;
                 acc.prefetches += s.prefetches;
                 acc
             });
@@ -957,6 +1054,7 @@ impl<'a> Engine<'a> {
             tasks: self.records,
             trace: self.trace,
             subnets: self.subnets,
+            obs,
         }
     }
 }
@@ -1000,8 +1098,14 @@ mod tests {
     fn all_policies_complete() {
         for policy in [
             SyncPolicy::naspipe(),
-            SyncPolicy::Bsp { bulk: 0, swap: false },
-            SyncPolicy::Bsp { bulk: 0, swap: true },
+            SyncPolicy::Bsp {
+                bulk: 0,
+                swap: false,
+            },
+            SyncPolicy::Bsp {
+                bulk: 0,
+                swap: true,
+            },
             SyncPolicy::Asp,
         ] {
             let out = run(policy, 4, 12);
@@ -1015,6 +1119,101 @@ mod tests {
         let b = run(SyncPolicy::naspipe(), 4, 20);
         assert_eq!(a.tasks, b.tasks);
         assert_eq!(a.report, b.report);
+        assert_eq!(a.obs, b.obs, "observability metrics must be deterministic");
+    }
+
+    #[test]
+    fn obs_report_counts_tasks_and_covers_every_stage() {
+        let out = run(SyncPolicy::naspipe(), 4, 25);
+        assert_eq!(out.obs.stages.len(), 4);
+        let fwd: u64 = out.obs.stages.iter().map(|s| s.forward_tasks).sum();
+        let bwd: u64 = out.obs.stages.iter().map(|s| s.backward_tasks).sum();
+        assert_eq!(fwd, 25 * 4);
+        assert_eq!(bwd, 25 * 4);
+        let makespan_us = (out.report.makespan_secs * 1e6).round() as u64;
+        assert!(out.obs.wall_us.abs_diff(makespan_us) <= 1);
+        // The recorder's idle attribution mirrors the report's.
+        for (k, s) in out.obs.stages.iter().enumerate() {
+            let blocked = (out.report.stage_idle_blocked_secs[k] * 1e6).round() as u64;
+            let empty = (out.report.stage_idle_empty_secs[k] * 1e6).round() as u64;
+            assert_eq!(s.stall_us, blocked, "stage {k} stall");
+            assert_eq!(s.bubble_us, empty, "stage {k} bubble");
+        }
+        // CSP at this scale swaps contexts: cache activity must show up.
+        let lookups: u64 = out
+            .obs
+            .stages
+            .iter()
+            .map(|s| s.cache_hits + s.cache_misses)
+            .sum();
+        assert!(lookups > 0, "cache metrics were never synced");
+    }
+
+    #[test]
+    fn invariant_checker_catches_a_corrupted_schedule() {
+        // Rebuild a checker from a real CSP run's layer placement, then
+        // corrupt the schedule: admit a conflicting later subnet's
+        // forward before the earlier subnet wrote the shared layer.
+        let out = run(SyncPolicy::naspipe(), 4, 15);
+        // Per-subnet layer -> owner stage, from the forward records.
+        let mut owners: BTreeMap<u64, Vec<(LayerRef, u32)>> = BTreeMap::new();
+        for t in out.tasks.iter().filter(|t| t.kind == TaskKind::Forward) {
+            let subnet = &out.subnets[t.subnet.0 as usize];
+            let entry = owners.entry(t.subnet.0).or_default();
+            for b in t.blocks.clone() {
+                if !subnet.skips(b) {
+                    entry.push((subnet.layer(b), t.stage.0));
+                }
+            }
+        }
+        let mut checker = CspChecker::new();
+        for (id, layers) in &owners {
+            checker
+                .register(SubnetId(*id), layers.iter().copied())
+                .unwrap();
+        }
+        // Find a conflicting pair (the sampled stream is dense enough to
+        // guarantee one) and the stage at which the later subnet reads
+        // the shared layer.
+        let (w, y, layer) = out
+            .subnets
+            .iter()
+            .enumerate()
+            .find_map(|(i, a)| {
+                out.subnets[i + 1..].iter().find_map(|b| {
+                    a.layers()
+                        .find(|l| b.layers().any(|m| m == *l))
+                        .map(|l| (a.seq_id(), b.seq_id(), l))
+                })
+            })
+            .expect("stream contains a causal conflict");
+        let stage = owners[&y.0]
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .map(|&(_, s)| s)
+            .expect("y activates the shared layer");
+        let err = checker.on_admit_forward(y, stage).unwrap_err();
+        match &err {
+            naspipe_obs::Violation::PrematureForward {
+                later,
+                earlier,
+                layer: shared,
+                ..
+            } => {
+                assert_eq!(*later, y);
+                assert!(*earlier < y, "blames an earlier subnet");
+                // The blamed earlier subnet really shares the layer.
+                let e = &out.subnets[earlier.0 as usize];
+                assert!(e.layers().any(|l| l == *shared));
+                let _ = w; // any earlier sharer is a valid blame target
+            }
+            other => panic!("expected a premature-forward violation, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("{y}")) && msg.contains("shared layer"),
+            "violation names the pair and the layer: {msg}"
+        );
     }
 
     #[test]
@@ -1034,8 +1233,7 @@ mod tests {
     /// equivalence.
     fn assert_csp_order(out: &PipelineOutcome) {
         use std::collections::HashMap;
-        let arch: HashMap<u64, &Subnet> =
-            out.subnets.iter().map(|s| (s.seq_id().0, s)).collect();
+        let arch: HashMap<u64, &Subnet> = out.subnets.iter().map(|s| (s.seq_id().0, s)).collect();
         let mut per_layer: HashMap<LayerRef, Vec<(SimTime, TaskKind, u64)>> = HashMap::new();
         for t in &out.tasks {
             let subnet = arch[&t.subnet.0];
@@ -1048,10 +1246,8 @@ mod tests {
         }
         for (layer, mut accesses) in per_layer {
             accesses.sort_by_key(|&(t, kind, id)| (t, id, kind));
-            let mut expect: Vec<(TaskKind, u64)> = accesses
-                .iter()
-                .map(|&(_, kind, id)| (kind, id))
-                .collect();
+            let mut expect: Vec<(TaskKind, u64)> =
+                accesses.iter().map(|&(_, kind, id)| (kind, id)).collect();
             // Sequential order: by subnet id, forward before backward.
             expect.sort_by_key(|&(kind, id)| (id, kind != TaskKind::Forward));
             // Wait: TaskKind::Forward < Backward in enum order already.
@@ -1065,12 +1261,15 @@ mod tests {
     fn bsp_bulk_groups_forwards() {
         // Under BSP the forwards of a bulk all read the pre-bulk weights:
         // at stage 0 the forwards of the bulk run before any backward.
-        let out = run(SyncPolicy::Bsp { bulk: 3, swap: false }, 4, 6);
-        let stage0: Vec<&TaskRecord> = out
-            .tasks
-            .iter()
-            .filter(|t| t.stage == StageId(0))
-            .collect();
+        let out = run(
+            SyncPolicy::Bsp {
+                bulk: 3,
+                swap: false,
+            },
+            4,
+            6,
+        );
+        let stage0: Vec<&TaskRecord> = out.tasks.iter().filter(|t| t.stage == StageId(0)).collect();
         let kinds: Vec<TaskKind> = stage0.iter().map(|t| t.kind).collect();
         assert_eq!(
             &kinds[..3],
@@ -1082,7 +1281,14 @@ mod tests {
     #[test]
     fn asp_keeps_pipeline_fuller_than_bsp() {
         let asp = run(SyncPolicy::Asp, 4, 40);
-        let bsp = run(SyncPolicy::Bsp { bulk: 0, swap: false }, 4, 40);
+        let bsp = run(
+            SyncPolicy::Bsp {
+                bulk: 0,
+                swap: false,
+            },
+            4,
+            40,
+        );
         assert!(
             asp.report.bubble_ratio < bsp.report.bubble_ratio,
             "ASP {} !< BSP {}",
@@ -1115,14 +1321,28 @@ mod tests {
     fn cache_hit_rate_present_only_when_swapping() {
         let nas = run(SyncPolicy::naspipe(), 4, 20);
         assert!(nas.report.cache_hit_rate.is_some());
-        let gpipe = run(SyncPolicy::Bsp { bulk: 0, swap: false }, 4, 20);
+        let gpipe = run(
+            SyncPolicy::Bsp {
+                bulk: 0,
+                swap: false,
+            },
+            4,
+            20,
+        );
         assert!(gpipe.report.cache_hit_rate.is_none());
     }
 
     #[test]
     fn predictor_raises_hit_rate_over_vpipe() {
         let nas = run(SyncPolicy::naspipe(), 4, 40);
-        let vpipe = run(SyncPolicy::Bsp { bulk: 0, swap: true }, 4, 40);
+        let vpipe = run(
+            SyncPolicy::Bsp {
+                bulk: 0,
+                swap: true,
+            },
+            4,
+            40,
+        );
         let nas_hit = nas.report.cache_hit_rate.unwrap();
         let vpipe_hit = vpipe.report.cache_hit_rate.unwrap();
         assert!(
@@ -1139,7 +1359,10 @@ mod tests {
             num_gpus: 8,
             batch: 0,
             num_subnets: 4,
-            policy: SyncPolicy::Bsp { bulk: 0, swap: false },
+            policy: SyncPolicy::Bsp {
+                bulk: 0,
+                swap: false,
+            },
             max_queue: 30,
             cache_factor: 3.0,
             fault_rate: 0.0,
@@ -1226,7 +1449,10 @@ mod tests {
             run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap()
         };
         let out4 = run_with_faults(4);
-        assert_eq!(out4.report.subnets_completed, 30, "all subnets survive faults");
+        assert_eq!(
+            out4.report.subnets_completed, 30,
+            "all subnets survive faults"
+        );
         assert!(out4.report.faults_injected > 0, "faults should have fired");
         // Faulty runs stay deterministic...
         let again = run_with_faults(4);
@@ -1234,7 +1460,11 @@ mod tests {
         // ...and CSP order still holds, so training is still reproducible.
         let out8 = run_with_faults(8);
         use crate::train::{replay_training, TrainConfig};
-        let tc = TrainConfig { dim: 4, rows: 2, ..TrainConfig::default() };
+        let tc = TrainConfig {
+            dim: 4,
+            rows: 2,
+            ..TrainConfig::default()
+        };
         assert_eq!(
             replay_training(&space, &out4, &tc).final_hash,
             replay_training(&space, &out8, &tc).final_hash,

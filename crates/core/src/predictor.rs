@@ -150,7 +150,8 @@ mod tests {
             t.insert(
                 Subnet::new(SubnetId(i as u64), row.to_vec()),
                 Partition::from_boundaries(vec![0, 2, 4]),
-            );
+            )
+            .expect("fresh sequence IDs");
         }
         t
     }
@@ -165,8 +166,7 @@ mod tests {
         let mut s = CspScheduler::new();
         let q = vec![SubnetId(1)];
         let f = vec![FinishedSet::new(); 2];
-        let fetches =
-            p.before_backward(&mut s, &q, &f, &t, StageId(0), SubnetId(0), &[]);
+        let fetches = p.before_backward(&mut s, &q, &f, &t, StageId(0), SubnetId(0), &[]);
         assert_eq!(
             fetches,
             vec![Fetch {

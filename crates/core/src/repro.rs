@@ -86,11 +86,7 @@ impl AccessOrder {
 /// overlap: the owning stage serialises them and CSP orders cross-stage
 /// mirrored accesses).
 pub fn layer_access_order(outcome: &PipelineOutcome, layer: LayerRef) -> AccessOrder {
-    let arch: BTreeMap<u64, &Subnet> = outcome
-        .subnets
-        .iter()
-        .map(|s| (s.seq_id().0, s))
-        .collect();
+    let arch: BTreeMap<u64, &Subnet> = outcome.subnets.iter().map(|s| (s.seq_id().0, s)).collect();
     let mut accesses = Vec::new();
     for task in &outcome.tasks {
         let subnet = arch[&task.subnet.0];
@@ -108,21 +104,20 @@ pub fn layer_access_order(outcome: &PipelineOutcome, layer: LayerRef) -> AccessO
 /// All layers accessed during a run, with their access orders.
 pub fn all_access_orders(outcome: &PipelineOutcome) -> BTreeMap<LayerRef, AccessOrder> {
     let mut map: BTreeMap<LayerRef, AccessOrder> = BTreeMap::new();
-    let arch: BTreeMap<u64, &Subnet> = outcome
-        .subnets
-        .iter()
-        .map(|s| (s.seq_id().0, s))
-        .collect();
+    let arch: BTreeMap<u64, &Subnet> = outcome.subnets.iter().map(|s| (s.seq_id().0, s)).collect();
     for task in &outcome.tasks {
         let subnet = arch[&task.subnet.0];
         for b in task.blocks.clone() {
             if subnet.skips(b) {
                 continue;
             }
-            map.entry(subnet.layer(b)).or_default().accesses.push(Access {
-                subnet: task.subnet.0,
-                kind: task.kind,
-            });
+            map.entry(subnet.layer(b))
+                .or_default()
+                .accesses
+                .push(Access {
+                    subnet: task.subnet.0,
+                    kind: task.kind,
+                });
         }
     }
     map
@@ -229,8 +224,22 @@ mod tests {
 
     #[test]
     fn bsp_order_differs_by_gpu_count() {
-        let out4 = outcome(SyncPolicy::Bsp { bulk: 3, swap: false }, 4, 30);
-        let out8 = outcome(SyncPolicy::Bsp { bulk: 5, swap: false }, 8, 30);
+        let out4 = outcome(
+            SyncPolicy::Bsp {
+                bulk: 3,
+                swap: false,
+            },
+            4,
+            30,
+        );
+        let out8 = outcome(
+            SyncPolicy::Bsp {
+                bulk: 5,
+                swap: false,
+            },
+            8,
+            30,
+        );
         // At least one shared layer must show a different interleaving.
         let differs = all_access_orders(&out4)
             .into_iter()
@@ -240,7 +249,14 @@ mod tests {
 
     #[test]
     fn bsp_violates_sequential_order() {
-        let out = outcome(SyncPolicy::Bsp { bulk: 5, swap: false }, 8, 30);
+        let out = outcome(
+            SyncPolicy::Bsp {
+                bulk: 5,
+                swap: false,
+            },
+            8,
+            30,
+        );
         assert!(
             verify_csp_order(&out).is_err(),
             "BSP should interleave bulk forwards before backwards"
@@ -251,10 +267,22 @@ mod tests {
     fn notation_matches_paper_format() {
         let order = AccessOrder {
             accesses: vec![
-                Access { subnet: 2, kind: TaskKind::Forward },
-                Access { subnet: 2, kind: TaskKind::Backward },
-                Access { subnet: 5, kind: TaskKind::Forward },
-                Access { subnet: 5, kind: TaskKind::Backward },
+                Access {
+                    subnet: 2,
+                    kind: TaskKind::Forward,
+                },
+                Access {
+                    subnet: 2,
+                    kind: TaskKind::Backward,
+                },
+                Access {
+                    subnet: 5,
+                    kind: TaskKind::Forward,
+                },
+                Access {
+                    subnet: 5,
+                    kind: TaskKind::Backward,
+                },
             ],
         };
         assert_eq!(order.notation(), "2F-2B-5F-5B");
@@ -265,24 +293,51 @@ mod tests {
     fn non_sequential_orders_detected() {
         let torn = AccessOrder {
             accesses: vec![
-                Access { subnet: 2, kind: TaskKind::Forward },
-                Access { subnet: 5, kind: TaskKind::Forward },
-                Access { subnet: 2, kind: TaskKind::Backward },
-                Access { subnet: 5, kind: TaskKind::Backward },
+                Access {
+                    subnet: 2,
+                    kind: TaskKind::Forward,
+                },
+                Access {
+                    subnet: 5,
+                    kind: TaskKind::Forward,
+                },
+                Access {
+                    subnet: 2,
+                    kind: TaskKind::Backward,
+                },
+                Access {
+                    subnet: 5,
+                    kind: TaskKind::Backward,
+                },
             ],
         };
         assert!(!torn.is_sequential());
         let descending = AccessOrder {
             accesses: vec![
-                Access { subnet: 5, kind: TaskKind::Forward },
-                Access { subnet: 5, kind: TaskKind::Backward },
-                Access { subnet: 2, kind: TaskKind::Forward },
-                Access { subnet: 2, kind: TaskKind::Backward },
+                Access {
+                    subnet: 5,
+                    kind: TaskKind::Forward,
+                },
+                Access {
+                    subnet: 5,
+                    kind: TaskKind::Backward,
+                },
+                Access {
+                    subnet: 2,
+                    kind: TaskKind::Forward,
+                },
+                Access {
+                    subnet: 2,
+                    kind: TaskKind::Backward,
+                },
             ],
         };
         assert!(!descending.is_sequential());
         let odd = AccessOrder {
-            accesses: vec![Access { subnet: 1, kind: TaskKind::Forward }],
+            accesses: vec![Access {
+                subnet: 1,
+                kind: TaskKind::Forward,
+            }],
         };
         assert!(!odd.is_sequential());
     }
@@ -290,11 +345,19 @@ mod tests {
     #[test]
     fn access_display() {
         assert_eq!(
-            Access { subnet: 7, kind: TaskKind::Forward }.to_string(),
+            Access {
+                subnet: 7,
+                kind: TaskKind::Forward
+            }
+            .to_string(),
             "7F"
         );
         assert_eq!(
-            Access { subnet: 7, kind: TaskKind::Backward }.to_string(),
+            Access {
+                subnet: 7,
+                kind: TaskKind::Backward
+            }
+            .to_string(),
             "7B"
         );
     }

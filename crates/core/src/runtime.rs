@@ -14,24 +14,96 @@
 //!   are **bitwise identical** to sequential training — the strongest
 //!   demonstration of Definition 1: reproducibility comes from dependency
 //!   preservation, not from lockstep timing.
+//!
+//! Failures surface as [`TrainError`] values naming the stage rather than
+//! as panics: a dead neighbour turns every pending `send`/`recv` on its
+//! channels into a [`TrainError::ChannelClosed`], cascading an orderly
+//! shutdown through the pipeline, and [`run_threaded`] reports the
+//! root-cause error in preference to the secondary channel failures.
+//!
+//! In debug builds every worker additionally feeds a shared
+//! [`CspChecker`] — an independent re-derivation of the CSP contract —
+//! so any admission the sequential exploration order could not have
+//! produced aborts the run with a [`TrainError::Invariant`]. Each worker
+//! also records per-stage metrics (task counts and latencies, queue
+//! depth, stall/bubble time) into a private
+//! [`MetricsRecorder`](naspipe_obs::MetricsRecorder), merged after join;
+//! [`run_threaded_observed`] exposes the merged
+//! [`ObsReport`](naspipe_obs::ObsReport).
 
 use crate::partition::Partition;
 use crate::task::FinishedSet;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::train::{TrainConfig, TrainResult};
+use naspipe_obs::{Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, Sample, Violation};
 use naspipe_supernet::space::SearchSpace;
 use naspipe_supernet::subnet::{Subnet, SubnetId};
 use naspipe_tensor::data::SyntheticDataset;
 use naspipe_tensor::layers::DenseParams;
 use naspipe_tensor::model::{ForwardCtx, NumericSupernet, ParamStore};
 use naspipe_tensor::tensor::Tensor;
-use crate::train::{TrainConfig, TrainResult};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A failure of the threaded runtime, naming the stage it surfaced on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// A channel to a neighbouring stage closed mid-run — the peer
+    /// worker exited early (usually the secondary symptom of its own
+    /// error; [`run_threaded`] prefers reporting the root cause).
+    ChannelClosed {
+        /// The stage that observed the closed channel.
+        stage: usize,
+        /// Which link failed: `"successor"`, `"predecessor"`, or
+        /// `"inbound"`.
+        link: &'static str,
+    },
+    /// A stage worker thread panicked.
+    StagePanicked {
+        /// The panicked stage.
+        stage: usize,
+    },
+    /// The runtime's task interleaving broke the CSP contract.
+    Invariant {
+        /// The stage whose event triggered the violation.
+        stage: usize,
+        /// The violated invariant, naming the subnet pair and layer.
+        violation: Violation,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::ChannelClosed { stage, link } => write!(
+                f,
+                "stage {stage}: {link} channel closed before training finished"
+            ),
+            TrainError::StagePanicked { stage } => {
+                write!(f, "stage {stage}: worker thread panicked")
+            }
+            TrainError::Invariant { stage, violation } => {
+                write!(f, "stage {stage}: {violation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 enum Msg {
     Fwd(SubnetId, Tensor),
     Bwd(SubnetId, Tensor),
+}
+
+/// What a stage worker hands back on success.
+struct StageOutput {
+    params: Vec<Vec<DenseParams>>,
+    losses: BTreeMap<u64, f32>,
+    recorder: MetricsRecorder,
 }
 
 struct StageWorker {
@@ -55,6 +127,8 @@ struct StageWorker {
     finished_count: u64,
     injected: u64,
     losses: BTreeMap<u64, f32>,
+    recorder: MetricsRecorder,
+    checker: Option<Arc<Mutex<CspChecker>>>,
 }
 
 impl StageWorker {
@@ -73,9 +147,26 @@ impl StageWorker {
         true
     }
 
+    /// Feeds `event` to the shared invariant checker, if one is active.
+    fn check(
+        &self,
+        event: impl FnOnce(&mut CspChecker) -> Result<(), Violation>,
+    ) -> Result<(), TrainError> {
+        if let Some(checker) = &self.checker {
+            let mut guard = checker
+                .lock()
+                .map_err(|_| TrainError::StagePanicked { stage: self.stage })?;
+            event(&mut guard).map_err(|violation| TrainError::Invariant {
+                stage: self.stage,
+                violation,
+            })?;
+        }
+        Ok(())
+    }
+
     fn forward_slice(&self, subnet: &Subnet, input: &Tensor) -> ForwardCtx {
-        // Build a scratch store view? The engine API reads from ParamStore;
-        // here we own raw slices, so inline the slice loop.
+        // The engine API reads from a ParamStore; here we own raw
+        // slices, so inline the slice loop.
         let mut x = input.clone();
         let mut layers = Vec::with_capacity(self.blocks.len());
         for b in self.blocks.clone() {
@@ -94,7 +185,9 @@ impl StageWorker {
         ForwardCtx::from_parts(layers, x)
     }
 
-    fn run_forward(&mut self, y: SubnetId, input: Tensor) {
+    fn run_forward(&mut self, y: SubnetId, input: Tensor) -> Result<(), TrainError> {
+        self.check(|c| c.on_admit_forward(y, self.stage as u32))?;
+        let started = Instant::now();
         let subnet = self.subnets[y.0 as usize].clone();
         let ctx = self.forward_slice(&subnet, &input);
         if self.last {
@@ -104,16 +197,23 @@ impl StageWorker {
             self.bwd_queue.insert(y.0, grad);
         } else {
             let out = ctx.output().clone();
-            self.next_tx
-                .as_ref()
-                .expect("non-last stage has successor")
-                .send(Msg::Fwd(y, out))
-                .expect("successor alive");
+            let next = self.next_tx.as_ref().expect("non-last stage has successor");
+            next.send(Msg::Fwd(y, out))
+                .map_err(|_| TrainError::ChannelClosed {
+                    stage: self.stage,
+                    link: "successor",
+                })?;
         }
         self.ctxs.insert(y.0, ctx);
+        let stage = self.stage as u32;
+        self.recorder
+            .sample(stage, Sample::ForwardLatencyUs, elapsed_us(started));
+        self.recorder.incr(stage, Counter::ForwardTask, 1);
+        Ok(())
     }
 
-    fn run_backward(&mut self, y: SubnetId, grad_out: Tensor) {
+    fn run_backward(&mut self, y: SubnetId, grad_out: Tensor) -> Result<(), TrainError> {
+        let started = Instant::now();
         let ctx = self.ctxs.remove(&y.0).expect("forward context present");
         // Backward + apply on the owned slice.
         let mut grad = grad_out;
@@ -134,11 +234,21 @@ impl StageWorker {
                 &mut self.params[layer.block as usize - self.blocks.start][layer.choice as usize];
             self.engine.step_layer(layer, params, &g);
         }
+        self.check(|c| c.on_backward_done(y, self.stage as u32))?;
         if let Some(prev) = &self.prev_tx {
-            prev.send(Msg::Bwd(y, grad)).expect("predecessor alive");
+            prev.send(Msg::Bwd(y, grad))
+                .map_err(|_| TrainError::ChannelClosed {
+                    stage: self.stage,
+                    link: "predecessor",
+                })?;
         }
         self.finished.insert(y);
         self.finished_count += 1;
+        let stage = self.stage as u32;
+        self.recorder
+            .sample(stage, Sample::BackwardLatencyUs, elapsed_us(started));
+        self.recorder.incr(stage, Counter::BackwardTask, 1);
+        Ok(())
     }
 
     fn try_inject(&mut self) {
@@ -151,15 +261,24 @@ impl StageWorker {
         }
     }
 
-    fn run(mut self) -> (Vec<Vec<DenseParams>>, BTreeMap<u64, f32>) {
+    fn run(mut self) -> Result<StageOutput, TrainError> {
+        let stage = self.stage as u32;
         while self.finished_count < self.total {
             if self.stage == 0 {
                 self.try_inject();
             }
+            self.recorder.sample(
+                stage,
+                Sample::QueueDepth,
+                (self.fwd_queue.len() + self.bwd_queue.len()) as u64,
+            );
             // Backwards first (they resolve dependencies).
             if let Some((&id, _)) = self.bwd_queue.iter().next() {
+                if !self.fwd_queue.is_empty() {
+                    self.recorder.incr(stage, Counter::BackwardPreemption, 1);
+                }
                 let grad = self.bwd_queue.remove(&id).expect("present");
-                self.run_backward(SubnetId(id), grad);
+                self.run_backward(SubnetId(id), grad)?;
                 continue;
             }
             // Then the first admissible forward (Algorithm 2).
@@ -169,20 +288,41 @@ impl StageWorker {
                 .position(|(id, _)| self.admissible(*id));
             if let Some(i) = pick {
                 let (y, input) = self.fwd_queue.remove(i);
-                self.run_forward(y, input);
+                self.run_forward(y, input)?;
                 continue;
             }
-            // Nothing runnable: block for a message.
-            match self.rx.recv() {
-                Ok(Msg::Fwd(y, act)) => self.fwd_queue.push((y, act)),
-                Ok(Msg::Bwd(y, grad)) => {
+            // Nothing runnable: block for a message. Idle time with work
+            // queued is a causal stall; with an empty queue it is a
+            // pipeline bubble.
+            let blocked = !self.fwd_queue.is_empty();
+            let waiting = Instant::now();
+            let msg = self.rx.recv().map_err(|_| TrainError::ChannelClosed {
+                stage: self.stage,
+                link: "inbound",
+            })?;
+            let idle = if blocked {
+                Counter::StallUs
+            } else {
+                Counter::BubbleUs
+            };
+            self.recorder.incr(stage, idle, elapsed_us(waiting));
+            match msg {
+                Msg::Fwd(y, act) => self.fwd_queue.push((y, act)),
+                Msg::Bwd(y, grad) => {
                     self.bwd_queue.insert(y.0, grad);
                 }
-                Err(_) => break,
             }
         }
-        (self.params, self.losses)
+        Ok(StageOutput {
+            params: self.params,
+            losses: self.losses,
+            recorder: self.recorder,
+        })
     }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
 /// Trains `subnets` on `gpus` stage threads with CSP scheduling; returns
@@ -191,6 +331,12 @@ impl StageWorker {
 ///
 /// `window` bounds the in-flight subnets (the paper's `|L_q|`, default 30
 /// when `0` is passed).
+///
+/// # Errors
+///
+/// Returns a [`TrainError`] naming the failing stage when a worker
+/// panics, a channel closes mid-run, or (in debug builds) the invariant
+/// checker observes a CSP violation.
 ///
 /// # Panics
 ///
@@ -202,7 +348,26 @@ pub fn run_threaded(
     cfg: &TrainConfig,
     gpus: u32,
     window: u64,
-) -> TrainResult {
+) -> Result<TrainResult, TrainError> {
+    run_threaded_observed(space, subnets, cfg, gpus, window).map(|(result, _)| result)
+}
+
+/// [`run_threaded`] plus the merged per-stage observability report.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_threaded`].
+///
+/// # Panics
+///
+/// Same contract-violation panics as [`run_threaded`].
+pub fn run_threaded_observed(
+    space: &SearchSpace,
+    subnets: Vec<Subnet>,
+    cfg: &TrainConfig,
+    gpus: u32,
+    window: u64,
+) -> Result<(TrainResult, ObsReport), TrainError> {
     assert!(gpus > 0, "need at least one stage thread");
     for (i, s) in subnets.iter().enumerate() {
         assert_eq!(s.seq_id().0, i as u64, "subnets must be numbered from 0");
@@ -212,15 +377,38 @@ pub fn run_threaded(
     let m = space.num_blocks();
     let partition = Partition::balanced(&vec![1.0; m], gpus);
     let total = subnets.len() as u64;
+
+    // Debug builds cross-check the runtime's interleaving against the
+    // CSP contract; the checker sees the static partition's layer→stage
+    // map for every subnet up front.
+    let checker = if cfg!(debug_assertions) {
+        let mut c = CspChecker::new();
+        for s in subnets.iter() {
+            let layers = s.layers().map(|l| {
+                let owner = partition
+                    .stage_of_block(l.block as usize)
+                    .map(|s| s.0)
+                    .unwrap_or(0);
+                (l, owner)
+            });
+            c.register(s.seq_id(), layers)
+                .expect("subnets numbered uniquely");
+        }
+        Some(Arc::new(Mutex::new(c)))
+    } else {
+        None
+    };
+
     let subnets = Arc::new(subnets);
     let data = Arc::new(SyntheticDataset::new(cfg.seed, cfg.rows, cfg.dim));
     let init = ParamStore::init(space, cfg.dim, cfg.seed);
+    let started = Instant::now();
 
     // Channels: stage k receives from one rx; neighbours hold its tx.
     let mut txs = Vec::with_capacity(gpus as usize);
     let mut rxs = Vec::with_capacity(gpus as usize);
     for _ in 0..gpus {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         txs.push(tx);
         rxs.push(rx);
     }
@@ -251,7 +439,11 @@ pub fn run_threaded(
             params,
             rx: rxs.remove(k),
             next_tx: txs.get(k + 1).cloned(),
-            prev_tx: if k > 0 { Some(txs[k - 1].clone()) } else { None },
+            prev_tx: if k > 0 {
+                Some(txs[k - 1].clone())
+            } else {
+                None
+            },
             fwd_queue: Vec::new(),
             bwd_queue: BTreeMap::new(),
             ctxs: BTreeMap::new(),
@@ -259,6 +451,8 @@ pub fn run_threaded(
             finished_count: 0,
             injected: 0,
             losses: BTreeMap::new(),
+            recorder: MetricsRecorder::new(),
+            checker: checker.clone(),
         };
         handles.push((k, std::thread::spawn(move || worker.run())));
     }
@@ -266,23 +460,51 @@ pub fn run_threaded(
 
     let mut store = init;
     let mut losses: BTreeMap<u64, f32> = BTreeMap::new();
-    for (k, handle) in handles {
-        let (params, stage_losses) = handle.join().expect("stage thread panicked");
-        let blocks = partition.stage_range(crate::task::StageId(k as u32));
-        for (i, b) in blocks.enumerate() {
-            for (c, p) in params[i].iter().enumerate() {
-                *store.layer_mut(naspipe_supernet::layer::LayerRef::new(b as u32, c as u32)) =
-                    p.clone();
-            }
+    let mut recorder = MetricsRecorder::new();
+    // A root-cause error (panic, invariant breach) beats the channel
+    // failures it cascades into on neighbouring stages.
+    let mut first_error: Option<TrainError> = None;
+    let mut note = |err: TrainError| match (&first_error, &err) {
+        (None, _)
+        | (Some(TrainError::ChannelClosed { .. }), TrainError::StagePanicked { .. })
+        | (Some(TrainError::ChannelClosed { .. }), TrainError::Invariant { .. }) => {
+            first_error = Some(err);
         }
-        losses.extend(stage_losses);
+        _ => {}
+    };
+    for (k, handle) in handles {
+        let outcome = handle
+            .join()
+            .map_err(|_| TrainError::StagePanicked { stage: k });
+        match outcome {
+            Ok(Ok(output)) => {
+                let blocks = partition.stage_range(crate::task::StageId(k as u32));
+                for (i, b) in blocks.enumerate() {
+                    for (c, p) in output.params[i].iter().enumerate() {
+                        *store.layer_mut(naspipe_supernet::layer::LayerRef::new(
+                            b as u32, c as u32,
+                        )) = p.clone();
+                    }
+                }
+                losses.extend(output.losses);
+                recorder.merge(&output.recorder);
+            }
+            Ok(Err(err)) | Err(err) => note(err),
+        }
+    }
+    if let Some(err) = first_error {
+        return Err(err);
     }
 
-    TrainResult {
-        losses: losses.into_iter().collect(),
-        final_hash: store.bitwise_hash(),
-        store,
-    }
+    let report = recorder.report(elapsed_us(started));
+    Ok((
+        TrainResult {
+            losses: losses.into_iter().collect(),
+            final_hash: store.bitwise_hash(),
+            store,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]
@@ -307,7 +529,8 @@ mod tests {
         let cfg = TrainConfig::default();
         let seq = sequential_training(&space, &list, &cfg);
         for gpus in [1, 2, 4] {
-            let res = run_threaded(&space, list.clone(), &cfg, gpus, 0);
+            let res =
+                run_threaded(&space, list.clone(), &cfg, gpus, 0).expect("threaded run succeeds");
             assert_eq!(
                 res.final_hash, seq.final_hash,
                 "threaded run on {gpus} threads diverged"
@@ -322,8 +545,8 @@ mod tests {
         let space = space();
         let list = subnets(&space, 25);
         let cfg = TrainConfig::default();
-        let a = run_threaded(&space, list.clone(), &cfg, 4, 8);
-        let b = run_threaded(&space, list, &cfg, 4, 8);
+        let a = run_threaded(&space, list.clone(), &cfg, 4, 8).unwrap();
+        let b = run_threaded(&space, list, &cfg, 4, 8).unwrap();
         assert_eq!(a.final_hash, b.final_hash);
     }
 
@@ -332,8 +555,8 @@ mod tests {
         let space = space();
         let list = subnets(&space, 20);
         let cfg = TrainConfig::default();
-        let small = run_threaded(&space, list.clone(), &cfg, 2, 2);
-        let large = run_threaded(&space, list, &cfg, 2, 16);
+        let small = run_threaded(&space, list.clone(), &cfg, 2, 2).unwrap();
+        let large = run_threaded(&space, list, &cfg, 2, 16).unwrap();
         assert_eq!(small.final_hash, large.final_hash);
     }
 
@@ -343,8 +566,38 @@ mod tests {
         let list = subnets(&space, 10);
         let cfg = TrainConfig::default();
         let seq = sequential_training(&space, &list, &cfg);
-        let res = run_threaded(&space, list, &cfg, 6, 0);
+        let res = run_threaded(&space, list, &cfg, 6, 0).unwrap();
         assert_eq!(res.final_hash, seq.final_hash);
+    }
+
+    #[test]
+    fn observed_run_reports_task_counts() {
+        let space = space();
+        let list = subnets(&space, 12);
+        let cfg = TrainConfig::default();
+        let (_, report) = run_threaded_observed(&space, list, &cfg, 3, 0).unwrap();
+        assert_eq!(report.stages.len(), 3);
+        for s in &report.stages {
+            // Every stage runs every subnet's forward and backward once.
+            assert_eq!(s.forward_tasks, 12, "stage {}", s.stage);
+            assert_eq!(s.backward_tasks, 12, "stage {}", s.stage);
+        }
+        assert!(report.wall_us > 0);
+    }
+
+    #[test]
+    fn train_errors_name_the_stage() {
+        let err = TrainError::ChannelClosed {
+            stage: 2,
+            link: "successor",
+        };
+        assert!(err.to_string().contains("stage 2"));
+        let err = TrainError::Invariant {
+            stage: 1,
+            violation: Violation::DuplicateSubnet { id: SubnetId(4) },
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("stage 1") && msg.contains("SN4"));
     }
 
     #[test]
@@ -352,6 +605,6 @@ mod tests {
     fn misnumbered_subnets_panic() {
         let space = space();
         let list = vec![Subnet::new(SubnetId(3), vec![0; 8])];
-        run_threaded(&space, list, &TrainConfig::default(), 2, 0);
+        let _ = run_threaded(&space, list, &TrainConfig::default(), 2, 0);
     }
 }

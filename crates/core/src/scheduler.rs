@@ -24,6 +24,21 @@ use crate::partition::Partition;
 use crate::task::{FinishedSet, StageId};
 use naspipe_supernet::subnet::{Subnet, SubnetId};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sequence ID was registered in a [`SubnetTable`] twice. Admitting two
+/// in-flight subnets under one ID would let the scheduler check the wrong
+/// architecture's layers, so registration refuses rather than overwrites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateSubnet(pub SubnetId);
+
+impl fmt::Display for DuplicateSubnet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "subnet {} is already registered in-flight", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateSubnet {}
 
 /// The runtime's view of in-flight subnets (`L_SN`): each entry pairs the
 /// subnet's layer choices with the partition it executes under.
@@ -49,13 +64,17 @@ impl SubnetTable {
 
     /// Registers a retrieved subnet and its partition.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the sequence ID is already registered.
-    pub fn insert(&mut self, subnet: Subnet, partition: Partition) {
-        let id = subnet.seq_id().0;
-        let prev = self.entries.insert(id, SubnetEntry { subnet, partition });
-        assert!(prev.is_none(), "subnet SN{id} registered twice");
+    /// Returns [`DuplicateSubnet`] (and leaves the existing entry
+    /// untouched) if the sequence ID is already registered.
+    pub fn insert(&mut self, subnet: Subnet, partition: Partition) -> Result<(), DuplicateSubnet> {
+        let id = subnet.seq_id();
+        if self.entries.contains_key(&id.0) {
+            return Err(DuplicateSubnet(id));
+        }
+        self.entries.insert(id.0, SubnetEntry { subnet, partition });
+        Ok(())
     }
 
     /// Looks up an in-flight subnet.
@@ -64,10 +83,7 @@ impl SubnetTable {
     }
 
     /// Tracked subnets with sequence ID strictly below `bound`, ascending.
-    pub fn entries_below(
-        &self,
-        bound: SubnetId,
-    ) -> impl Iterator<Item = (SubnetId, &SubnetEntry)> {
+    pub fn entries_below(&self, bound: SubnetId) -> impl Iterator<Item = (SubnetId, &SubnetEntry)> {
         self.entries
             .range(..bound.0)
             .map(|(&id, e)| (SubnetId(id), e))
@@ -141,8 +157,7 @@ impl CspScheduler {
         stage: StageId,
     ) -> Option<(usize, SubnetId)> {
         self.stats.calls += 1;
-        let mut order: Vec<(usize, SubnetId)> =
-            queue.iter().copied().enumerate().collect();
+        let mut order: Vec<(usize, SubnetId)> = queue.iter().copied().enumerate().collect();
         order.sort_by_key(|&(_, id)| id);
         for (qidx, qval) in order {
             self.stats.scanned += 1;
@@ -222,7 +237,8 @@ mod tests {
             t.insert(
                 Subnet::new(SubnetId(i as u64), row.to_vec()),
                 Partition::from_boundaries(vec![0, 2, 4]),
-            );
+            )
+            .expect("fresh sequence IDs");
         }
         t
     }
@@ -284,7 +300,11 @@ mod tests {
         let q = vec![SubnetId(1), SubnetId(2)];
         // SN0 is unfinished and not in the queue (already running).
         let got = s.schedule(&q, &fresh(2), &t, StageId(0));
-        assert_eq!(got, Some((1, SubnetId(2))), "should leapfrog the blocked SN1");
+        assert_eq!(
+            got,
+            Some((1, SubnetId(2))),
+            "should leapfrog the blocked SN1"
+        );
     }
 
     #[test]
@@ -307,11 +327,13 @@ mod tests {
         t.insert(
             Subnet::new(SubnetId(0), vec![0, 0, 7, 0]),
             Partition::from_boundaries(vec![0, 3, 4]), // block 2 -> stage 0
-        );
+        )
+        .unwrap();
         t.insert(
             Subnet::new(SubnetId(1), vec![1, 1, 7, 1]),
             Partition::from_boundaries(vec![0, 2, 4]), // block 2 -> stage 1
-        );
+        )
+        .unwrap();
         let mut f = fresh(2);
         f[1].insert(SubnetId(0)); // SN0 backward done at stage 1 only
         assert!(
@@ -352,13 +374,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn double_insert_panics() {
+    fn double_insert_is_refused_and_keeps_the_original() {
         let mut t = table(&[&[0, 0, 0, 0]]);
+        let err = t
+            .insert(
+                Subnet::new(SubnetId(0), vec![1, 1, 1, 1]),
+                Partition::from_boundaries(vec![0, 2, 4]),
+            )
+            .unwrap_err();
+        assert_eq!(err, DuplicateSubnet(SubnetId(0)));
+        assert!(err.to_string().contains("SN0"));
+        // The original registration survives the refused overwrite.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(SubnetId(0)).unwrap().subnet.choices(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn schedule_refuses_mirrored_forward_until_owner_stage_write() {
+        // Satellite of mirrored_partitions_wait_for_owner_stage, at the
+        // schedule() level: SN0 (w) owns shared block 2 at stage
+        // s_w = 0 < K = 1; SN1 (y) reads it at stage K = 1. SN1's forward
+        // at K must be refused until SN0's backward completes at s_w,
+        // even though SN0's stage-K backward finished long before.
+        let mut t = SubnetTable::new();
         t.insert(
-            Subnet::new(SubnetId(0), vec![1, 1, 1, 1]),
-            Partition::from_boundaries(vec![0, 2, 4]),
+            Subnet::new(SubnetId(0), vec![0, 0, 7, 0]),
+            Partition::from_boundaries(vec![0, 3, 4]), // block 2 -> stage 0
+        )
+        .unwrap();
+        t.insert(
+            Subnet::new(SubnetId(1), vec![1, 1, 7, 1]),
+            Partition::from_boundaries(vec![0, 2, 4]), // block 2 -> stage 1
+        )
+        .unwrap();
+        let mut s = CspScheduler::new();
+        let q = vec![SubnetId(1)];
+        let mut f = fresh(2);
+        f[1].insert(SubnetId(0)); // w's backward done at K, not yet at s_w
+        assert_eq!(
+            s.schedule(&q, &f, &t, StageId(1)),
+            None,
+            "y's forward must wait for w's backward at s_w, not just at K"
         );
+        f[0].insert(SubnetId(0)); // w's backward reaches s_w: layer written
+        assert_eq!(s.schedule(&q, &f, &t, StageId(1)), Some((0, SubnetId(1))));
     }
 
     #[test]

@@ -153,18 +153,9 @@ pub fn replay_training(
     let mut store = ParamStore::init(space, cfg.dim, cfg.seed);
     let mut engine = cfg.engine();
     let data = SyntheticDataset::new(cfg.seed, cfg.rows, cfg.dim);
-    let arch: BTreeMap<u64, &Subnet> = outcome
-        .subnets
-        .iter()
-        .map(|s| (s.seq_id().0, s))
-        .collect();
+    let arch: BTreeMap<u64, &Subnet> = outcome.subnets.iter().map(|s| (s.seq_id().0, s)).collect();
     let m = space.num_blocks();
-    let last_stage = outcome
-        .tasks
-        .iter()
-        .map(|t| t.stage.0)
-        .max()
-        .unwrap_or(0);
+    let last_stage = outcome.tasks.iter().map(|t| t.stage.0).max().unwrap_or(0);
 
     // Boundary activations flowing forward, gradients flowing backward,
     // and per-(subnet, stage) forward contexts for the backward pass.
@@ -182,7 +173,8 @@ pub fn replay_training(
                 let input = if k == 0 {
                     data.step_batch(y).0
                 } else {
-                    acts.remove(&(y, k - 1)).expect("boundary activation present")
+                    acts.remove(&(y, k - 1))
+                        .expect("boundary activation present")
                 };
                 let ctx = engine.forward_slice(&store, subnet, task.blocks.clone(), &input);
                 acts.insert((y, k), ctx.output().clone());
@@ -198,7 +190,9 @@ pub fn replay_training(
                     grad
                 } else {
                     acts.remove(&(y, k));
-                    grads.remove(&(y, k + 1)).expect("gradient from later stage")
+                    grads
+                        .remove(&(y, k + 1))
+                        .expect("gradient from later stage")
                 };
                 let ctx = ctxs.remove(&(y, k)).expect("forward context present");
                 let (grad_in, layer_grads) = engine.backward_slice(&store, &ctx, &grad_out);
@@ -266,7 +260,12 @@ mod tests {
         UniformSampler::new(space, 123).take_subnets(n)
     }
 
-    fn run(space: &SearchSpace, subnets: Vec<Subnet>, policy: SyncPolicy, gpus: u32) -> PipelineOutcome {
+    fn run(
+        space: &SearchSpace,
+        subnets: Vec<Subnet>,
+        policy: SyncPolicy,
+        gpus: u32,
+    ) -> PipelineOutcome {
         let cfg = PipelineConfig {
             num_gpus: gpus,
             batch: 32,
@@ -305,7 +304,10 @@ mod tests {
         let space = space();
         let list = subnets(&space, 40);
         let cfg = TrainConfig::default();
-        let policy = SyncPolicy::Bsp { bulk: 0, swap: false };
+        let policy = SyncPolicy::Bsp {
+            bulk: 0,
+            swap: false,
+        };
         let h4 = replay_training(&space, &run(&space, list.clone(), policy, 4), &cfg).final_hash;
         let h8 = replay_training(&space, &run(&space, list.clone(), policy, 8), &cfg).final_hash;
         assert_ne!(h4, h8, "BSP should not be reproducible across GPU counts");
@@ -343,7 +345,11 @@ mod tests {
         let list = subnets(&space, 300);
         let cfg = TrainConfig::default();
         let res = sequential_training(&space, &list, &cfg);
-        let head: f64 = res.losses[..30].iter().map(|&(_, l)| f64::from(l)).sum::<f64>() / 30.0;
+        let head: f64 = res.losses[..30]
+            .iter()
+            .map(|&(_, l)| f64::from(l))
+            .sum::<f64>()
+            / 30.0;
         let tail = res.converged_loss();
         assert!(tail < head * 0.9, "no convergence: {head} -> {tail}");
     }
@@ -389,7 +395,11 @@ mod tests {
         let space = space();
         let list = subnets(&space, 30);
         let cfg = TrainConfig::default();
-        let r4 = replay_training(&space, &run(&space, list.clone(), SyncPolicy::naspipe(), 4), &cfg);
+        let r4 = replay_training(
+            &space,
+            &run(&space, list.clone(), SyncPolicy::naspipe(), 4),
+            &cfg,
+        );
         let r8 = replay_training(&space, &run(&space, list, SyncPolicy::naspipe(), 8), &cfg);
         let rank4 = r4.quality_ranking();
         assert_eq!(rank4, r8.quality_ranking());

@@ -258,6 +258,7 @@ pub fn replay_transcript(
         tasks: transcript.tasks.clone(),
         trace: naspipe_sim::trace::Trace::new(),
         subnets: transcript.subnets.clone(),
+        obs: naspipe_obs::ObsReport::default(),
     };
     crate::train::replay_training(space, &outcome, cfg)
 }

@@ -1,0 +1,162 @@
+//! A self-contained, registry-free subset of the [criterion] API.
+//!
+//! The workspace must resolve and build with no network access, so the
+//! `crates/bench` micro-benchmarks link against this shim instead of the
+//! real criterion (renamed back via `package = "naspipe-criterion"`).
+//! It implements exactly the surface the benches use — `Criterion`,
+//! `Bencher::iter`, `benchmark_group`/`bench_with_input`,
+//! `BenchmarkId::from_parameter`, and the `criterion_group!` /
+//! `criterion_main!` macros — measuring wall-clock means with a short
+//! warm-up instead of criterion's full statistical machinery.
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `name` and prints its mean iteration
+    /// time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A parameterised benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label naming only the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// A `function/parameter` label.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` with `input`, labelled `name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing for one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`: a warm-up estimates the cost,
+    /// then enough iterations run to fill the target measurement window.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and cost estimate.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / estimate.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean_ns = Some(total.as_nanos() as f64 / iters as f64);
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        match self.mean_ns {
+            Some(ns) => {
+                let (value, unit) = if ns >= 1e9 {
+                    (ns / 1e9, "s")
+                } else if ns >= 1e6 {
+                    (ns / 1e6, "ms")
+                } else if ns >= 1e3 {
+                    (ns / 1e3, "us")
+                } else {
+                    (ns, "ns")
+                };
+                println!(
+                    "bench {name:<48} {value:>10.3} {unit}/iter ({} iters)",
+                    self.iters
+                );
+            }
+            None => println!("bench {name:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Declares a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

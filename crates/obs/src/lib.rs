@@ -1,0 +1,36 @@
+//! Observability and correctness tooling for the NASPipe runtimes.
+//!
+//! The crate has three layers, mirroring the needs of the simulator
+//! (`naspipe-core::pipeline`) and the threaded runtime
+//! (`naspipe-core::runtime`):
+//!
+//! 1. **Metrics** ([`metrics`]): a lightweight [`Recorder`] trait with
+//!    per-stage counters and histograms — queue depth, backward-first
+//!    preemptions, stall/bubble time, context-cache hits/misses/evictions,
+//!    and forward/backward task latency. [`MetricsRecorder`] is the
+//!    in-memory implementation; per-worker recorders from the threaded
+//!    runtime merge into one via [`MetricsRecorder::merge`].
+//! 2. **Invariants** ([`invariant`]): [`CspChecker`] validates the causal
+//!    synchronous parallelism contract on every task admission — no
+//!    unfinished earlier subnet may still own a layer the admitted task
+//!    touches — including the `min(K, s_w)` layer-mirroring refinement,
+//!    and cross-checks the observed read/write interleaving per shared
+//!    layer against sequential exploration order. Violations name the
+//!    subnet pair and the shared layer.
+//! 3. **Reports** ([`report`]): [`ObsReport`] renders the recorded
+//!    metrics as a human-readable per-stage table or as JSON, for the
+//!    `crates/bench` experiment drivers.
+//!
+//! The crate deliberately has no dependency on `naspipe-core`: the
+//! runtimes resolve their own partition/stage types into plain
+//! `(LayerRef, stage)` pairs before talking to the checker, so the
+//! tooling stays reusable across the event-driven simulator and the real
+//! threaded runtime.
+
+pub mod invariant;
+pub mod metrics;
+pub mod report;
+
+pub use invariant::{CspChecker, Violation};
+pub use metrics::{Counter, Histogram, MetricsRecorder, NullRecorder, Recorder, Sample};
+pub use report::{ObsReport, StageObs};

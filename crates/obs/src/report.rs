@@ -1,0 +1,280 @@
+//! Rendering of recorded metrics: per-stage text tables and JSON.
+//!
+//! [`ObsReport`] is a plain snapshot produced by
+//! [`MetricsRecorder::report`](crate::MetricsRecorder::report); the
+//! experiment drivers in `crates/bench` print the
+//! [`render_text`](ObsReport::render_text) form after each run and can
+//! dump [`to_json`](ObsReport::to_json) for downstream tooling. The JSON
+//! is emitted by hand (no serde in the offline dependency closure).
+
+use std::fmt::Write as _;
+
+/// Derived per-stage observability summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageObs {
+    /// Pipeline stage index.
+    pub stage: u32,
+    /// Forward tasks completed.
+    pub forward_tasks: u64,
+    /// Backward tasks completed.
+    pub backward_tasks: u64,
+    /// Times a backward was dispatched ahead of a ready forward.
+    pub backward_preemptions: u64,
+    /// Microseconds idle with inadmissible work queued.
+    pub stall_us: u64,
+    /// Microseconds idle with an empty queue.
+    pub bubble_us: u64,
+    /// `stall_us` over the run's wall time.
+    pub stall_ratio: f64,
+    /// `bubble_us` over the run's wall time.
+    pub bubble_ratio: f64,
+    /// Context-cache hits.
+    pub cache_hits: u64,
+    /// Context-cache misses.
+    pub cache_misses: u64,
+    /// Context-cache evictions.
+    pub cache_evictions: u64,
+    /// Context-cache prefetches.
+    pub cache_prefetches: u64,
+    /// Hits over total lookups (0 when no lookups).
+    pub cache_hit_rate: f64,
+    /// Mean queue depth at dispatch decisions.
+    pub mean_queue_depth: f64,
+    /// Largest observed queue depth.
+    pub max_queue_depth: u64,
+    /// Mean forward-task latency in microseconds.
+    pub fwd_latency_mean_us: f64,
+    /// Largest forward-task latency in microseconds.
+    pub fwd_latency_max_us: u64,
+    /// Mean backward-task latency in microseconds.
+    pub bwd_latency_mean_us: f64,
+    /// Largest backward-task latency in microseconds.
+    pub bwd_latency_max_us: u64,
+}
+
+impl StageObs {
+    /// Fraction of the wall time this stage spent busy (1 − stall −
+    /// bubble), clamped to `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        (1.0 - self.stall_ratio - self.bubble_ratio).clamp(0.0, 1.0)
+    }
+}
+
+/// A full observability snapshot of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsReport {
+    /// Total run time in microseconds (simulated or wall-clock).
+    pub wall_us: u64,
+    /// One summary per pipeline stage.
+    pub stages: Vec<StageObs>,
+}
+
+impl ObsReport {
+    /// Whole-pipeline bubble ratio: mean of the per-stage bubble ratios.
+    pub fn bubble_ratio(&self) -> f64 {
+        mean(self.stages.iter().map(|s| s.bubble_ratio))
+    }
+
+    /// Whole-pipeline stall ratio: mean of the per-stage stall ratios.
+    pub fn stall_ratio(&self) -> f64 {
+        mean(self.stages.iter().map(|s| s.stall_ratio))
+    }
+
+    /// Whole-pipeline cache hit rate over all stages' lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.stages.iter().map(|s| s.cache_hits).sum();
+        let lookups: u64 = hits + self.stages.iter().map(|s| s.cache_misses).sum::<u64>();
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+
+    /// Renders a human-readable per-stage table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stage  fwd   bwd  preempt  util%  stall%  bubble%  cache-hit%  \
+             ev  q-mean  q-max  fwd-us(mean/max)  bwd-us(mean/max)"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>5} {:>5} {:>8} {:>6.1} {:>7.1} {:>8.1} {:>11.1} {:>3} \
+                 {:>7.1} {:>6} {:>9.0}/{:<7} {:>9.0}/{:<7}",
+                s.stage,
+                s.forward_tasks,
+                s.backward_tasks,
+                s.backward_preemptions,
+                100.0 * s.utilization(),
+                100.0 * s.stall_ratio,
+                100.0 * s.bubble_ratio,
+                100.0 * s.cache_hit_rate,
+                s.cache_evictions,
+                s.mean_queue_depth,
+                s.max_queue_depth,
+                s.fwd_latency_mean_us,
+                s.fwd_latency_max_us,
+                s.bwd_latency_mean_us,
+                s.bwd_latency_max_us,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: wall {:.3}s  bubble ratio {:.3}  stall ratio {:.3}  \
+             cache hit rate {:.3}",
+            self.wall_us as f64 / 1e6,
+            self.bubble_ratio(),
+            self.stall_ratio(),
+            self.cache_hit_rate(),
+        );
+        out
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"wall_us\":{},\"bubble_ratio\":{},\"stall_ratio\":{},\
+             \"cache_hit_rate\":{},\"stages\":[",
+            self.wall_us,
+            json_f64(self.bubble_ratio()),
+            json_f64(self.stall_ratio()),
+            json_f64(self.cache_hit_rate()),
+        );
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"stage\":{},\"forward_tasks\":{},\"backward_tasks\":{},\
+                 \"backward_preemptions\":{},\"stall_us\":{},\"bubble_us\":{},\
+                 \"stall_ratio\":{},\"bubble_ratio\":{},\"utilization\":{},\
+                 \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+                 \"cache_prefetches\":{},\"cache_hit_rate\":{},\
+                 \"mean_queue_depth\":{},\"max_queue_depth\":{},\
+                 \"fwd_latency_mean_us\":{},\"fwd_latency_max_us\":{},\
+                 \"bwd_latency_mean_us\":{},\"bwd_latency_max_us\":{}}}",
+                s.stage,
+                s.forward_tasks,
+                s.backward_tasks,
+                s.backward_preemptions,
+                s.stall_us,
+                s.bubble_us,
+                json_f64(s.stall_ratio),
+                json_f64(s.bubble_ratio),
+                json_f64(s.utilization()),
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.cache_prefetches,
+                json_f64(s.cache_hit_rate),
+                json_f64(s.mean_queue_depth),
+                s.max_queue_depth,
+                json_f64(s.fwd_latency_mean_us),
+                s.fwd_latency_max_us,
+                json_f64(s.bwd_latency_mean_us),
+                s.bwd_latency_max_us,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, count) = values.fold((0.0, 0u64), |(s, c), v| (s + v, c + 1));
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stage_report() -> ObsReport {
+        ObsReport {
+            wall_us: 1_000_000,
+            stages: vec![
+                StageObs {
+                    stage: 0,
+                    forward_tasks: 10,
+                    backward_tasks: 10,
+                    bubble_ratio: 0.2,
+                    stall_ratio: 0.1,
+                    cache_hits: 8,
+                    cache_misses: 2,
+                    cache_hit_rate: 0.8,
+                    ..StageObs::default()
+                },
+                StageObs {
+                    stage: 1,
+                    forward_tasks: 10,
+                    backward_tasks: 10,
+                    bubble_ratio: 0.4,
+                    stall_ratio: 0.0,
+                    cache_hits: 2,
+                    cache_misses: 8,
+                    cache_hit_rate: 0.2,
+                    ..StageObs::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates_are_means_and_totals() {
+        let r = two_stage_report();
+        assert!((r.bubble_ratio() - 0.3).abs() < 1e-12);
+        assert!((r.stall_ratio() - 0.05).abs() < 1e-12);
+        assert!((r.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_report_mentions_every_stage_and_totals() {
+        let text = two_stage_report().render_text();
+        assert!(text.contains("bubble ratio 0.300"));
+        assert!(text.contains("cache hit rate 0.500"));
+        assert_eq!(text.lines().count(), 4); // header + 2 stages + totals
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = two_stage_report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"stage\":").count(), 2);
+        assert!(json.contains("\"wall_us\":1000000"));
+        assert!(json.contains("\"cache_hit_rate\":0.5"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        let s = StageObs {
+            stall_ratio: 0.7,
+            bubble_ratio: 0.6,
+            ..StageObs::default()
+        };
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! A self-contained, registry-free subset of the [proptest] API.
+//!
+//! The workspace must build and test with no network access (the
+//! observed failure mode: `cargo` cannot resolve `proptest` against an
+//! unreachable registry, so even `cargo build` dies before compiling a
+//! line). This crate re-implements the slice of proptest's surface the
+//! test suites actually use — `proptest!`, range/tuple/`Just`/vec
+//! strategies, `prop_map`/`prop_flat_map`, `prop_assert*`, and
+//! `prop_assume!` — over a deterministic splitmix64 generator, with no
+//! dependencies at all. Dependents rename it back to `proptest`:
+//!
+//! ```toml
+//! proptest = { package = "naspipe-proptest", path = "../proptest-shim" }
+//! ```
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failure reports the case number and the
+//!   deterministic per-case seed instead of a minimised input;
+//! * **deterministic by construction** — the RNG is seeded from the
+//!   test's module path and case index, so failures always reproduce;
+//! * **64 cases by default** (tier-1 stays fast); override globally with
+//!   the `PROPTEST_CASES` environment variable or per-test with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! [proptest]: https://crates.io/crates/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import the proptest idiom expects.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `cases` generated inputs.
+///
+/// An optional `#![proptest_config(expr)]` header sets the run
+/// configuration for every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __config.resolved_cases();
+                let __test = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__test, __case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {}/{} (seed reproduces deterministically): {}",
+                                stringify!($name), __case, __cases, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the enclosing property case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -183,7 +183,9 @@ mod tests {
         c.gpu_mut(GpuId(1)).memory_mut().alloc(500).unwrap();
         assert_eq!(c.gpu(GpuId(1)).memory().used(), 500);
         assert_eq!(c.gpus().len(), 2);
-        let (_, end) = c.pcie_mut(GpuId(0)).transfer(crate::time::SimTime::ZERO, 1_048_576);
+        let (_, end) = c
+            .pcie_mut(GpuId(0))
+            .transfer(crate::time::SimTime::ZERO, 1_048_576);
         assert!(end.as_us() > 0);
     }
 

@@ -103,7 +103,11 @@ impl MemoryPool {
     ///
     /// Panics if more is freed than is allocated (an accounting bug).
     pub fn free(&mut self, bytes: u64) {
-        assert!(bytes <= self.used, "freeing {bytes} bytes but only {} used", self.used);
+        assert!(
+            bytes <= self.used,
+            "freeing {bytes} bytes but only {} used",
+            self.used
+        );
         self.used -= bytes;
     }
 }
@@ -205,8 +209,10 @@ mod tests {
         assert_eq!(gpu.id().to_string(), "GPU3");
         gpu.memory_mut().alloc(10).unwrap();
         assert_eq!(gpu.memory().used(), 10);
-        gpu.compute_mut()
-            .reserve_from(crate::time::SimTime::ZERO, crate::time::SimDuration::from_us(5));
+        gpu.compute_mut().reserve_from(
+            crate::time::SimTime::ZERO,
+            crate::time::SimDuration::from_us(5),
+        );
         assert_eq!(gpu.compute().busy_time().as_us(), 5);
     }
 }

@@ -59,7 +59,8 @@ impl Link {
     /// returns `(start, end)` of the transfer.
     pub fn transfer(&mut self, earliest: SimTime, bytes: u64) -> (SimTime, SimTime) {
         self.bytes_moved += bytes;
-        self.channel.reserve_span(earliest, self.transfer_time(bytes))
+        self.channel
+            .reserve_span(earliest, self.transfer_time(bytes))
     }
 
     /// First instant the link is idle.

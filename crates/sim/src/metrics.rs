@@ -44,8 +44,16 @@ impl RunMetrics {
                 .iter()
                 .map(|g| g.compute().utilization(makespan))
                 .collect(),
-            gpu_mem_high_water: cluster.gpus().iter().map(|g| g.memory().high_water()).collect(),
-            gpu_mem_capacity: cluster.gpus().iter().map(|g| g.memory().capacity()).collect(),
+            gpu_mem_high_water: cluster
+                .gpus()
+                .iter()
+                .map(|g| g.memory().high_water())
+                .collect(),
+            gpu_mem_capacity: cluster
+                .gpus()
+                .iter()
+                .map(|g| g.memory().capacity())
+                .collect(),
             subnets_completed,
             samples_processed,
         }

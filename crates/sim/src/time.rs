@@ -71,7 +71,10 @@ impl SimDuration {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_ms(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be non-negative, got {ms}");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be non-negative, got {ms}"
+        );
         SimDuration((ms * 1_000.0).round() as u64)
     }
 
@@ -183,7 +186,10 @@ mod tests {
 
     #[test]
     fn sum_and_ordering() {
-        let total: SimDuration = [1.0, 2.0, 3.0].iter().map(|&m| SimDuration::from_ms(m)).sum();
+        let total: SimDuration = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&m| SimDuration::from_ms(m))
+            .sum();
         assert_eq!(total.as_us(), 6_000);
         assert!(SimTime::from_us(1) < SimTime::from_us(2));
         assert_eq!(SimTime::from_us(3).max(SimTime::from_us(9)).as_us(), 9);

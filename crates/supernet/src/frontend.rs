@@ -135,7 +135,10 @@ impl SupernetBuilder {
     ///
     /// Panics if `ops` is empty.
     pub fn choice_block(mut self, name: impl Into<String>, ops: Vec<OpSpec>) -> Self {
-        assert!(!ops.is_empty(), "a choice block needs at least one operator");
+        assert!(
+            !ops.is_empty(),
+            "a choice block needs at least one operator"
+        );
         self.blocks.push((name.into(), ops));
         self
     }
@@ -147,7 +150,10 @@ impl SupernetBuilder {
     ///
     /// Panics if `count == 0` or `choices == 0`.
     pub fn repeat_catalog_blocks(mut self, prefix: &str, count: u32, choices: u32) -> Self {
-        assert!(count > 0 && choices > 0, "count and choices must be positive");
+        assert!(
+            count > 0 && choices > 0,
+            "count and choices must be positive"
+        );
         for i in 0..count {
             let ops = (0..choices)
                 .map(|c| {
@@ -166,14 +172,15 @@ impl SupernetBuilder {
     ///
     /// Panics if no block was declared.
     pub fn build(self) -> (SearchSpace, NameTable) {
-        assert!(!self.blocks.is_empty(), "a supernet needs at least one block");
+        assert!(
+            !self.blocks.is_empty(),
+            "a supernet needs at least one block"
+        );
         let names = NameTable {
             blocks: self
                 .blocks
                 .iter()
-                .map(|(n, ops)| {
-                    (n.clone(), ops.iter().map(|o| o.name.clone()).collect())
-                })
+                .map(|(n, ops)| (n.clone(), ops.iter().map(|o| o.name.clone()).collect()))
                 .collect(),
         };
         let blocks = self
@@ -356,7 +363,10 @@ mod tests {
         let session = ExplorationSession::spawn(UniformSampler::new(&space, 5), 12, 3);
         let all = session.drain();
         assert_eq!(all.len(), 12);
-        assert!(all.iter().enumerate().all(|(i, s)| s.seq_id().0 == i as u64));
+        assert!(all
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.seq_id().0 == i as u64));
     }
 
     #[test]

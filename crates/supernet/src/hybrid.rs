@@ -16,7 +16,7 @@
 
 use crate::rng::DetRng;
 use crate::sampler::ExplorationStrategy;
-use crate::space::{SearchSpace, ChoiceBlock};
+use crate::space::{ChoiceBlock, SearchSpace};
 use crate::subnet::{Subnet, SubnetId, SKIP_CHOICE};
 
 /// A union supernet embedding several member search spaces side by side.
@@ -52,7 +52,10 @@ impl HybridSpace {
     /// Panics if `members` is empty or the members' domains differ (a
     /// union supernet runs on one cost catalog).
     pub fn new(members: &[&SearchSpace]) -> Self {
-        assert!(!members.is_empty(), "a hybrid needs at least one member space");
+        assert!(
+            !members.is_empty(),
+            "a hybrid needs at least one member space"
+        );
         let domain = members[0].domain();
         assert!(
             members.iter().all(|m| m.domain() == domain),
@@ -208,7 +211,10 @@ impl SlimmableSampler {
             "min_depth must be in 1..={}",
             space.num_blocks()
         );
-        assert!((0.0..1.0).contains(&skip_prob), "skip_prob must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&skip_prob),
+            "skip_prob must be in [0, 1)"
+        );
         Self {
             choices_per_block: space.blocks().iter().map(|b| b.num_choices()).collect(),
             min_depth,

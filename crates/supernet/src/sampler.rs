@@ -131,7 +131,9 @@ mod tests {
         let space = SearchSpace::nlp_c3();
         let mut a = UniformSampler::new(&space, 1);
         let mut b = UniformSampler::new(&space, 2);
-        let equal = (0..20).filter(|_| a.next_subnet() == b.next_subnet()).count();
+        let equal = (0..20)
+            .filter(|_| a.next_subnet() == b.next_subnet())
+            .count();
         assert!(equal < 2);
     }
 

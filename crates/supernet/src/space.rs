@@ -120,7 +120,10 @@ impl ChoiceBlock {
     ///
     /// Panics if `num_choices == 0`.
     pub fn from_catalog(domain: Domain, num_choices: u32) -> Self {
-        assert!(num_choices > 0, "a choice block needs at least one candidate");
+        assert!(
+            num_choices > 0,
+            "a choice block needs at least one candidate"
+        );
         let (kinds, costs) = (0..num_choices).map(|c| candidate_cost(domain, c)).unzip();
         Self { kinds, costs }
     }
@@ -132,7 +135,10 @@ impl ChoiceBlock {
     ///
     /// Panics if `candidates` is empty.
     pub fn from_costs(candidates: Vec<(LayerKind, LayerCost)>) -> Self {
-        assert!(!candidates.is_empty(), "a choice block needs at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "a choice block needs at least one candidate"
+        );
         let (kinds, costs) = candidates.into_iter().unzip();
         Self { kinds, costs }
     }
@@ -240,7 +246,10 @@ impl SearchSpace {
     ///
     /// Panics if `blocks` is empty.
     pub fn from_blocks(domain: Domain, blocks: Vec<ChoiceBlock>) -> Self {
-        assert!(!blocks.is_empty(), "a search space needs at least one block");
+        assert!(
+            !blocks.is_empty(),
+            "a search space needs at least one block"
+        );
         Self {
             id: None,
             domain,

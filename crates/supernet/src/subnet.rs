@@ -45,7 +45,10 @@ impl Subnet {
     ///
     /// Panics if `choices` is empty.
     pub fn new(seq_id: SubnetId, choices: Vec<u32>) -> Self {
-        assert!(!choices.is_empty(), "a subnet must choose at least one layer");
+        assert!(
+            !choices.is_empty(),
+            "a subnet must choose at least one layer"
+        );
         Self { seq_id, choices }
     }
 
@@ -96,9 +99,8 @@ impl Subnet {
     /// blocks are stateless and never shared.
     pub fn shared_blocks<'a>(&'a self, other: &'a Subnet) -> impl Iterator<Item = usize> + 'a {
         let common = self.choices.len().min(other.choices.len());
-        (0..common).filter(move |&b| {
-            self.choices[b] == other.choices[b] && self.choices[b] != SKIP_CHOICE
-        })
+        (0..common)
+            .filter(move |&b| self.choices[b] == other.choices[b] && self.choices[b] != SKIP_CHOICE)
     }
 
     /// Whether any layer is shared with `other` (a causal dependency

@@ -201,10 +201,18 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
             let (ym, _) = dense_forward(&p, &xm, 1.0);
-            let num: f32 =
-                yp.data().iter().zip(ym.data()).map(|(a, b)| a - b).sum::<f32>() / (2.0 * eps);
+            let num: f32 = yp
+                .data()
+                .iter()
+                .zip(ym.data())
+                .map(|(a, b)| a - b)
+                .sum::<f32>()
+                / (2.0 * eps);
             let ana = grad_in.data()[idx];
-            assert!((num - ana).abs() < 1e-2, "dx mismatch at {idx}: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "dx mismatch at {idx}: {num} vs {ana}"
+            );
         }
     }
 
@@ -226,8 +234,13 @@ mod tests {
             let mut pm = p.clone();
             pm.weight.data_mut()[idx] -= eps;
             let (ym, _) = dense_forward(&pm, &x, scale);
-            let num: f32 =
-                yp.data().iter().zip(ym.data()).map(|(a, b)| a - b).sum::<f32>() / (2.0 * eps);
+            let num: f32 = yp
+                .data()
+                .iter()
+                .zip(ym.data())
+                .map(|(a, b)| a - b)
+                .sum::<f32>()
+                / (2.0 * eps);
             assert!((num - grads.weight.data()[idx]).abs() < 1e-2);
         }
         for idx in 0..4 {
@@ -237,8 +250,13 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
             let (ym, _) = dense_forward(&p, &xm, scale);
-            let num: f32 =
-                yp.data().iter().zip(ym.data()).map(|(a, b)| a - b).sum::<f32>() / (2.0 * eps);
+            let num: f32 = yp
+                .data()
+                .iter()
+                .zip(ym.data())
+                .map(|(a, b)| a - b)
+                .sum::<f32>()
+                / (2.0 * eps);
             assert!((num - grad_in.data()[idx]).abs() < 1e-2);
         }
     }

@@ -6,9 +6,7 @@
 //! engine (in `naspipe-core`) decides *which* store state each access sees,
 //! which is exactly where CSP, BSP and ASP semantics diverge.
 
-use crate::layers::{
-    dense_backward, dense_forward, DenseCache, DenseGrads, DenseParams,
-};
+use crate::layers::{dense_backward, dense_forward, DenseCache, DenseGrads, DenseParams};
 use crate::loss::mse;
 use crate::optim::{MomentumSgd, Sgd};
 use crate::tensor::Tensor;
@@ -235,12 +233,7 @@ impl NumericSupernet {
     /// # Panics
     ///
     /// Panics if gradient shapes mismatch the parameters.
-    pub fn step_layer(
-        &mut self,
-        layer: LayerRef,
-        params: &mut DenseParams,
-        grads: &DenseGrads,
-    ) {
+    pub fn step_layer(&mut self, layer: LayerRef, params: &mut DenseParams, grads: &DenseGrads) {
         self.optimizer.step(layer, params, grads);
     }
 
@@ -443,7 +436,7 @@ mod tests {
 
     #[test]
     fn evaluate_does_not_mutate() {
-        let (_space, store, mut engine, data) = setup();
+        let (_space, store, engine, data) = setup();
         let hash_before = store.bitwise_hash();
         let subnet = Subnet::new(SubnetId(0), vec![0, 1, 0, 1]);
         let (x, y) = data.step_batch(0);
@@ -494,7 +487,7 @@ mod tests {
 
     #[test]
     fn empty_slice_passes_through() {
-        let (_space, store, mut engine, data) = setup();
+        let (_space, store, engine, data) = setup();
         let subnet = Subnet::new(SubnetId(0), vec![0, 0, 0, 0]);
         let (x, _) = data.step_batch(0);
         let ctx = engine.forward_slice(&store, &subnet, 2..2, &x);

@@ -36,8 +36,16 @@ impl Sgd {
     ///
     /// Panics if gradient shapes do not match the parameters.
     pub fn step(&self, params: &mut DenseParams, grads: &DenseGrads) {
-        assert_eq!(params.weight.shape(), grads.weight.shape(), "weight shape mismatch");
-        assert_eq!(params.bias.shape(), grads.bias.shape(), "bias shape mismatch");
+        assert_eq!(
+            params.weight.shape(),
+            grads.weight.shape(),
+            "weight shape mismatch"
+        );
+        assert_eq!(
+            params.bias.shape(),
+            grads.bias.shape(),
+            "bias shape mismatch"
+        );
         for (w, g) in params.weight.data_mut().iter_mut().zip(grads.weight.data()) {
             *w -= self.lr * g;
         }
@@ -102,8 +110,16 @@ impl MomentumSgd {
     ///
     /// Panics if gradient shapes do not match the parameters.
     pub fn step(&mut self, layer: LayerRef, params: &mut DenseParams, grads: &DenseGrads) {
-        assert_eq!(params.weight.shape(), grads.weight.shape(), "weight shape mismatch");
-        assert_eq!(params.bias.shape(), grads.bias.shape(), "bias shape mismatch");
+        assert_eq!(
+            params.weight.shape(),
+            grads.weight.shape(),
+            "weight shape mismatch"
+        );
+        assert_eq!(
+            params.bias.shape(),
+            grads.bias.shape(),
+            "bias shape mismatch"
+        );
         let v = self.velocity.entry(layer).or_insert_with(|| DenseGrads {
             weight: Tensor::zeros(params.weight.shape()),
             bias: Tensor::zeros(params.bias.shape()),

@@ -100,7 +100,10 @@ impl Tensor {
     /// Panics if out of range or the tensor is not rank 2.
     pub fn at(&self, row: usize, col: usize) -> f32 {
         assert_eq!(self.shape.len(), 2, "at() requires a matrix");
-        assert!(row < self.shape[0] && col < self.shape[1], "index out of range");
+        assert!(
+            row < self.shape[0] && col < self.shape[1],
+            "index out of range"
+        );
         self.data[row * self.shape[1] + col]
     }
 
@@ -156,7 +159,12 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Tensor::from_vec(data, &self.shape)
     }
 
@@ -167,7 +175,12 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn sub(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Tensor::from_vec(data, &self.shape)
     }
 
@@ -178,7 +191,12 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn hadamard(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "hadamard shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
         Tensor::from_vec(data, &self.shape)
     }
 

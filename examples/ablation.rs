@@ -16,7 +16,9 @@ fn parse_space(name: &str) -> Option<SpaceId> {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "NLP.c2".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "NLP.c2".to_string());
     let Some(id) = parse_space(&arg) else {
         eprintln!("unknown space '{arg}'; expected one of NLP.c0..c3, CV.c1..c3");
         std::process::exit(2);
@@ -29,20 +31,35 @@ fn main() {
         ("NASPipe (full)", SyncPolicy::naspipe()),
         (
             "w/o scheduler",
-            SyncPolicy::Csp { scheduler: false, predictor: true, mirroring: true },
+            SyncPolicy::Csp {
+                scheduler: false,
+                predictor: true,
+                mirroring: true,
+            },
         ),
         (
             "w/o predictor",
-            SyncPolicy::Csp { scheduler: true, predictor: false, mirroring: true },
+            SyncPolicy::Csp {
+                scheduler: true,
+                predictor: false,
+                mirroring: true,
+            },
         ),
         (
             "w/o mirroring",
-            SyncPolicy::Csp { scheduler: true, predictor: true, mirroring: false },
+            SyncPolicy::Csp {
+                scheduler: true,
+                predictor: true,
+                mirroring: false,
+            },
         ),
     ];
 
     println!("ablation on {id} ({n} subnets, 8 GPUs)\n");
-    println!("{:<16} {:>6} {:>12} {:>8} {:>8} {:>10}", "variant", "batch", "samples/s", "bubble", "ALU", "cache-hit");
+    println!(
+        "{:<16} {:>6} {:>12} {:>8} {:>8} {:>10}",
+        "variant", "batch", "samples/s", "bubble", "ALU", "cache-hit"
+    );
     let mut full_throughput = None;
     for (name, policy) in variants {
         let cfg = PipelineConfig {
@@ -62,9 +79,7 @@ fn main() {
             Ok(out) => {
                 let r = &out.report;
                 let t = r.throughput_samples_per_sec();
-                let rel = full_throughput
-                    .get_or_insert(t)
-                    .max(f64::MIN_POSITIVE);
+                let rel = full_throughput.get_or_insert(t).max(f64::MIN_POSITIVE);
                 println!(
                     "{name:<16} {:>6} {:>8.0} ({:>4.2}x) {:>7.2} {:>7.2}x {:>9}",
                     r.batch,
@@ -77,7 +92,10 @@ fn main() {
                         .unwrap_or_else(|| "n/a".into()),
                 );
             }
-            Err(PipelineError::OutOfMemory { required, available }) => {
+            Err(PipelineError::OutOfMemory {
+                required,
+                available,
+            }) => {
                 println!(
                     "{name:<16} cannot run: needs {:.1} GB/GPU, {:.1} GB available",
                     required as f64 / 1e9,

@@ -27,8 +27,7 @@ fn main() {
     let mut reference: Option<(u64, String)> = None;
     for gpus in [4u32, 8, 16] {
         let cfg = PipelineConfig::naspipe(gpus, steps).with_seed(11);
-        let outcome =
-            run_pipeline_with_subnets(&space, &cfg, subnets.clone()).expect("CV.c2 fits");
+        let outcome = run_pipeline_with_subnets(&space, &cfg, subnets.clone()).expect("CV.c2 fits");
         let trained = replay_training(&space, &outcome, &train_cfg);
         let (val_loss, best) = search_best_subnet(&space, &trained.store, &train_cfg, 64);
         let r = &outcome.report;
@@ -45,7 +44,11 @@ fn main() {
             None => reference = Some((trained.final_hash, best.to_string())),
             Some((hash, best_ref)) => {
                 assert_eq!(*hash, trained.final_hash, "weights diverged at {gpus} GPUs");
-                assert_eq!(*best_ref, best.to_string(), "search diverged at {gpus} GPUs");
+                assert_eq!(
+                    *best_ref,
+                    best.to_string(),
+                    "search diverged at {gpus} GPUs"
+                );
             }
         }
     }

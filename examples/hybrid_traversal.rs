@@ -31,7 +31,12 @@ fn main() {
     let n = 60u64;
     let subnets = HybridSampler::new(&hybrid, 42).take_subnets(n as usize);
     let by_member: Vec<usize> = (0..hybrid.num_members())
-        .map(|m| subnets.iter().filter(|s| hybrid.member_of(s) == Some(m)).count())
+        .map(|m| {
+            subnets
+                .iter()
+                .filter(|s| hybrid.member_of(s) == Some(m))
+                .count()
+        })
         .collect();
     println!("exploration stream: {n} subnets, {by_member:?} per member space\n");
 
@@ -42,7 +47,9 @@ fn main() {
     };
     let mut member_hashes: Vec<Vec<u64>> = vec![Vec::new(); hybrid.num_members()];
     for gpus in [4u32, 8] {
-        let pc = PipelineConfig::naspipe(gpus, n).with_batch(32).with_seed(42);
+        let pc = PipelineConfig::naspipe(gpus, n)
+            .with_batch(32)
+            .with_seed(42);
         let out = run_pipeline_with_subnets(hybrid.union(), &pc, subnets.clone()).unwrap();
         let trained = replay_training(hybrid.union(), &out, &cfg);
         println!(
@@ -51,10 +58,10 @@ fn main() {
             out.report.cache_hit_rate.unwrap_or(0.0) * 100.0,
             trained.final_hash,
         );
-        for m in 0..hybrid.num_members() {
+        for (m, hashes) in member_hashes.iter_mut().enumerate() {
             let h = trained.store.bitwise_hash_blocks(hybrid.member_range(m));
             println!("   member {m} slice hash {h:016x}");
-            member_hashes[m].push(h);
+            hashes.push(h);
         }
     }
     for (m, hashes) in member_hashes.iter().enumerate() {

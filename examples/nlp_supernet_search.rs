@@ -35,9 +35,8 @@ fn main() {
     );
 
     // Every layer's access order must equal sequential execution.
-    verify_csp_order(&outcome).unwrap_or_else(|(layer, order)| {
-        panic!("CSP violation at {layer}: {}", order.notation())
-    });
+    verify_csp_order(&outcome)
+        .unwrap_or_else(|(layer, order)| panic!("CSP violation at {layer}: {}", order.notation()));
     println!("  causal-dependency check: every shared layer accessed in sequence order");
 
     // Phase 2: numeric replay of the schedule = the actual training.
@@ -66,8 +65,7 @@ fn main() {
     // Phase 4: the replay is deterministic — run it again and compare.
     let again = replay_training(&space, &outcome, &train_cfg);
     assert_eq!(again.final_hash, trained.final_hash);
-    let (best_loss_again, best_again) =
-        search_best_subnet(&space, &again.store, &train_cfg, 96);
+    let (best_loss_again, best_again) = search_best_subnet(&space, &again.store, &train_cfg, 96);
     assert_eq!(best_again, best);
     assert_eq!(best_loss_again, best_loss);
     println!("phase 4: deterministic replay reproduced the identical search result");

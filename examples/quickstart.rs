@@ -45,8 +45,8 @@ fn main() {
     //    simulated GPUs; replay each schedule numerically.
     for gpus in [2u32, 4, 8] {
         let cfg = PipelineConfig::naspipe(gpus, subnets.len() as u64).with_batch(32);
-        let outcome = run_pipeline_with_subnets(&space, &cfg, subnets.clone())
-            .expect("pipeline runs");
+        let outcome =
+            run_pipeline_with_subnets(&space, &cfg, subnets.clone()).expect("pipeline runs");
         let result = replay_training(&space, &outcome, &train_cfg);
         let same = result.final_hash == reference.final_hash;
         println!(
@@ -54,7 +54,11 @@ fn main() {
             outcome.report.bubble_ratio,
             outcome.report.cache_hit_rate.unwrap_or(0.0) * 100.0,
             result.final_hash,
-            if same { "BITWISE EQUAL to sequential" } else { "DIVERGED (bug!)" },
+            if same {
+                "BITWISE EQUAL to sequential"
+            } else {
+                "DIVERGED (bug!)"
+            },
         );
         assert!(same, "CSP must reproduce the sequential result");
     }

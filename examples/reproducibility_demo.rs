@@ -32,7 +32,13 @@ fn main() {
 
     let disciplines = [
         ("CSP (NASPipe)", SyncPolicy::naspipe()),
-        ("BSP (GPipe)  ", SyncPolicy::Bsp { bulk: 0, swap: false }),
+        (
+            "BSP (GPipe)  ",
+            SyncPolicy::Bsp {
+                bulk: 0,
+                swap: false,
+            },
+        ),
         ("ASP (PipeDream)", SyncPolicy::Asp),
     ];
 
@@ -68,7 +74,11 @@ fn main() {
             println!(
                 "          hash {:016x} ({} sequential order)",
                 trained.final_hash,
-                if order.is_sequential() { "keeps" } else { "breaks" },
+                if order.is_sequential() {
+                    "keeps"
+                } else {
+                    "breaks"
+                },
             );
             hashes.push(trained.final_hash);
         }
@@ -87,9 +97,13 @@ fn main() {
     // executions, the result must not.
     println!("== threaded CSP runtime (real OS threads, 4 stages) ==");
     for attempt in 1..=3 {
-        let res = run_threaded(&space, subnets.clone(), &train_cfg, 4, 8);
+        let res =
+            run_threaded(&space, subnets.clone(), &train_cfg, 4, 8).expect("threaded run succeeds");
         assert_eq!(res.final_hash, reference.final_hash);
-        println!("  run {attempt}: hash {:016x} == sequential", res.final_hash);
+        println!(
+            "  run {attempt}: hash {:016x} == sequential",
+            res.final_hash
+        );
     }
     println!("  -> dependency preservation, not lockstep timing, gives reproducibility");
 }

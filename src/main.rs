@@ -40,10 +40,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         options.insert(key.to_string(), value.clone());
         i += 2;
     }
-    Ok(Args {
-        command,
-        options,
-    })
+    Ok(Args { command, options })
 }
 
 impl Args {
@@ -111,8 +108,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let subnets = UniformSampler::new(&space, seed).take_subnets(n as usize);
     let mut cfg = system.config(gpus, n).with_seed(seed);
     cfg.batch = batch;
-    let outcome =
-        run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
+    let outcome = run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
     let r = &outcome.report;
     println!(
         "{system} on {} x {gpus} GPUs: {} subnets, batch {}",
@@ -126,7 +122,11 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         r.total_alu,
     );
     if let Some(hit) = r.cache_hit_rate {
-        println!("  cache hit {:.1}%, CPU memory {:.1} GiB", hit * 100.0, r.cpu_mem_gib);
+        println!(
+            "  cache hit {:.1}%, CPU memory {:.1} GiB",
+            hit * 100.0,
+            r.cpu_mem_gib
+        );
     }
 
     let trained = replay_training(&space, &outcome, &train_config(seed));
@@ -154,7 +154,11 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         .ok_or("--transcript is required")?;
     let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
     let t = Transcript::read(&mut BufReader::new(file)).map_err(|e| e.to_string())?;
-    println!("replaying {} tasks over {} subnets...", t.tasks.len(), t.subnets.len());
+    println!(
+        "replaying {} tasks over {} subnets...",
+        t.tasks.len(),
+        t.subnets.len()
+    );
     let result = replay_transcript(&space, &t, &train_config(seed));
     println!(
         "converged loss {:.4}, parameter hash {:016x}",
@@ -177,8 +181,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
 
     let subnets = UniformSampler::new(&space, seed).take_subnets(n as usize);
     let cfg = naspipe::core::config::PipelineConfig::naspipe(gpus, n).with_seed(seed);
-    let outcome =
-        run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
+    let outcome = run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
     let tc = train_config(seed);
     let trained = replay_training(&space, &outcome, &tc);
     let (loss, best) = search_best_subnet(&space, &trained.store, &tc, rounds);

@@ -6,9 +6,7 @@ use naspipe::core::config::{PipelineConfig, SyncPolicy};
 use naspipe::core::pipeline::{run_pipeline_with_subnets, PipelineError};
 use naspipe::core::repro::verify_csp_order;
 use naspipe::core::runtime::run_threaded;
-use naspipe::core::train::{
-    replay_training, search_best_subnet, sequential_training, TrainConfig,
-};
+use naspipe::core::train::{replay_training, search_best_subnet, sequential_training, TrainConfig};
 use naspipe::supernet::layer::Domain;
 use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
 use naspipe::supernet::space::{SearchSpace, SpaceId};
@@ -53,7 +51,12 @@ fn artifact_experiment_1_single_vs_four_gpus() {
 #[test]
 fn artifact_experiment_2_throughput_ordering() {
     let mut throughputs = Vec::new();
-    for id in [SpaceId::NlpC0, SpaceId::NlpC1, SpaceId::NlpC2, SpaceId::NlpC3] {
+    for id in [
+        SpaceId::NlpC0,
+        SpaceId::NlpC1,
+        SpaceId::NlpC2,
+        SpaceId::NlpC3,
+    ] {
         let space = SearchSpace::from_id(id);
         let subnets = UniformSampler::new(&space, 1).take_subnets(64);
         let cfg = PipelineConfig::naspipe(4, 64).with_seed(1);
@@ -76,14 +79,19 @@ fn search_after_training_is_deterministic() {
     let subnets = UniformSampler::new(&space, 5).take_subnets(50);
     let cfg = train_cfg();
     let run = |gpus: u32| {
-        let pc = PipelineConfig::naspipe(gpus, 50).with_batch(16).with_seed(5);
+        let pc = PipelineConfig::naspipe(gpus, 50)
+            .with_batch(16)
+            .with_seed(5);
         let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
         let trained = replay_training(&space, &out, &cfg);
         search_best_subnet(&space, &trained.store, &cfg, 40)
     };
     let (loss_a, best_a) = run(2);
     let (loss_b, best_b) = run(8);
-    assert_eq!(best_a, best_b, "different GPU counts found different architectures");
+    assert_eq!(
+        best_a, best_b,
+        "different GPU counts found different architectures"
+    );
     assert_eq!(loss_a, loss_b);
 }
 
@@ -122,7 +130,7 @@ fn three_runtimes_one_answer() {
     verify_csp_order(&out).expect("CSP order holds");
     let simulated = replay_training(&space, &out, &cfg);
 
-    let threaded = run_threaded(&space, subnets, &cfg, 4, 10);
+    let threaded = run_threaded(&space, subnets, &cfg, 4, 10).expect("threaded run succeeds");
 
     assert_eq!(sequential.final_hash, simulated.final_hash);
     assert_eq!(sequential.final_hash, threaded.final_hash);
@@ -138,7 +146,9 @@ fn reproducible_across_host_boundary() {
     let hashes: Vec<u64> = [2u32, 6, 12]
         .into_iter()
         .map(|gpus| {
-            let pc = PipelineConfig::naspipe(gpus, 30).with_batch(16).with_seed(21);
+            let pc = PipelineConfig::naspipe(gpus, 30)
+                .with_batch(16)
+                .with_seed(21);
             let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
             replay_training(&space, &out, &cfg).final_hash
         })
@@ -154,7 +164,13 @@ fn baselines_break_reproducibility() {
     let subnets = UniformSampler::new(&space, 31).take_subnets(40);
     let cfg = train_cfg();
     let sequential = sequential_training(&space, &subnets, &cfg);
-    for policy in [SyncPolicy::Bsp { bulk: 0, swap: false }, SyncPolicy::Asp] {
+    for policy in [
+        SyncPolicy::Bsp {
+            bulk: 0,
+            swap: false,
+        },
+        SyncPolicy::Asp,
+    ] {
         let pc = PipelineConfig {
             num_gpus: 8,
             batch: 16,

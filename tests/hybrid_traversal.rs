@@ -11,8 +11,8 @@ use naspipe::supernet::layer::Domain;
 use naspipe::supernet::sampler::ExplorationStrategy;
 use naspipe::supernet::space::SearchSpace;
 use naspipe::supernet::subnet::Subnet;
-use naspipe::tensor::model::{NumericSupernet, ParamStore};
 use naspipe::tensor::data::SyntheticDataset;
+use naspipe::tensor::model::{NumericSupernet, ParamStore};
 
 fn train_cfg() -> TrainConfig {
     TrainConfig {
@@ -33,7 +33,9 @@ fn hybrid_training_is_reproducible() {
     let cfg = train_cfg();
     let mut hashes = Vec::new();
     for gpus in [2u32, 4, 8] {
-        let pc = PipelineConfig::naspipe(gpus, 40).with_batch(16).with_seed(55);
+        let pc = PipelineConfig::naspipe(gpus, 40)
+            .with_batch(16)
+            .with_seed(55);
         let out = run_pipeline_with_subnets(hybrid.union(), &pc, subnets.clone()).unwrap();
         verify_csp_order(&out).expect("CSP order with skips");
         hashes.push(replay_training(hybrid.union(), &out, &cfg).final_hash);
@@ -95,7 +97,9 @@ fn slimmable_training_is_reproducible() {
     let cfg = train_cfg();
     let mut hashes = Vec::new();
     for gpus in [2u32, 8] {
-        let pc = PipelineConfig::naspipe(gpus, 40).with_batch(16).with_seed(9);
+        let pc = PipelineConfig::naspipe(gpus, 40)
+            .with_batch(16)
+            .with_seed(9);
         let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
         verify_csp_order(&out).expect("CSP order with variable depth");
         hashes.push(replay_training(&space, &out, &cfg).final_hash);

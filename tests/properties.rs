@@ -1,5 +1,7 @@
 //! Property-based tests of the system's core invariants, across crates.
 
+#![cfg(feature = "proptest-tests")]
+
 use naspipe::core::config::{PipelineConfig, SyncPolicy};
 use naspipe::core::partition::Partition;
 use naspipe::core::pipeline::run_pipeline_with_subnets;
@@ -7,8 +9,8 @@ use naspipe::core::repro::verify_csp_order;
 use naspipe::core::task::{FinishedSet, StageId};
 use naspipe::core::train::{replay_training, sequential_training, TrainConfig};
 use naspipe::supernet::layer::Domain;
-use naspipe::supernet::subnet::{Subnet, SubnetId};
 use naspipe::supernet::space::SearchSpace;
+use naspipe::supernet::subnet::{Subnet, SubnetId};
 use naspipe::tensor::Tensor;
 use proptest::prelude::*;
 

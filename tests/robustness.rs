@@ -13,7 +13,11 @@ use naspipe::supernet::layer::Domain;
 use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
 use naspipe::supernet::space::SearchSpace;
 
-fn setup() -> (SearchSpace, Vec<naspipe::supernet::subnet::Subnet>, TrainConfig) {
+fn setup() -> (
+    SearchSpace,
+    Vec<naspipe::supernet::subnet::Subnet>,
+    TrainConfig,
+) {
     let space = SearchSpace::uniform(Domain::Nlp, 16, 5);
     let subnets = UniformSampler::new(&space, 33).take_subnets(40);
     let cfg = TrainConfig {
