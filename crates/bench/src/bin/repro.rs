@@ -10,8 +10,8 @@
 //! floating-point training for dozens of pipeline schedules.
 
 use naspipe_bench::experiments::{
-    cache_sweep, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute, soundness, table1,
-    table2, table3, table4, table5, topology,
+    cache_sweep, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute, soundness,
+    table1, table2, table3, table4, table5, topology,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
 use naspipe_supernet::space::SpaceId;
@@ -34,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "topology",
     "recompute",
     "obs",
+    "faults",
 ];
 
 fn main() {
@@ -201,6 +202,23 @@ fn run_experiment(name: &str) {
             if json_on {
                 println!("{}", obs::render_json(&r));
             }
+        }
+        "faults" => {
+            banner(
+                "Extra: supervised fault tolerance",
+                "A seeded failure scenario (one fatal stage panic plus transient channel faults) injected into the threaded CSP runtime on NLP.c2, 4 stages: the supervisor retries, restarts from the CSP-watermark checkpoint, and the recovered run is bitwise equal to sequential training with a reproducible recovery schedule. Set REPRO_FAULTS_JSON=1 to also dump JSON.",
+            );
+            let r = faults::run(SpaceId::NlpC2, 4, 48, 7, 8);
+            println!("{}", faults::render(&r));
+            let json_on =
+                std::env::var("REPRO_FAULTS_JSON").is_ok_and(|v| !v.is_empty() && v != "0");
+            if json_on {
+                println!("{}", faults::render_json(&r));
+            }
+            assert!(
+                r.bitwise_equal && r.csp_ok && r.schedule_reproducible,
+                "fault-tolerance verdicts failed"
+            );
         }
         _ => unreachable!("validated in main"),
     }

@@ -1,0 +1,190 @@
+//! CSP-watermark checkpoints for the threaded runtime.
+//!
+//! The exploration order gives the pipeline a natural *consistent cut*:
+//! the **watermark** `W` — every subnet `< W` fully written, nothing of
+//! any subnet `>= W` started. The supervised runtime
+//! ([`crate::runtime::run_threaded_supervised`]) enforces that cut with
+//! an injection barrier: stage 0 does not inject subnet `y` until the
+//! globally finished prefix has reached `floor(y / C) * C` (for
+//! checkpoint interval `C`). Because every task of subnet `y` is caused —
+//! through the forward/backward message chain — by its injection, no
+//! stage can touch any subnet of epoch `e + 1` before it has observed
+//! (and snapshotted) the completion of epoch `e`. Each stage's snapshot
+//! at watermark `W` is therefore *exactly* the state a sequential run
+//! holds after training subnets `0..W` — which is what makes resuming
+//! from it bitwise-exact.
+//!
+//! A [`CheckpointStore`] collects the per-stage snapshots. A watermark is
+//! *complete* once all stages have reported; recovery always resumes from
+//! [`CheckpointStore::latest_complete`]. Lower complete watermarks are
+//! pruned as soon as a higher one completes — they can never be needed
+//! again, because no in-flight task predates the newest complete cut.
+
+use naspipe_tensor::layers::DenseParams;
+use naspipe_tensor::model::NumericSupernet;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One stage's frozen state at a watermark.
+///
+/// Everything a respawned worker needs to continue bitwise-exactly:
+/// its parameter slice, its engine (which embeds per-layer momentum
+/// velocity), and — on the last stage — the losses recorded so far.
+#[derive(Debug, Clone)]
+pub struct StageSnapshot {
+    /// The stage's owned parameter slice, indexed
+    /// `[block - blocks.start][choice]`.
+    pub params: Vec<Vec<DenseParams>>,
+    /// The stage's training engine, including optimizer state.
+    pub engine: NumericSupernet,
+    /// Losses recorded by this stage (`subnet -> loss`); non-empty only
+    /// on the last stage.
+    pub losses: BTreeMap<u64, f32>,
+}
+
+/// A complete consistent cut: all stages' snapshots at one watermark.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The exploration-order watermark: subnets `0..watermark` are fully
+    /// trained in this state, nothing beyond has started.
+    pub watermark: u64,
+    /// Per-stage snapshots, indexed by stage.
+    pub stages: Vec<StageSnapshot>,
+}
+
+/// Thread-shared collector of per-stage snapshots.
+///
+/// Stage workers call [`record`](CheckpointStore::record) when their own
+/// finished prefix reaches a watermark boundary; the supervisor calls
+/// [`latest_complete`](CheckpointStore::latest_complete) after a failure
+/// to pick the resume point.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    gpus: usize,
+    slots: Mutex<BTreeMap<u64, Vec<Option<StageSnapshot>>>>,
+}
+
+impl CheckpointStore {
+    /// A store expecting snapshots from `gpus` stages per watermark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus == 0`.
+    pub fn new(gpus: usize) -> Self {
+        assert!(gpus > 0, "need at least one stage");
+        Self {
+            gpus,
+            slots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Records `stage`'s snapshot at `watermark`. Idempotent per
+    /// `(watermark, stage)` across incarnations: a respawned worker
+    /// re-reaching a boundary it already snapshotted is a no-op, so a
+    /// checkpoint is never half-overwritten by replayed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range or the store mutex is poisoned.
+    pub fn record(&self, watermark: u64, stage: usize, snapshot: StageSnapshot) {
+        assert!(stage < self.gpus, "stage {stage} out of range");
+        let mut slots = self.slots.lock().expect("checkpoint store poisoned");
+        let entry = slots
+            .entry(watermark)
+            .or_insert_with(|| vec![None; self.gpus]);
+        if entry[stage].is_none() {
+            entry[stage] = Some(snapshot);
+        }
+        if slots[&watermark].iter().all(Option::is_some) {
+            // Newly (or already) complete: drop everything older.
+            slots.retain(|&w, parts| w >= watermark || parts.iter().any(Option::is_none));
+        }
+    }
+
+    /// The highest watermark every stage has snapshotted, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
+    pub fn latest_complete(&self) -> Option<Checkpoint> {
+        let slots = self.slots.lock().expect("checkpoint store poisoned");
+        slots
+            .iter()
+            .rev()
+            .find(|(_, parts)| parts.iter().all(Option::is_some))
+            .map(|(&watermark, parts)| Checkpoint {
+                watermark,
+                stages: parts.iter().map(|p| p.clone().expect("checked")).collect(),
+            })
+    }
+
+    /// Watermarks currently held (complete or partial), ascending — for
+    /// tests and diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store mutex is poisoned.
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.slots
+            .lock()
+            .expect("checkpoint store poisoned")
+            .keys()
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> StageSnapshot {
+        StageSnapshot {
+            params: Vec::new(),
+            engine: NumericSupernet::new(0.05),
+            losses: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn incomplete_watermarks_are_invisible() {
+        let store = CheckpointStore::new(2);
+        store.record(8, 0, snap());
+        assert!(store.latest_complete().is_none());
+        store.record(8, 1, snap());
+        let ckpt = store.latest_complete().expect("complete");
+        assert_eq!(ckpt.watermark, 8);
+        assert_eq!(ckpt.stages.len(), 2);
+    }
+
+    #[test]
+    fn completion_prunes_older_complete_watermarks() {
+        let store = CheckpointStore::new(2);
+        store.record(4, 0, snap());
+        store.record(4, 1, snap());
+        store.record(8, 0, snap());
+        // 8 is partial: 4 must survive.
+        assert_eq!(store.latest_complete().expect("complete").watermark, 4);
+        store.record(8, 1, snap());
+        assert_eq!(store.latest_complete().expect("complete").watermark, 8);
+        assert_eq!(store.watermarks(), vec![8]);
+    }
+
+    #[test]
+    fn record_is_idempotent_per_stage() {
+        let store = CheckpointStore::new(2);
+        let mut first = snap();
+        first.losses.insert(3, 0.5);
+        store.record(4, 0, first);
+        store.record(4, 0, snap()); // replayed worker: ignored
+        store.record(4, 1, snap());
+        let ckpt = store.latest_complete().expect("complete");
+        assert_eq!(ckpt.stages[0].losses.get(&3), Some(&0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_stage_panics() {
+        CheckpointStore::new(1).record(0, 1, snap());
+    }
+}

@@ -25,7 +25,9 @@
 //! discrete-event pipeline engine producing the paper's systems metrics
 //! ([`pipeline`], [`report`]), numeric training replay demonstrating
 //! bitwise reproducibility ([`train`]), per-layer access-order tracing
-//! ([`repro`]), and a multi-threaded decentralised runtime ([`runtime`]).
+//! ([`repro`]), and a multi-threaded decentralised runtime ([`runtime`])
+//! with a fault-tolerant supervisor — deterministic fault injection
+//! ([`fault`]) and CSP-watermark checkpoint/restart ([`checkpoint`]).
 //!
 //! # Example
 //!
@@ -40,8 +42,10 @@
 //! assert!(outcome.report.bubble_ratio < 1.0);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod context;
+pub mod fault;
 pub mod gantt;
 pub mod memory;
 pub mod partition;
@@ -56,8 +60,12 @@ pub mod train;
 pub mod transcript;
 
 pub use config::{PipelineConfig, SyncPolicy};
+pub use fault::{FaultKind, FaultPlan};
 pub use pipeline::{run_pipeline, PipelineOutcome};
 pub use report::PipelineReport;
-pub use runtime::{run_threaded, run_threaded_observed, TrainError};
+pub use runtime::{
+    run_threaded, run_threaded_observed, run_threaded_supervised, RecoveryOptions, SupervisedRun,
+    TrainError,
+};
 pub use scheduler::{CspScheduler, DuplicateSubnet, SubnetTable};
 pub use task::{StageId, Task, TaskKind};

@@ -8,7 +8,7 @@
 //! from a pipeline run and renders them in the paper's `2F-2B-5F-5B`
 //! notation.
 
-use crate::pipeline::PipelineOutcome;
+use crate::pipeline::{PipelineOutcome, TaskRecord};
 use crate::task::TaskKind;
 use naspipe_supernet::layer::LayerRef;
 use naspipe_supernet::subnet::Subnet;
@@ -103,9 +103,19 @@ pub fn layer_access_order(outcome: &PipelineOutcome, layer: LayerRef) -> AccessO
 
 /// All layers accessed during a run, with their access orders.
 pub fn all_access_orders(outcome: &PipelineOutcome) -> BTreeMap<LayerRef, AccessOrder> {
+    all_access_orders_parts(&outcome.subnets, &outcome.tasks)
+}
+
+/// [`all_access_orders`] over raw parts — for task streams that don't
+/// come wrapped in a [`PipelineOutcome`], such as the threaded runtime's
+/// supervised runs. `tasks` must already be in chronological order.
+pub fn all_access_orders_parts(
+    subnets: &[Subnet],
+    tasks: &[TaskRecord],
+) -> BTreeMap<LayerRef, AccessOrder> {
     let mut map: BTreeMap<LayerRef, AccessOrder> = BTreeMap::new();
-    let arch: BTreeMap<u64, &Subnet> = outcome.subnets.iter().map(|s| (s.seq_id().0, s)).collect();
-    for task in &outcome.tasks {
+    let arch: BTreeMap<u64, &Subnet> = subnets.iter().map(|s| (s.seq_id().0, s)).collect();
+    for task in tasks {
         let subnet = arch[&task.subnet.0];
         for b in task.blocks.clone() {
             if subnet.skips(b) {
@@ -129,7 +139,19 @@ pub fn all_access_orders(outcome: &PipelineOutcome) -> BTreeMap<LayerRef, Access
 ///
 /// Returns the first violating layer and its access order.
 pub fn verify_csp_order(outcome: &PipelineOutcome) -> Result<(), (LayerRef, AccessOrder)> {
-    for (layer, order) in all_access_orders(outcome) {
+    verify_csp_order_parts(&outcome.subnets, &outcome.tasks)
+}
+
+/// [`verify_csp_order`] over raw parts (see [`all_access_orders_parts`]).
+///
+/// # Errors
+///
+/// Returns the first violating layer and its access order.
+pub fn verify_csp_order_parts(
+    subnets: &[Subnet],
+    tasks: &[TaskRecord],
+) -> Result<(), (LayerRef, AccessOrder)> {
+    for (layer, order) in all_access_orders_parts(subnets, tasks) {
         if !order.is_sequential() {
             return Err((layer, order));
         }

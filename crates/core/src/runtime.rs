@@ -1,4 +1,5 @@
-//! A multi-threaded, decentralised CSP pipeline runtime.
+//! A multi-threaded, decentralised CSP pipeline runtime with a
+//! fault-tolerant supervisor.
 //!
 //! The discrete-event engine ([`crate::pipeline`]) *simulates* timing; this
 //! module actually runs a pipeline across OS threads, one per stage, the
@@ -15,26 +16,47 @@
 //!   demonstration of Definition 1: reproducibility comes from dependency
 //!   preservation, not from lockstep timing.
 //!
-//! Failures surface as [`TrainError`] values naming the stage rather than
-//! as panics: a dead neighbour turns every pending `send`/`recv` on its
-//! channels into a [`TrainError::ChannelClosed`], cascading an orderly
-//! shutdown through the pipeline, and [`run_threaded`] reports the
-//! root-cause error in preference to the secondary channel failures.
+//! # Supervision and recovery
+//!
+//! [`run_threaded_supervised`] wraps the stage workers in a supervisor.
+//! Each worker carries an exit guard that notifies the supervisor when it
+//! dies — normally, by error, or by panic. On the first failure the
+//! supervisor broadcasts [`Msg::Stop`] and raises a shared shutdown flag,
+//! so surviving workers park instead of cascading into spurious
+//! [`TrainError::ChannelClosed`] failures (a supervisor-initiated
+//! shutdown is *not* an error). The supervisor then classifies the root
+//! cause (a panic, timeout or invariant breach beats the channel failures
+//! it cascades into) and, when the failure is recoverable and the restart
+//! budget allows, respawns every stage from the newest complete
+//! CSP-watermark checkpoint (see [`crate::checkpoint`]) and replays only
+//! the tasks past the watermark.
+//!
+//! Failure scenarios are injected deterministically from a
+//! [`FaultPlan`] (see [`crate::fault`]): workers consult the shared
+//! [`FaultInjector`] at task execution, send and receive sites, so a
+//! seeded plan reproduces the same fault sequence — and, because fatal
+//! faults pin the watermark they crash under, the same recovery schedule
+//! — on every run.
 //!
 //! In debug builds every worker additionally feeds a shared
-//! [`CspChecker`] — an independent re-derivation of the CSP contract —
-//! so any admission the sequential exploration order could not have
-//! produced aborts the run with a [`TrainError::Invariant`]. Each worker
-//! also records per-stage metrics (task counts and latencies, queue
-//! depth, stall/bubble time) into a private
-//! [`MetricsRecorder`](naspipe_obs::MetricsRecorder), merged after join;
+//! [`CspChecker`] — an independent re-derivation of the CSP contract,
+//! re-registered fresh for every incarnation — so any admission the
+//! sequential exploration order could not have produced aborts the run
+//! with a [`TrainError::Invariant`]. Each worker also records per-stage
+//! metrics into a private [`MetricsRecorder`](naspipe_obs::MetricsRecorder)
+//! (task counts and latencies, queue depth, stall/bubble time, plus
+//! retries, restarts and replayed tasks), merged across incarnations;
 //! [`run_threaded_observed`] exposes the merged
 //! [`ObsReport`](naspipe_obs::ObsReport).
 
+use crate::checkpoint::{Checkpoint, CheckpointStore, StageSnapshot};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultSite, FiredFault};
 use crate::partition::Partition;
-use crate::task::FinishedSet;
+use crate::pipeline::TaskRecord;
+use crate::task::{FinishedSet, StageId, TaskKind};
 use crate::train::{TrainConfig, TrainResult};
 use naspipe_obs::{Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, Sample, Violation};
+use naspipe_sim::time::SimTime;
 use naspipe_supernet::space::SearchSpace;
 use naspipe_supernet::subnet::{Subnet, SubnetId};
 use naspipe_tensor::data::SyntheticDataset;
@@ -44,16 +66,17 @@ use naspipe_tensor::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A failure of the threaded runtime, naming the stage it surfaced on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainError {
     /// A channel to a neighbouring stage closed mid-run — the peer
     /// worker exited early (usually the secondary symptom of its own
-    /// error; [`run_threaded`] prefers reporting the root cause).
+    /// error; the supervisor prefers reporting the root cause).
     ChannelClosed {
         /// The stage that observed the closed channel.
         stage: usize,
@@ -73,6 +96,58 @@ pub enum TrainError {
         /// The violated invariant, naming the subnet pair and layer.
         violation: Violation,
     },
+    /// A stage gave up on a task: transient channel faults exceeded the
+    /// retry budget, or no message arrived within the receive timeout.
+    Timeout {
+        /// The stage that timed out.
+        stage: usize,
+        /// Sequence ID of the subnet whose task could not make progress.
+        task: u64,
+        /// The underlying failure, when one is known (e.g. the channel
+        /// error retries could not get past); chained via
+        /// [`std::error::Error::source`].
+        cause: Option<Box<TrainError>>,
+    },
+    /// The supervisor ran out of restart budget while recovering.
+    RecoveryExhausted {
+        /// The stage whose failure exhausted the budget.
+        stage: usize,
+        /// Restarts performed before giving up.
+        attempts: u32,
+        /// The final root-cause failure; chained via
+        /// [`std::error::Error::source`].
+        last: Box<TrainError>,
+    },
+}
+
+impl TrainError {
+    /// The stage the error surfaced on.
+    pub fn stage(&self) -> usize {
+        match self {
+            TrainError::ChannelClosed { stage, .. }
+            | TrainError::StagePanicked { stage }
+            | TrainError::Invariant { stage, .. }
+            | TrainError::Timeout { stage, .. }
+            | TrainError::RecoveryExhausted { stage, .. } => *stage,
+        }
+    }
+
+    /// Whether the supervisor may recover from this failure by
+    /// restarting stages from a checkpoint. Invariant breaches are never
+    /// recoverable (the contract itself is broken), and a root-cause
+    /// channel closure means the pipeline wiring is gone.
+    fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            TrainError::StagePanicked { .. } | TrainError::Timeout { .. }
+        )
+    }
+
+    /// Whether this error is a secondary symptom of a neighbour's death
+    /// rather than a root cause.
+    fn is_secondary(&self) -> bool {
+        matches!(self, TrainError::ChannelClosed { .. })
+    }
 }
 
 impl fmt::Display for TrainError {
@@ -88,22 +163,81 @@ impl fmt::Display for TrainError {
             TrainError::Invariant { stage, violation } => {
                 write!(f, "stage {stage}: {violation}")
             }
+            TrainError::Timeout { stage, task, .. } => write!(
+                f,
+                "stage {stage}: timed out waiting to make progress on SN{task}"
+            ),
+            TrainError::RecoveryExhausted {
+                stage, attempts, ..
+            } => write!(
+                f,
+                "stage {stage}: recovery exhausted after {attempts} restart(s)"
+            ),
         }
     }
 }
 
-impl std::error::Error for TrainError {}
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Invariant { violation, .. } => Some(violation),
+            TrainError::Timeout {
+                cause: Some(cause), ..
+            } => Some(&**cause),
+            TrainError::RecoveryExhausted { last, .. } => Some(&**last),
+            _ => None,
+        }
+    }
+}
 
 enum Msg {
     Fwd(SubnetId, Tensor),
     Bwd(SubnetId, Tensor),
+    /// Supervisor-initiated shutdown: park, do not treat as a failure.
+    Stop,
 }
 
-/// What a stage worker hands back on success.
+/// What a stage worker hands back when it exits without an error.
 struct StageOutput {
     params: Vec<Vec<DenseParams>>,
     losses: BTreeMap<u64, f32>,
     recorder: MetricsRecorder,
+    tasks: Vec<TaskRecord>,
+}
+
+/// How a worker exited: all subnets trained, or parked by the supervisor.
+enum WorkerExit {
+    Finished(StageOutput),
+    Stopped(StageOutput),
+}
+
+/// Whether to keep running after a step (or park for the supervisor).
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// Lightweight exit notification so the supervisor can react to a death
+/// without joining (joins would block on still-running siblings).
+enum ExitNote {
+    Clean,
+    Failed,
+}
+
+/// Sends a failure note if the worker unwinds without disarming — the
+/// supervisor's panic detector.
+struct ExitGuard {
+    stage: usize,
+    notify: Sender<(usize, ExitNote)>,
+    armed: bool,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.notify.send((self.stage, ExitNote::Failed));
+        }
+    }
 }
 
 struct StageWorker {
@@ -129,6 +263,17 @@ struct StageWorker {
     losses: BTreeMap<u64, f32>,
     recorder: MetricsRecorder,
     checker: Option<Arc<Mutex<CspChecker>>>,
+    // Fault tolerance.
+    shutdown: Arc<AtomicBool>,
+    injector: Arc<FaultInjector>,
+    max_retries: u32,
+    backoff_us: u64,
+    ckpts: Option<Arc<CheckpointStore>>,
+    ckpt_interval: u64,
+    next_ckpt: u64,
+    recv_timeout: Option<Duration>,
+    epoch: Instant,
+    tasks: Vec<TaskRecord>,
 }
 
 impl StageWorker {
@@ -164,6 +309,217 @@ impl StageWorker {
         Ok(())
     }
 
+    fn into_output(self) -> StageOutput {
+        StageOutput {
+            params: self.params,
+            losses: self.losses,
+            recorder: self.recorder,
+            tasks: self.tasks,
+        }
+    }
+
+    /// Fires any execute-site fault scheduled for this task: a panic
+    /// models a hard worker crash, a slow fault stalls the stage.
+    fn fire_execute_fault(&self, y: SubnetId, kind: TaskKind) {
+        match self
+            .injector
+            .fire(self.stage as u32, y.0, kind, FaultSite::Execute)
+        {
+            Some(FaultKind::Panic) => panic!(
+                "injected fault: stage {} panic at SN{}.{kind}",
+                self.stage, y.0
+            ),
+            Some(FaultKind::Slow { delay_ms }) => {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            _ => {}
+        }
+    }
+
+    /// Simulates `failures` consecutive channel errors with exponential
+    /// backoff; exceeding the retry budget escalates to a fatal
+    /// [`TrainError::Timeout`] chained to the underlying channel error.
+    fn retry_backoff(
+        &mut self,
+        failures: u32,
+        task: u64,
+        link: &'static str,
+    ) -> Result<(), TrainError> {
+        for attempt in 1..=failures {
+            if attempt > self.max_retries {
+                return Err(TrainError::Timeout {
+                    stage: self.stage,
+                    task,
+                    cause: Some(Box::new(TrainError::ChannelClosed {
+                        stage: self.stage,
+                        link,
+                    })),
+                });
+            }
+            self.recorder.incr(self.stage as u32, Counter::Retry, 1);
+            let backoff = self.backoff_us.saturating_mul(1 << (attempt - 1).min(10));
+            std::thread::sleep(Duration::from_micros(backoff));
+        }
+        Ok(())
+    }
+
+    /// Sends `msg` to the successor (`to_next`) or predecessor stage,
+    /// firing any scheduled transient send fault first. A send failure
+    /// under an active shutdown is a park request, not an error.
+    fn faulty_send(
+        &mut self,
+        to_next: bool,
+        y: SubnetId,
+        kind: TaskKind,
+        msg: Msg,
+    ) -> Result<Flow, TrainError> {
+        let link = if to_next { "successor" } else { "predecessor" };
+        if let Some(FaultKind::TransientSend { failures }) =
+            self.injector
+                .fire(self.stage as u32, y.0, kind, FaultSite::Send)
+        {
+            self.retry_backoff(failures, y.0, link)?;
+        }
+        let tx = if to_next {
+            self.next_tx.as_ref().expect("non-last stage has successor")
+        } else {
+            self.prev_tx
+                .as_ref()
+                .expect("non-first stage has predecessor")
+        };
+        match tx.send(msg) {
+            Ok(()) => Ok(Flow::Continue),
+            Err(_) if self.shutdown.load(Ordering::Acquire) => Ok(Flow::Stop),
+            Err(_) => Err(TrainError::ChannelClosed {
+                stage: self.stage,
+                link,
+            }),
+        }
+    }
+
+    /// Blocking receive; `Ok(None)` means the supervisor asked us to
+    /// park. Fires any scheduled transient receive fault on the arrived
+    /// message before handing it over.
+    fn recv_msg(&mut self) -> Result<Option<Msg>, TrainError> {
+        let msg = if let Some(timeout) = self.recv_timeout {
+            match self.rx.recv_timeout(timeout) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Ok(None);
+                    }
+                    return Err(TrainError::Timeout {
+                        stage: self.stage,
+                        task: self.finished.first_unfinished().0,
+                        cause: None,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => return self.closed_inbound(),
+            }
+        } else {
+            match self.rx.recv() {
+                Ok(m) => m,
+                Err(_) => return self.closed_inbound(),
+            }
+        };
+        let (y, kind) = match &msg {
+            Msg::Stop => return Ok(None),
+            Msg::Fwd(y, _) => (*y, TaskKind::Forward),
+            Msg::Bwd(y, _) => (*y, TaskKind::Backward),
+        };
+        if let Some(FaultKind::TransientRecv { failures }) =
+            self.injector
+                .fire(self.stage as u32, y.0, kind, FaultSite::Recv)
+        {
+            self.retry_backoff(failures, y.0, "inbound")?;
+        }
+        Ok(Some(msg))
+    }
+
+    fn closed_inbound(&self) -> Result<Option<Msg>, TrainError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            Ok(None)
+        } else {
+            Err(TrainError::ChannelClosed {
+                stage: self.stage,
+                link: "inbound",
+            })
+        }
+    }
+
+    fn record_task(&mut self, kind: TaskKind, y: SubnetId, started: Instant) {
+        let start = started
+            .duration_since(self.epoch)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let end = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.tasks.push(TaskRecord {
+            start: SimTime::from_us(start),
+            end: SimTime::from_us(end),
+            kind,
+            subnet: y,
+            stage: StageId(self.stage as u32),
+            blocks: self.blocks.clone(),
+        });
+    }
+
+    /// Snapshots this stage's state into the checkpoint store when its
+    /// finished prefix reaches the next watermark boundary. Thanks to
+    /// the injection barrier in [`try_inject`](Self::try_inject), at
+    /// that moment the stage's state is *exactly* the sequential state
+    /// after `next_ckpt` subnets — no task of any later subnet has run
+    /// anywhere — which the `debug_assert`s below audit.
+    fn maybe_checkpoint(&mut self) {
+        let Some(store) = &self.ckpts else { return };
+        let prefix = self.finished.first_unfinished().0;
+        if self.next_ckpt <= prefix {
+            debug_assert_eq!(
+                prefix, self.next_ckpt,
+                "stage {}: prefix skipped a watermark boundary",
+                self.stage
+            );
+            debug_assert!(self.ctxs.is_empty(), "in-flight forward at watermark");
+            debug_assert!(self.bwd_queue.is_empty(), "queued backward at watermark");
+            debug_assert!(self.fwd_queue.is_empty(), "queued forward at watermark");
+            store.record(
+                self.next_ckpt,
+                self.stage,
+                StageSnapshot {
+                    params: self.params.clone(),
+                    engine: self.engine.clone(),
+                    losses: self.losses.clone(),
+                },
+            );
+            self.next_ckpt += self.ckpt_interval;
+        }
+    }
+
+    fn run_forward(&mut self, y: SubnetId, input: Tensor) -> Result<Flow, TrainError> {
+        self.fire_execute_fault(y, TaskKind::Forward);
+        self.check(|c| c.on_admit_forward(y, self.stage as u32))?;
+        let started = Instant::now();
+        let subnet = self.subnets[y.0 as usize].clone();
+        let ctx = self.forward_slice(&subnet, &input);
+        if self.last {
+            let target = self.data.step_batch(y.0).1;
+            let (loss, grad) = naspipe_tensor::loss::mse(ctx.output(), &target);
+            self.losses.insert(y.0, loss);
+            self.bwd_queue.insert(y.0, grad);
+        } else {
+            let out = ctx.output().clone();
+            if let Flow::Stop = self.faulty_send(true, y, TaskKind::Forward, Msg::Fwd(y, out))? {
+                return Ok(Flow::Stop);
+            }
+        }
+        self.ctxs.insert(y.0, ctx);
+        self.record_task(TaskKind::Forward, y, started);
+        let stage = self.stage as u32;
+        self.recorder
+            .sample(stage, Sample::ForwardLatencyUs, elapsed_us(started));
+        self.recorder.incr(stage, Counter::ForwardTask, 1);
+        Ok(Flow::Continue)
+    }
+
     fn forward_slice(&self, subnet: &Subnet, input: &Tensor) -> ForwardCtx {
         // The engine API reads from a ParamStore; here we own raw
         // slices, so inline the slice loop.
@@ -185,34 +541,8 @@ impl StageWorker {
         ForwardCtx::from_parts(layers, x)
     }
 
-    fn run_forward(&mut self, y: SubnetId, input: Tensor) -> Result<(), TrainError> {
-        self.check(|c| c.on_admit_forward(y, self.stage as u32))?;
-        let started = Instant::now();
-        let subnet = self.subnets[y.0 as usize].clone();
-        let ctx = self.forward_slice(&subnet, &input);
-        if self.last {
-            let target = self.data.step_batch(y.0).1;
-            let (loss, grad) = naspipe_tensor::loss::mse(ctx.output(), &target);
-            self.losses.insert(y.0, loss);
-            self.bwd_queue.insert(y.0, grad);
-        } else {
-            let out = ctx.output().clone();
-            let next = self.next_tx.as_ref().expect("non-last stage has successor");
-            next.send(Msg::Fwd(y, out))
-                .map_err(|_| TrainError::ChannelClosed {
-                    stage: self.stage,
-                    link: "successor",
-                })?;
-        }
-        self.ctxs.insert(y.0, ctx);
-        let stage = self.stage as u32;
-        self.recorder
-            .sample(stage, Sample::ForwardLatencyUs, elapsed_us(started));
-        self.recorder.incr(stage, Counter::ForwardTask, 1);
-        Ok(())
-    }
-
-    fn run_backward(&mut self, y: SubnetId, grad_out: Tensor) -> Result<(), TrainError> {
+    fn run_backward(&mut self, y: SubnetId, grad_out: Tensor) -> Result<Flow, TrainError> {
+        self.fire_execute_fault(y, TaskKind::Backward);
         let started = Instant::now();
         let ctx = self.ctxs.remove(&y.0).expect("forward context present");
         // Backward + apply on the owned slice.
@@ -235,25 +565,37 @@ impl StageWorker {
             self.engine.step_layer(layer, params, &g);
         }
         self.check(|c| c.on_backward_done(y, self.stage as u32))?;
-        if let Some(prev) = &self.prev_tx {
-            prev.send(Msg::Bwd(y, grad))
-                .map_err(|_| TrainError::ChannelClosed {
-                    stage: self.stage,
-                    link: "predecessor",
-                })?;
+        if self.prev_tx.is_some() {
+            if let Flow::Stop = self.faulty_send(false, y, TaskKind::Backward, Msg::Bwd(y, grad))? {
+                return Ok(Flow::Stop);
+            }
         }
         self.finished.insert(y);
         self.finished_count += 1;
+        self.record_task(TaskKind::Backward, y, started);
         let stage = self.stage as u32;
         self.recorder
             .sample(stage, Sample::BackwardLatencyUs, elapsed_us(started));
         self.recorder.incr(stage, Counter::BackwardTask, 1);
-        Ok(())
+        Ok(Flow::Continue)
     }
 
     fn try_inject(&mut self) {
         debug_assert_eq!(self.stage, 0);
         while self.injected < self.total && self.injected - self.finished_count < self.window {
+            // Injection barrier (no-op when checkpointing is off): a
+            // subnet enters the pipeline only once the finished prefix
+            // has reached the start of its checkpoint epoch, so every
+            // watermark is a consistent cut (no task past it exists
+            // anywhere before all stages snapshot it). Stage 0's
+            // backward is the causally last task of each subnet, so its
+            // prefix IS the global watermark.
+            if let Some(epochs) = self.injected.checked_div(self.ckpt_interval) {
+                let epoch_start = epochs * self.ckpt_interval;
+                if epoch_start > self.finished.first_unfinished().0 {
+                    break;
+                }
+            }
             let y = SubnetId(self.injected);
             let input = self.data.step_batch(y.0).0;
             self.fwd_queue.push((y, input));
@@ -261,9 +603,15 @@ impl StageWorker {
         }
     }
 
-    fn run(mut self) -> Result<StageOutput, TrainError> {
+    fn run(mut self) -> Result<WorkerExit, TrainError> {
         let stage = self.stage as u32;
         while self.finished_count < self.total {
+            if self.shutdown.load(Ordering::Acquire) {
+                return Ok(WorkerExit::Stopped(self.into_output()));
+            }
+            // Snapshot before injecting: at a boundary the queues are
+            // provably empty, and injection must not race the cut.
+            self.maybe_checkpoint();
             if self.stage == 0 {
                 self.try_inject();
             }
@@ -278,8 +626,10 @@ impl StageWorker {
                     self.recorder.incr(stage, Counter::BackwardPreemption, 1);
                 }
                 let grad = self.bwd_queue.remove(&id).expect("present");
-                self.run_backward(SubnetId(id), grad)?;
-                continue;
+                match self.run_backward(SubnetId(id), grad)? {
+                    Flow::Continue => continue,
+                    Flow::Stop => return Ok(WorkerExit::Stopped(self.into_output())),
+                }
             }
             // Then the first admissible forward (Algorithm 2).
             let pick = self
@@ -288,18 +638,19 @@ impl StageWorker {
                 .position(|(id, _)| self.admissible(*id));
             if let Some(i) = pick {
                 let (y, input) = self.fwd_queue.remove(i);
-                self.run_forward(y, input)?;
-                continue;
+                match self.run_forward(y, input)? {
+                    Flow::Continue => continue,
+                    Flow::Stop => return Ok(WorkerExit::Stopped(self.into_output())),
+                }
             }
             // Nothing runnable: block for a message. Idle time with work
             // queued is a causal stall; with an empty queue it is a
             // pipeline bubble.
             let blocked = !self.fwd_queue.is_empty();
             let waiting = Instant::now();
-            let msg = self.rx.recv().map_err(|_| TrainError::ChannelClosed {
-                stage: self.stage,
-                link: "inbound",
-            })?;
+            let Some(msg) = self.recv_msg()? else {
+                return Ok(WorkerExit::Stopped(self.into_output()));
+            };
             let idle = if blocked {
                 Counter::StallUs
             } else {
@@ -311,18 +662,102 @@ impl StageWorker {
                 Msg::Bwd(y, grad) => {
                     self.bwd_queue.insert(y.0, grad);
                 }
+                Msg::Stop => unreachable!("recv_msg maps Stop to None"),
             }
         }
-        Ok(StageOutput {
-            params: self.params,
-            losses: self.losses,
-            recorder: self.recorder,
-        })
+        Ok(WorkerExit::Finished(self.into_output()))
     }
 }
 
 fn elapsed_us(since: Instant) -> u64 {
     since.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Knobs for [`run_threaded_supervised`]. The default disables fault
+/// injection, checkpointing and restarts — byte-for-byte the behaviour
+/// of [`run_threaded`], except that a worker death now shuts the
+/// pipeline down cleanly instead of deadlocking recv-blocked survivors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryOptions {
+    /// Deterministic failure scenario to inject (empty = none).
+    pub fault_plan: FaultPlan,
+    /// Snapshot the pipeline every `checkpoint_interval` subnets
+    /// (`0` disables checkpointing; recovery then replays from scratch).
+    pub checkpoint_interval: u64,
+    /// How many supervisor restarts a run may consume before a
+    /// recoverable failure escalates to
+    /// [`TrainError::RecoveryExhausted`]. `0` disables recovery.
+    pub max_restarts: u32,
+    /// Fail a blocking receive with [`TrainError::Timeout`] after this
+    /// many milliseconds (`None` = wait forever).
+    pub recv_timeout_ms: Option<u64>,
+}
+
+/// What the supervisor did to keep a run alive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Full-pipeline restarts performed.
+    pub restarts: u32,
+    /// The watermark each restart resumed from, in order.
+    pub resume_watermarks: Vec<u64>,
+    /// Every fault that fired, with the incarnation it hit.
+    pub faults_fired: Vec<FiredFault>,
+    /// Tasks whose effects a rollback discarded (they re-ran after the
+    /// resume watermark). Timing-dependent: how far past the crash
+    /// point other stages raced is scheduling luck, so this is excluded
+    /// from [`schedule`](Self::schedule).
+    pub replayed_tasks: u64,
+    /// Wall time spent between detecting failures and completing the
+    /// respawns, in microseconds. Timing-dependent.
+    pub recovery_latency_us: u64,
+}
+
+impl RecoveryReport {
+    /// The deterministic projection of the recovery: restart count,
+    /// resume watermarks, and the fired faults sorted by trigger. Two
+    /// runs with the same seeded plan produce equal schedules even
+    /// though thread timing differs.
+    pub fn schedule(&self) -> RecoverySchedule {
+        let mut faults: Vec<crate::fault::Fault> =
+            self.faults_fired.iter().map(|f| f.fault).collect();
+        faults.sort_by_key(|f| (f.stage, f.subnet, f.task));
+        RecoverySchedule {
+            restarts: self.restarts,
+            resume_watermarks: self.resume_watermarks.clone(),
+            faults,
+        }
+    }
+}
+
+/// The timing-independent recovery schedule (see
+/// [`RecoveryReport::schedule`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverySchedule {
+    /// Full-pipeline restarts performed.
+    pub restarts: u32,
+    /// The watermark each restart resumed from, in order.
+    pub resume_watermarks: Vec<u64>,
+    /// Fired faults sorted by `(stage, subnet, task)`.
+    pub faults: Vec<crate::fault::Fault>,
+}
+
+/// Everything a supervised run produces.
+pub struct SupervisedRun {
+    /// Final parameters and losses — bitwise equal to
+    /// [`sequential_training`](crate::train::sequential_training) even
+    /// across faults and restarts.
+    pub result: TrainResult,
+    /// Per-stage observability merged across all incarnations.
+    pub report: ObsReport,
+    /// What the supervisor did.
+    pub recovery: RecoveryReport,
+    /// The effective task stream: a synthetic sequential prefix for the
+    /// subnets below the final resume watermark, then the last
+    /// incarnation's recorded tasks in start order — suitable for
+    /// [`verify_csp_order_parts`](crate::repro::verify_csp_order_parts).
+    pub tasks: Vec<TaskRecord>,
+    /// The subnets trained, in exploration order.
+    pub subnets: Vec<Subnet>,
 }
 
 /// Trains `subnets` on `gpus` stage threads with CSP scheduling; returns
@@ -368,151 +803,395 @@ pub fn run_threaded_observed(
     gpus: u32,
     window: u64,
 ) -> Result<(TrainResult, ObsReport), TrainError> {
+    run_threaded_supervised(
+        space,
+        subnets,
+        cfg,
+        gpus,
+        window,
+        &RecoveryOptions::default(),
+    )
+    .map(|run| (run.result, run.report))
+}
+
+/// [`run_threaded`] under a fault-tolerant supervisor: injects the
+/// failure scenario of `opts.fault_plan`, snapshots CSP-watermark
+/// checkpoints every `opts.checkpoint_interval` subnets, and restarts
+/// the pipeline from the newest complete checkpoint when a stage dies —
+/// up to `opts.max_restarts` times. The recovered run replays only
+/// tasks past the watermark and still produces a `final_hash` bitwise
+/// equal to sequential training.
+///
+/// # Errors
+///
+/// Returns the root-cause [`TrainError`] for unrecoverable failures
+/// (CSP invariant breaches, root-cause channel closures, or any failure
+/// with `max_restarts == 0`), and [`TrainError::RecoveryExhausted`]
+/// when the restart budget runs out.
+///
+/// # Panics
+///
+/// Same contract-violation panics as [`run_threaded`].
+pub fn run_threaded_supervised(
+    space: &SearchSpace,
+    subnets: Vec<Subnet>,
+    cfg: &TrainConfig,
+    gpus: u32,
+    window: u64,
+    opts: &RecoveryOptions,
+) -> Result<SupervisedRun, TrainError> {
     assert!(gpus > 0, "need at least one stage thread");
     for (i, s) in subnets.iter().enumerate() {
         assert_eq!(s.seq_id().0, i as u64, "subnets must be numbered from 0");
         assert!(s.is_valid_for(space), "subnet {s} invalid for space");
     }
+    if opts.fault_plan.fatal_faults().next().is_some() {
+        crate::fault::silence_injected_panics();
+    }
     let window = if window == 0 { 30 } else { window };
     let m = space.num_blocks();
     let partition = Partition::balanced(&vec![1.0; m], gpus);
     let total = subnets.len() as u64;
-
-    // Debug builds cross-check the runtime's interleaving against the
-    // CSP contract; the checker sees the static partition's layer→stage
-    // map for every subnet up front.
-    let checker = if cfg!(debug_assertions) {
-        let mut c = CspChecker::new();
-        for s in subnets.iter() {
-            let layers = s.layers().map(|l| {
-                let owner = partition
-                    .stage_of_block(l.block as usize)
-                    .map(|s| s.0)
-                    .unwrap_or(0);
-                (l, owner)
-            });
-            c.register(s.seq_id(), layers)
-                .expect("subnets numbered uniquely");
-        }
-        Some(Arc::new(Mutex::new(c)))
-    } else {
-        None
-    };
-
     let subnets = Arc::new(subnets);
     let data = Arc::new(SyntheticDataset::new(cfg.seed, cfg.rows, cfg.dim));
     let init = ParamStore::init(space, cfg.dim, cfg.seed);
-    let started = Instant::now();
+    let injector = Arc::new(FaultInjector::new(opts.fault_plan.clone()));
+    let ckpts =
+        (opts.checkpoint_interval > 0).then(|| Arc::new(CheckpointStore::new(gpus as usize)));
+    let recv_timeout = opts.recv_timeout_ms.map(Duration::from_millis);
+    let epoch = Instant::now();
 
-    // Channels: stage k receives from one rx; neighbours hold its tx.
-    let mut txs = Vec::with_capacity(gpus as usize);
-    let mut rxs = Vec::with_capacity(gpus as usize);
-    for _ in 0..gpus {
-        let (tx, rx) = channel();
-        txs.push(tx);
-        rxs.push(rx);
-    }
-
-    let mut handles = Vec::with_capacity(gpus as usize);
-    for k in (0..gpus as usize).rev() {
-        let blocks = partition.stage_range(crate::task::StageId(k as u32));
-        let params: Vec<Vec<DenseParams>> = blocks
-            .clone()
-            .map(|b| {
-                (0..space.block(b).num_choices())
-                    .map(|c| {
-                        init.layer(naspipe_supernet::layer::LayerRef::new(b as u32, c))
-                            .clone()
-                    })
-                    .collect()
-            })
-            .collect();
-        let worker = StageWorker {
-            stage: k,
-            blocks,
-            last: k == gpus as usize - 1,
-            total,
-            window,
-            subnets: Arc::clone(&subnets),
-            data: Arc::clone(&data),
-            engine: cfg.engine(),
-            params,
-            rx: rxs.remove(k),
-            next_tx: txs.get(k + 1).cloned(),
-            prev_tx: if k > 0 {
-                Some(txs[k - 1].clone())
-            } else {
-                None
-            },
-            fwd_queue: Vec::new(),
-            bwd_queue: BTreeMap::new(),
-            ctxs: BTreeMap::new(),
-            finished: FinishedSet::new(),
-            finished_count: 0,
-            injected: 0,
-            losses: BTreeMap::new(),
-            recorder: MetricsRecorder::new(),
-            checker: checker.clone(),
-        };
-        handles.push((k, std::thread::spawn(move || worker.run())));
-    }
-    drop(txs);
-
-    let mut store = init;
-    let mut losses: BTreeMap<u64, f32> = BTreeMap::new();
-    let mut recorder = MetricsRecorder::new();
-    // A root-cause error (panic, invariant breach) beats the channel
-    // failures it cascades into on neighbouring stages.
-    let mut first_error: Option<TrainError> = None;
-    let mut note = |err: TrainError| match (&first_error, &err) {
-        (None, _)
-        | (Some(TrainError::ChannelClosed { .. }), TrainError::StagePanicked { .. })
-        | (Some(TrainError::ChannelClosed { .. }), TrainError::Invariant { .. }) => {
-            first_error = Some(err);
-        }
-        _ => {}
+    let mut master = MetricsRecorder::new();
+    let mut recovery = RecoveryReport {
+        restarts: 0,
+        resume_watermarks: Vec::new(),
+        faults_fired: Vec::new(),
+        replayed_tasks: 0,
+        recovery_latency_us: 0,
     };
-    for (k, handle) in handles {
-        let outcome = handle
-            .join()
-            .map_err(|_| TrainError::StagePanicked { stage: k });
-        match outcome {
-            Ok(Ok(output)) => {
-                let blocks = partition.stage_range(crate::task::StageId(k as u32));
+    let mut attributed: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut incarnation: u32 = 0;
+
+    loop {
+        let resume: Option<Checkpoint> = if incarnation == 0 {
+            None
+        } else {
+            ckpts.as_ref().and_then(|s| s.latest_complete())
+        };
+        let resume_w = resume.as_ref().map_or(0, |c| c.watermark);
+        if incarnation > 0 {
+            recovery.resume_watermarks.push(resume_w);
+        }
+
+        // Debug builds cross-check the runtime's interleaving against
+        // the CSP contract — a fresh checker per incarnation, with the
+        // already-trained prefix retired.
+        let checker = if cfg!(debug_assertions) {
+            let mut c = CspChecker::new();
+            for s in subnets.iter() {
+                let layers = s.layers().map(|l| {
+                    let owner = partition
+                        .stage_of_block(l.block as usize)
+                        .map(|s| s.0)
+                        .unwrap_or(0);
+                    (l, owner)
+                });
+                c.register(s.seq_id(), layers)
+                    .expect("subnets numbered uniquely");
+            }
+            c.retire_below(SubnetId(resume_w));
+            Some(Arc::new(Mutex::new(c)))
+        } else {
+            None
+        };
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (notify_tx, notify_rx) = channel::<(usize, ExitNote)>();
+
+        // Channels: stage k receives from one rx; neighbours hold its
+        // tx. The supervisor keeps a clone of every tx so it can
+        // broadcast Stop and wake recv-blocked workers on a failure.
+        let mut txs = Vec::with_capacity(gpus as usize);
+        let mut rxs = Vec::with_capacity(gpus as usize);
+        for _ in 0..gpus {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let mut handles = Vec::with_capacity(gpus as usize);
+        for k in (0..gpus as usize).rev() {
+            let blocks = partition.stage_range(StageId(k as u32));
+            let (params, engine, losses) = match &resume {
+                Some(ckpt) => {
+                    let s = &ckpt.stages[k];
+                    (s.params.clone(), s.engine.clone(), s.losses.clone())
+                }
+                None => (
+                    slice_params(&init, space, blocks.clone()),
+                    cfg.engine(),
+                    BTreeMap::new(),
+                ),
+            };
+            let mut finished = FinishedSet::new();
+            for y in 0..resume_w {
+                finished.insert(SubnetId(y));
+            }
+            let worker = StageWorker {
+                stage: k,
+                blocks,
+                last: k == gpus as usize - 1,
+                total,
+                window,
+                subnets: Arc::clone(&subnets),
+                data: Arc::clone(&data),
+                engine,
+                params,
+                rx: rxs.remove(k),
+                next_tx: txs.get(k + 1).cloned(),
+                prev_tx: if k > 0 {
+                    Some(txs[k - 1].clone())
+                } else {
+                    None
+                },
+                fwd_queue: Vec::new(),
+                bwd_queue: BTreeMap::new(),
+                ctxs: BTreeMap::new(),
+                finished,
+                finished_count: resume_w,
+                injected: resume_w,
+                losses,
+                recorder: MetricsRecorder::new(),
+                checker: checker.clone(),
+                shutdown: Arc::clone(&shutdown),
+                injector: Arc::clone(&injector),
+                max_retries: opts.fault_plan.max_retries(),
+                backoff_us: opts.fault_plan.backoff_us(),
+                ckpts: ckpts.clone(),
+                ckpt_interval: opts.checkpoint_interval,
+                next_ckpt: resume_w + opts.checkpoint_interval,
+                recv_timeout,
+                epoch,
+                tasks: Vec::new(),
+            };
+            let notify = notify_tx.clone();
+            handles.push((
+                k,
+                std::thread::spawn(move || {
+                    let mut guard = ExitGuard {
+                        stage: k,
+                        notify,
+                        armed: true,
+                    };
+                    let out = worker.run();
+                    guard.armed = false;
+                    let note = match &out {
+                        Ok(_) => ExitNote::Clean,
+                        Err(_) => ExitNote::Failed,
+                    };
+                    let _ = guard.notify.send((k, note));
+                    out
+                }),
+            ));
+        }
+        drop(notify_tx);
+
+        // React to the first death: raise the shutdown flag and wake
+        // every worker, so survivors park instead of cascading.
+        let mut failure_detected: Option<Instant> = None;
+        for _ in 0..gpus {
+            let (_, note) = notify_rx.recv().expect("every worker notifies once");
+            if matches!(note, ExitNote::Failed) && failure_detected.is_none() {
+                failure_detected = Some(Instant::now());
+                shutdown.store(true, Ordering::Release);
+                for tx in &txs {
+                    let _ = tx.send(Msg::Stop);
+                }
+            }
+        }
+        drop(txs);
+
+        // Join and classify: a root-cause error (panic, invariant
+        // breach, timeout) beats the channel failures it cascades into.
+        let mut first_error: Option<TrainError> = None;
+        let mut salvaged: Vec<(usize, StageOutput)> = Vec::new();
+        let mut finished_outputs: Vec<(usize, StageOutput)> = Vec::new();
+        for (k, handle) in handles {
+            match handle.join() {
+                Ok(Ok(WorkerExit::Finished(out))) => finished_outputs.push((k, out)),
+                Ok(Ok(WorkerExit::Stopped(out))) => salvaged.push((k, out)),
+                Ok(Err(err)) => note_error(&mut first_error, err),
+                Err(_) => note_error(&mut first_error, TrainError::StagePanicked { stage: k }),
+            }
+        }
+
+        for i in injector.fired_indices() {
+            if attributed.insert(i) {
+                recovery.faults_fired.push(FiredFault {
+                    incarnation,
+                    fault: injector.fault(i),
+                });
+            }
+        }
+
+        let Some(err) = first_error else {
+            // Success: every stage finished. Merge the slices back into
+            // one store and assemble the effective task stream.
+            debug_assert_eq!(finished_outputs.len(), gpus as usize);
+            let mut store = init;
+            let mut losses: BTreeMap<u64, f32> = BTreeMap::new();
+            let mut real_tasks: Vec<TaskRecord> = Vec::new();
+            finished_outputs.sort_by_key(|(k, _)| *k);
+            for (k, out) in finished_outputs {
+                let blocks = partition.stage_range(StageId(k as u32));
                 for (i, b) in blocks.enumerate() {
-                    for (c, p) in output.params[i].iter().enumerate() {
+                    for (c, p) in out.params[i].iter().enumerate() {
                         *store.layer_mut(naspipe_supernet::layer::LayerRef::new(
                             b as u32, c as u32,
                         )) = p.clone();
                     }
                 }
-                losses.extend(output.losses);
-                recorder.merge(&output.recorder);
+                losses.extend(out.losses);
+                master.merge(&out.recorder);
+                real_tasks.extend(out.tasks);
             }
-            Ok(Err(err)) | Err(err) => note(err),
+            // Stable by-start sort keeps each stage's (already ordered)
+            // stream in order; cross-stage ties don't affect per-layer
+            // access order because each layer has one owner stage.
+            real_tasks.sort_by_key(|t| t.start);
+            let mut tasks = sequential_prefix_tasks(resume_w, &partition, gpus);
+            tasks.extend(real_tasks);
+            let report = master.report(elapsed_us(epoch));
+            let subnets = Arc::try_unwrap(subnets).unwrap_or_else(|a| (*a).clone());
+            return Ok(SupervisedRun {
+                result: TrainResult {
+                    losses: losses.into_iter().collect(),
+                    final_hash: store.bitwise_hash(),
+                    store,
+                },
+                report,
+                recovery,
+                tasks,
+                subnets,
+            });
+        };
+
+        if !err.is_recoverable() {
+            return Err(err);
+        }
+        if recovery.restarts >= opts.max_restarts {
+            return Err(if opts.max_restarts == 0 {
+                err // recovery disabled: surface the root cause directly
+            } else {
+                TrainError::RecoveryExhausted {
+                    stage: err.stage(),
+                    attempts: recovery.restarts,
+                    last: Box::new(err),
+                }
+            });
+        }
+
+        // Account the failed incarnation: salvage metrics from the
+        // workers that survived, and count the tasks past the resume
+        // watermark whose effects the rollback discards.
+        let next_resume = ckpts
+            .as_ref()
+            .and_then(|s| s.latest_complete())
+            .map_or(0, |c| c.watermark);
+        salvaged.extend(finished_outputs);
+        for (k, out) in salvaged {
+            master.merge(&out.recorder);
+            let replayed = out
+                .tasks
+                .iter()
+                .filter(|t| t.subnet.0 >= next_resume)
+                .count() as u64;
+            recovery.replayed_tasks += replayed;
+            master.incr(k as u32, Counter::ReplayedTask, replayed);
+        }
+        recovery.restarts += 1;
+        for k in 0..gpus {
+            master.incr(k, Counter::Restart, 1);
+        }
+        if let Some(at) = failure_detected {
+            recovery.recovery_latency_us += elapsed_us(at);
+        }
+        incarnation += 1;
+    }
+}
+
+/// Root-cause preference: anything beats a secondary channel closure;
+/// otherwise first error wins.
+fn note_error(first: &mut Option<TrainError>, err: TrainError) {
+    let replace = match first {
+        None => true,
+        Some(existing) => existing.is_secondary() && !err.is_secondary(),
+    };
+    if replace {
+        *first = Some(err);
+    }
+}
+
+/// Extracts stage-owned parameter slices from the freshly initialised
+/// store.
+fn slice_params(
+    init: &ParamStore,
+    space: &SearchSpace,
+    blocks: Range<usize>,
+) -> Vec<Vec<DenseParams>> {
+    blocks
+        .map(|b| {
+            (0..space.block(b).num_choices())
+                .map(|c| {
+                    init.layer(naspipe_supernet::layer::LayerRef::new(b as u32, c))
+                        .clone()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Synthesises the task stream a sequential run would have produced for
+/// subnets `0..upto` — the prefix a recovered run did not re-execute.
+/// Per layer this yields `yF-yB` pairs in ascending subnet order at the
+/// owning stage, exactly what
+/// [`verify_csp_order_parts`](crate::repro::verify_csp_order_parts)
+/// requires of the checkpointed prefix.
+fn sequential_prefix_tasks(upto: u64, partition: &Partition, gpus: u32) -> Vec<TaskRecord> {
+    let mut tasks = Vec::with_capacity(upto as usize * gpus as usize * 2);
+    for y in 0..upto {
+        for k in 0..gpus {
+            tasks.push(TaskRecord {
+                start: SimTime::from_us(0),
+                end: SimTime::from_us(0),
+                kind: TaskKind::Forward,
+                subnet: SubnetId(y),
+                stage: StageId(k),
+                blocks: partition.stage_range(StageId(k)),
+            });
+        }
+        for k in (0..gpus).rev() {
+            tasks.push(TaskRecord {
+                start: SimTime::from_us(0),
+                end: SimTime::from_us(0),
+                kind: TaskKind::Backward,
+                subnet: SubnetId(y),
+                stage: StageId(k),
+                blocks: partition.stage_range(StageId(k)),
+            });
         }
     }
-    if let Some(err) = first_error {
-        return Err(err);
-    }
-
-    let report = recorder.report(elapsed_us(started));
-    Ok((
-        TrainResult {
-            losses: losses.into_iter().collect(),
-            final_hash: store.bitwise_hash(),
-            store,
-        },
-        report,
-    ))
+    tasks
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::repro::verify_csp_order_parts;
     use crate::train::sequential_training;
     use naspipe_supernet::layer::Domain;
     use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
+    use std::error::Error as _;
 
     fn space() -> SearchSpace {
         SearchSpace::uniform(Domain::Nlp, 8, 5)
@@ -606,5 +1285,191 @@ mod tests {
         let space = space();
         let list = vec![Subnet::new(SubnetId(3), vec![0; 8])];
         let _ = run_threaded(&space, list, &TrainConfig::default(), 2, 0);
+    }
+
+    #[test]
+    fn error_sources_chain_to_the_root_cause() {
+        let root = TrainError::ChannelClosed {
+            stage: 1,
+            link: "successor",
+        };
+        let timeout = TrainError::Timeout {
+            stage: 1,
+            task: 7,
+            cause: Some(Box::new(root.clone())),
+        };
+        let exhausted = TrainError::RecoveryExhausted {
+            stage: 1,
+            attempts: 2,
+            last: Box::new(timeout.clone()),
+        };
+        let mid = exhausted.source().expect("exhausted chains to last");
+        assert_eq!(mid.to_string(), timeout.to_string());
+        let leaf = mid.source().expect("timeout chains to cause");
+        assert_eq!(leaf.to_string(), root.to_string());
+        assert!(leaf.source().is_none());
+        assert_eq!(exhausted.stage(), 1);
+    }
+
+    #[test]
+    fn unsupervised_panic_surfaces_without_deadlock() {
+        // With recovery disabled, a mid-pipeline death must still shut the
+        // pipeline down and name the root cause — the seed runtime
+        // deadlocked here, with survivors recv-blocked forever.
+        let space = space();
+        let list = subnets(&space, 12);
+        let cfg = TrainConfig::default();
+        let opts = RecoveryOptions {
+            fault_plan: FaultPlan::new().panic_on(1, 5, TaskKind::Forward),
+            ..RecoveryOptions::default()
+        };
+        let err = run_threaded_supervised(&space, list, &cfg, 3, 0, &opts)
+            .err()
+            .expect("fatal fault with max_restarts=0 must fail");
+        assert_eq!(err, TrainError::StagePanicked { stage: 1 });
+    }
+
+    #[test]
+    fn supervised_recovery_is_bitwise_exact() {
+        let space = space();
+        let list = subnets(&space, 12);
+        let cfg = TrainConfig::default();
+        let seq = sequential_training(&space, &list, &cfg);
+        let opts = RecoveryOptions {
+            fault_plan: FaultPlan::new().panic_on(1, 6, TaskKind::Backward),
+            checkpoint_interval: 4,
+            max_restarts: 2,
+            recv_timeout_ms: None,
+        };
+        let run = run_threaded_supervised(&space, list, &cfg, 2, 0, &opts)
+            .expect("recovers from one panic");
+        assert_eq!(run.result.final_hash, seq.final_hash);
+        assert_eq!(run.result.losses, seq.losses);
+        assert_eq!(run.recovery.restarts, 1);
+        // The panic fires at SN6; the injection barrier pins the finished
+        // prefix inside SN6's epoch, so the resume watermark is exactly 4.
+        assert_eq!(run.recovery.resume_watermarks, vec![4]);
+        assert_eq!(run.recovery.faults_fired.len(), 1);
+        assert_eq!(run.recovery.faults_fired[0].incarnation, 0);
+        assert_eq!(run.report.restarts(), 2, "both stages restarted once");
+        verify_csp_order_parts(&run.subnets, &run.tasks)
+            .expect("effective task stream is CSP-sequential per layer");
+    }
+
+    #[test]
+    fn transient_faults_within_budget_do_not_restart() {
+        let space = space();
+        let list = subnets(&space, 10);
+        let cfg = TrainConfig::default();
+        let seq = sequential_training(&space, &list, &cfg);
+        let opts = RecoveryOptions {
+            fault_plan: FaultPlan::new()
+                .transient_send(0, 3, TaskKind::Forward, 2)
+                .transient_recv(1, 7, TaskKind::Forward, 1)
+                .with_backoff_us(10),
+            checkpoint_interval: 5,
+            max_restarts: 1,
+            recv_timeout_ms: None,
+        };
+        let run = run_threaded_supervised(&space, list, &cfg, 2, 0, &opts)
+            .expect("transients retried in place");
+        assert_eq!(run.result.final_hash, seq.final_hash);
+        assert_eq!(run.recovery.restarts, 0);
+        assert_eq!(run.report.retries(), 3, "2 send + 1 recv retries");
+        assert_eq!(run.recovery.faults_fired.len(), 2);
+        verify_csp_order_parts(&run.subnets, &run.tasks).expect("CSP holds under retries");
+    }
+
+    #[test]
+    fn slow_stage_degradation_does_not_change_result() {
+        let space = space();
+        let list = subnets(&space, 8);
+        let cfg = TrainConfig::default();
+        let seq = sequential_training(&space, &list, &cfg);
+        let opts = RecoveryOptions {
+            fault_plan: FaultPlan::new().slow(1, 2, TaskKind::Forward, 20),
+            ..RecoveryOptions::default()
+        };
+        let run = run_threaded_supervised(&space, list, &cfg, 2, 0, &opts).expect("slow is benign");
+        assert_eq!(run.result.final_hash, seq.final_hash);
+        assert_eq!(run.recovery.restarts, 0);
+    }
+
+    #[test]
+    fn recovery_budget_exhaustion_reports_attempts_and_cause() {
+        let space = space();
+        let list = subnets(&space, 12);
+        let cfg = TrainConfig::default();
+        let opts = RecoveryOptions {
+            // Two fatal faults in distinct checkpoint epochs; budget for one.
+            fault_plan: FaultPlan::new().panic_on(0, 2, TaskKind::Forward).panic_on(
+                1,
+                9,
+                TaskKind::Backward,
+            ),
+            checkpoint_interval: 4,
+            max_restarts: 1,
+            recv_timeout_ms: None,
+        };
+        let err = run_threaded_supervised(&space, list, &cfg, 2, 0, &opts)
+            .err()
+            .expect("two panics exceed a one-restart budget");
+        match &err {
+            TrainError::RecoveryExhausted { attempts, last, .. } => {
+                assert_eq!(*attempts, 1);
+                assert_eq!(**last, TrainError::StagePanicked { stage: 1 });
+            }
+            other => panic!("expected RecoveryExhausted, got {other}"),
+        }
+        assert!(err.source().is_some(), "root cause chained via source()");
+    }
+
+    #[test]
+    fn momentum_training_recovers_bitwise() {
+        // Momentum velocity lives in the engine; checkpoints must capture
+        // it or the resumed run diverges numerically.
+        let space = space();
+        let list = subnets(&space, 12);
+        let cfg = TrainConfig {
+            momentum: 0.9,
+            weight_decay: 0.01,
+            ..TrainConfig::default()
+        };
+        let seq = sequential_training(&space, &list, &cfg);
+        let opts = RecoveryOptions {
+            fault_plan: FaultPlan::new().panic_on(0, 7, TaskKind::Forward),
+            checkpoint_interval: 4,
+            max_restarts: 1,
+            recv_timeout_ms: None,
+        };
+        let run = run_threaded_supervised(&space, list, &cfg, 2, 0, &opts)
+            .expect("momentum state survives recovery");
+        assert_eq!(run.result.final_hash, seq.final_hash);
+        assert_eq!(run.recovery.restarts, 1);
+    }
+
+    #[test]
+    fn seeded_plans_replay_the_same_recovery_schedule() {
+        let space = space();
+        let list = subnets(&space, 16);
+        let cfg = TrainConfig::default();
+        let plan = FaultPlan::seeded(42, 2, 16, 4, 1, 2).with_backoff_us(10);
+        let opts = RecoveryOptions {
+            fault_plan: plan,
+            checkpoint_interval: 4,
+            max_restarts: 3,
+            recv_timeout_ms: None,
+        };
+        let seq = sequential_training(&space, &list, &cfg);
+        let a = run_threaded_supervised(&space, list.clone(), &cfg, 2, 0, &opts).unwrap();
+        let b = run_threaded_supervised(&space, list, &cfg, 2, 0, &opts).unwrap();
+        assert_eq!(a.result.final_hash, seq.final_hash);
+        assert_eq!(b.result.final_hash, seq.final_hash);
+        assert_eq!(
+            a.recovery.schedule(),
+            b.recovery.schedule(),
+            "same seed must reproduce the same fault and recovery schedule"
+        );
+        assert_eq!(a.recovery.restarts, 1, "one fatal fault, one restart");
     }
 }

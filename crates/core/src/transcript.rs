@@ -50,6 +50,10 @@ pub struct Transcript {
     pub tasks: Vec<TaskRecord>,
 }
 
+/// Upper bound on plausible stage ids in a transcript — far above any
+/// real pipeline depth, so a huge value can only be corruption.
+const MAX_STAGES: usize = 4096;
+
 /// Errors from parsing a transcript.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTranscriptError {
@@ -140,8 +144,11 @@ impl Transcript {
         if lines.first().map(String::as_str) != Some("naspipe-transcript v1") {
             return Err(err(1, "missing 'naspipe-transcript v1' header"));
         }
-        let mut subnets = Vec::new();
+        let mut subnets: Vec<Subnet> = Vec::new();
         let mut tasks = Vec::new();
+        let mut declared: std::collections::BTreeMap<u64, usize> =
+            std::collections::BTreeMap::new();
+        let mut task_lines: Vec<usize> = Vec::new();
         for (i, line) in lines.iter().enumerate().skip(1) {
             let lineno = i + 1;
             if line.trim().is_empty() {
@@ -166,6 +173,12 @@ impl Transcript {
                             }
                         })
                         .collect::<Result<_, _>>()?;
+                    if let Some(prev) = declared.insert(id, lineno) {
+                        return Err(err(
+                            lineno,
+                            &format!("subnet {id} already declared on line {prev}"),
+                        ));
+                    }
                     subnets.push(Subnet::new(SubnetId(id), choices));
                 }
                 Some("task") => {
@@ -195,6 +208,25 @@ impl Transcript {
                     if lo > hi {
                         return Err(err(lineno, "block range reversed"));
                     }
+                    if end < start {
+                        return Err(err(
+                            lineno,
+                            &format!("task ends ({end}us) before it starts ({start}us)"),
+                        ));
+                    }
+                    if !declared.contains_key(&subnet) {
+                        return Err(err(
+                            lineno,
+                            &format!("task references undeclared subnet {subnet}"),
+                        ));
+                    }
+                    if stage as usize >= MAX_STAGES {
+                        return Err(err(
+                            lineno,
+                            &format!("implausible stage id {stage} (limit {MAX_STAGES})"),
+                        ));
+                    }
+                    task_lines.push(lineno);
                     tasks.push(TaskRecord {
                         start: SimTime::from_us(start),
                         end: SimTime::from_us(end),
@@ -208,6 +240,29 @@ impl Transcript {
                     return Err(err(lineno, &format!("unknown record '{other}'")));
                 }
                 None => {}
+            }
+        }
+        // A stage executes one task at a time: two tasks on the same
+        // stage with genuinely overlapping time intervals cannot come
+        // from a real run and would corrupt a replay's access order.
+        let mut by_stage: std::collections::BTreeMap<u32, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (idx, t) in tasks.iter().enumerate() {
+            by_stage.entry(t.stage.0).or_default().push(idx);
+        }
+        for (stage, mut idxs) in by_stage {
+            idxs.sort_by_key(|&i| (tasks[i].start, tasks[i].end));
+            for pair in idxs.windows(2) {
+                let (a, b) = (&tasks[pair[0]], &tasks[pair[1]]);
+                if a.start < b.end && b.start < a.end {
+                    return Err(err(
+                        task_lines[pair[1]],
+                        &format!(
+                            "task overlaps the task on line {} (both on stage {stage})",
+                            task_lines[pair[0]]
+                        ),
+                    ));
+                }
             }
         }
         Ok(Self { subnets, tasks })
@@ -338,6 +393,57 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn duplicate_subnet_declarations_rejected_with_both_lines() {
+        let text = "naspipe-transcript v1\nsubnet 0 1,2\nsubnet 0 2,1\n";
+        let e = Transcript::read(&mut text.as_bytes()).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("already declared on line 2"), "{msg}");
+    }
+
+    #[test]
+    fn undeclared_subnet_reference_rejected() {
+        let text = "naspipe-transcript v1\nsubnet 0 1,2\ntask 0 5 F 7 0 0 1\n";
+        let e = Transcript::read(&mut text.as_bytes()).unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("line 3") && msg.contains("undeclared subnet 7"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn implausible_stage_id_rejected() {
+        let text = "naspipe-transcript v1\nsubnet 0 1,2\ntask 0 5 F 0 99999 0 1\n";
+        let e = Transcript::read(&mut text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("implausible stage id 99999"));
+    }
+
+    #[test]
+    fn reversed_time_interval_rejected() {
+        let text = "naspipe-transcript v1\nsubnet 0 1,2\ntask 9 5 F 0 0 0 1\n";
+        let e = Transcript::read(&mut text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("ends (5us) before it starts (9us)"));
+    }
+
+    #[test]
+    fn same_stage_overlapping_tasks_rejected() {
+        let text = "naspipe-transcript v1\nsubnet 0 1,2\nsubnet 1 2,1\n\
+                    task 0 10 F 0 0 0 1\ntask 5 15 F 1 0 0 1\n";
+        let e = Transcript::read(&mut text.as_bytes()).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 5") && msg.contains("line 4"), "{msg}");
+        // The same pair on *different* stages is fine.
+        let ok = "naspipe-transcript v1\nsubnet 0 1,2\nsubnet 1 2,1\n\
+                  task 0 10 F 0 0 0 1\ntask 5 15 F 1 1 0 1\n";
+        assert!(Transcript::read(&mut ok.as_bytes()).is_ok());
+        // Back-to-back intervals (end == next start) are fine too.
+        let abutting = "naspipe-transcript v1\nsubnet 0 1,2\nsubnet 1 2,1\n\
+                        task 0 10 F 0 0 0 1\ntask 10 20 F 1 0 0 1\n";
+        assert!(Transcript::read(&mut abutting.as_bytes()).is_ok());
     }
 
     #[test]

@@ -40,10 +40,18 @@ pub enum Counter {
     /// Time the stage sat idle with nothing queued (pipeline bubble),
     /// in microseconds.
     BubbleUs,
+    /// Transient channel fault retried with backoff (fault-tolerant
+    /// runtime).
+    Retry,
+    /// Stage worker respawned by the supervisor after a failure.
+    Restart,
+    /// Task re-executed after a recovery because its pre-failure effect
+    /// was discarded by the checkpoint rollback.
+    ReplayedTask,
 }
 
 /// Number of [`Counter`] variants; sizes the per-stage counter array.
-pub const NUM_COUNTERS: usize = Counter::BubbleUs as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::ReplayedTask as usize + 1;
 
 /// Distribution-valued per-stage observations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -260,6 +268,9 @@ impl MetricsRecorder {
                     cache_evictions: m.counter(Counter::CacheEviction),
                     cache_prefetches: m.counter(Counter::CachePrefetch),
                     cache_hit_rate: ratio(hits, lookups),
+                    retries: m.counter(Counter::Retry),
+                    restarts: m.counter(Counter::Restart),
+                    replayed_tasks: m.counter(Counter::ReplayedTask),
                     mean_queue_depth: depth.mean(),
                     max_queue_depth: depth.max,
                     fwd_latency_mean_us: fwd.mean(),

@@ -38,6 +38,12 @@ pub struct StageObs {
     pub cache_prefetches: u64,
     /// Hits over total lookups (0 when no lookups).
     pub cache_hit_rate: f64,
+    /// Transient channel faults retried with backoff.
+    pub retries: u64,
+    /// Times this stage's worker was respawned by the supervisor.
+    pub restarts: u64,
+    /// Tasks re-executed after a checkpoint rollback.
+    pub replayed_tasks: u64,
     /// Mean queue depth at dispatch decisions.
     pub mean_queue_depth: f64,
     /// Largest observed queue depth.
@@ -80,6 +86,21 @@ impl ObsReport {
         mean(self.stages.iter().map(|s| s.stall_ratio))
     }
 
+    /// Total supervisor-driven stage restarts across all stages.
+    pub fn restarts(&self) -> u64 {
+        self.stages.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Total transient-fault retries across all stages.
+    pub fn retries(&self) -> u64 {
+        self.stages.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total replayed tasks across all stages.
+    pub fn replayed_tasks(&self) -> u64 {
+        self.stages.iter().map(|s| s.replayed_tasks).sum()
+    }
+
     /// Whole-pipeline cache hit rate over all stages' lookups.
     pub fn cache_hit_rate(&self) -> f64 {
         let hits: u64 = self.stages.iter().map(|s| s.cache_hits).sum();
@@ -97,13 +118,13 @@ impl ObsReport {
         let _ = writeln!(
             out,
             "stage  fwd   bwd  preempt  util%  stall%  bubble%  cache-hit%  \
-             ev  q-mean  q-max  fwd-us(mean/max)  bwd-us(mean/max)"
+             ev  rst  rty  repl  q-mean  q-max  fwd-us(mean/max)  bwd-us(mean/max)"
         );
         for s in &self.stages {
             let _ = writeln!(
                 out,
                 "{:>5} {:>5} {:>5} {:>8} {:>6.1} {:>7.1} {:>8.1} {:>11.1} {:>3} \
-                 {:>7.1} {:>6} {:>9.0}/{:<7} {:>9.0}/{:<7}",
+                 {:>4} {:>4} {:>5} {:>7.1} {:>6} {:>9.0}/{:<7} {:>9.0}/{:<7}",
                 s.stage,
                 s.forward_tasks,
                 s.backward_tasks,
@@ -113,6 +134,9 @@ impl ObsReport {
                 100.0 * s.bubble_ratio,
                 100.0 * s.cache_hit_rate,
                 s.cache_evictions,
+                s.restarts,
+                s.retries,
+                s.replayed_tasks,
                 s.mean_queue_depth,
                 s.max_queue_depth,
                 s.fwd_latency_mean_us,
@@ -124,11 +148,14 @@ impl ObsReport {
         let _ = writeln!(
             out,
             "total: wall {:.3}s  bubble ratio {:.3}  stall ratio {:.3}  \
-             cache hit rate {:.3}",
+             cache hit rate {:.3}  restarts {}  retries {}  replayed {}",
             self.wall_us as f64 / 1e6,
             self.bubble_ratio(),
             self.stall_ratio(),
             self.cache_hit_rate(),
+            self.restarts(),
+            self.retries(),
+            self.replayed_tasks(),
         );
         out
     }
@@ -156,6 +183,7 @@ impl ObsReport {
                  \"stall_ratio\":{},\"bubble_ratio\":{},\"utilization\":{},\
                  \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
                  \"cache_prefetches\":{},\"cache_hit_rate\":{},\
+                 \"retries\":{},\"restarts\":{},\"replayed_tasks\":{},\
                  \"mean_queue_depth\":{},\"max_queue_depth\":{},\
                  \"fwd_latency_mean_us\":{},\"fwd_latency_max_us\":{},\
                  \"bwd_latency_mean_us\":{},\"bwd_latency_max_us\":{}}}",
@@ -173,6 +201,9 @@ impl ObsReport {
                 s.cache_evictions,
                 s.cache_prefetches,
                 json_f64(s.cache_hit_rate),
+                s.retries,
+                s.restarts,
+                s.replayed_tasks,
                 json_f64(s.mean_queue_depth),
                 s.max_queue_depth,
                 json_f64(s.fwd_latency_mean_us),
@@ -266,6 +297,24 @@ mod tests {
             json.matches('}').count(),
             "balanced braces: {json}"
         );
+    }
+
+    #[test]
+    fn recovery_counters_aggregate_and_render() {
+        let mut r = two_stage_report();
+        r.stages[0].restarts = 1;
+        r.stages[1].restarts = 1;
+        r.stages[0].retries = 3;
+        r.stages[1].replayed_tasks = 7;
+        assert_eq!(r.restarts(), 2);
+        assert_eq!(r.retries(), 3);
+        assert_eq!(r.replayed_tasks(), 7);
+        let text = r.render_text();
+        assert!(text.contains("restarts 2"));
+        assert!(text.contains("replayed 7"));
+        let json = r.to_json();
+        assert!(json.contains("\"restarts\":1"));
+        assert!(json.contains("\"replayed_tasks\":7"));
     }
 
     #[test]
