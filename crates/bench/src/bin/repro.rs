@@ -11,7 +11,7 @@
 
 use naspipe_bench::experiments::{
     cache_sweep, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute, soundness,
-    table1, table2, table3, table4, table5, topology,
+    table1, table2, table3, table4, table5, topology, trace,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
 use naspipe_supernet::space::SpaceId;
@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "recompute",
     "obs",
     "faults",
+    "trace",
 ];
 
 fn main() {
@@ -218,6 +219,26 @@ fn run_experiment(name: &str) {
             assert!(
                 r.bitwise_equal && r.csp_ok && r.schedule_reproducible,
                 "fault-tolerance verdicts failed"
+            );
+        }
+        "trace" => {
+            banner(
+                "Extra: causal span tracing and critical-path attribution",
+                "Both engines (DES pipeline and threaded supervised runtime) traced on NLP.c2, 4 stages: per-task spans with causal edges, exported as Perfetto-loadable Chrome JSON, plus the critical path through the span graph attributed to compute / fetch / causal-stall / bubble. Set REPRO_TRACE_JSON=<dir> to write the .trace.json artifacts.",
+            );
+            let r = trace::run(SpaceId::NlpC2, 4, 24);
+            println!("{}", trace::render(&r));
+            if let Ok(dir) = std::env::var("REPRO_TRACE_JSON") {
+                if !dir.is_empty() && dir != "0" {
+                    let paths = trace::write_artifacts(&r, &dir).expect("trace artifacts written");
+                    for p in paths {
+                        println!("wrote {}", p.display());
+                    }
+                }
+            }
+            assert!(
+                r.all_ok(),
+                "trace verdicts failed: critical path must equal the makespan,                  the chrome export must round-trip, and DES path idle must stay                  within the recorder's stall+bubble counters"
             );
         }
         _ => unreachable!("validated in main"),

@@ -18,6 +18,7 @@ pub mod table4;
 pub mod table5;
 pub mod throughput;
 pub mod topology;
+pub mod trace;
 pub mod training;
 
 use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};

@@ -20,6 +20,7 @@
 //! pruned as soon as a higher one completes — they can never be needed
 //! again, because no in-flight task predates the newest complete cut.
 
+use naspipe_obs::SpanId;
 use naspipe_tensor::layers::DenseParams;
 use naspipe_tensor::model::NumericSupernet;
 use std::collections::BTreeMap;
@@ -50,6 +51,11 @@ pub struct Checkpoint {
     pub watermark: u64,
     /// Per-stage snapshots, indexed by stage.
     pub stages: Vec<StageSnapshot>,
+    /// The checkpoint span of the stage whose record completed the cut
+    /// ([`SpanId::EXTERNAL`] when the runtime traces nothing). A restart
+    /// resuming from this cut names it in its causal edge, so the
+    /// recovery chain is visible as a flow in the exported trace.
+    pub cut_span: SpanId,
 }
 
 /// Thread-shared collector of per-stage snapshots.
@@ -61,7 +67,8 @@ pub struct Checkpoint {
 #[derive(Debug)]
 pub struct CheckpointStore {
     gpus: usize,
-    slots: Mutex<BTreeMap<u64, Vec<Option<StageSnapshot>>>>,
+    #[allow(clippy::type_complexity)]
+    slots: Mutex<BTreeMap<u64, Vec<Option<(StageSnapshot, SpanId)>>>>,
 }
 
 impl CheckpointStore {
@@ -78,27 +85,40 @@ impl CheckpointStore {
         }
     }
 
-    /// Records `stage`'s snapshot at `watermark`. Idempotent per
-    /// `(watermark, stage)` across incarnations: a respawned worker
-    /// re-reaching a boundary it already snapshotted is a no-op, so a
-    /// checkpoint is never half-overwritten by replayed state.
+    /// Records `stage`'s snapshot at `watermark`, tagged with the span
+    /// that traced the snapshot work. Idempotent per `(watermark, stage)`
+    /// across incarnations: a respawned worker re-reaching a boundary it
+    /// already snapshotted is a no-op, so a checkpoint is never
+    /// half-overwritten by replayed state.
+    ///
+    /// Returns `true` when this call completed the cut — every stage has
+    /// now snapshotted `watermark`.
     ///
     /// # Panics
     ///
     /// Panics if `stage` is out of range or the store mutex is poisoned.
-    pub fn record(&self, watermark: u64, stage: usize, snapshot: StageSnapshot) {
+    pub fn record(
+        &self,
+        watermark: u64,
+        stage: usize,
+        snapshot: StageSnapshot,
+        span: SpanId,
+    ) -> bool {
         assert!(stage < self.gpus, "stage {stage} out of range");
         let mut slots = self.slots.lock().expect("checkpoint store poisoned");
         let entry = slots
             .entry(watermark)
             .or_insert_with(|| vec![None; self.gpus]);
+        let was_complete = entry.iter().all(Option::is_some);
         if entry[stage].is_none() {
-            entry[stage] = Some(snapshot);
+            entry[stage] = Some((snapshot, span));
         }
-        if slots[&watermark].iter().all(Option::is_some) {
+        let complete = slots[&watermark].iter().all(Option::is_some);
+        if complete {
             // Newly (or already) complete: drop everything older.
             slots.retain(|&w, parts| w >= watermark || parts.iter().any(Option::is_none));
         }
+        complete && !was_complete
     }
 
     /// The highest watermark every stage has snapshotted, if any.
@@ -114,7 +134,19 @@ impl CheckpointStore {
             .find(|(_, parts)| parts.iter().all(Option::is_some))
             .map(|(&watermark, parts)| Checkpoint {
                 watermark,
-                stages: parts.iter().map(|p| p.clone().expect("checked")).collect(),
+                stages: parts
+                    .iter()
+                    .map(|p| p.clone().expect("checked").0)
+                    .collect(),
+                // The completing record is the one with the highest span
+                // id at this watermark under per-worker namespaces; any
+                // of them anchors the recovery flow, so take the last
+                // recorded (max) for determinism.
+                cut_span: parts
+                    .iter()
+                    .map(|p| p.as_ref().expect("checked").1)
+                    .max()
+                    .unwrap_or(SpanId::EXTERNAL),
             })
     }
 
@@ -149,23 +181,31 @@ mod tests {
     #[test]
     fn incomplete_watermarks_are_invisible() {
         let store = CheckpointStore::new(2);
-        store.record(8, 0, snap());
+        assert!(!store.record(8, 0, snap(), SpanId(1)));
         assert!(store.latest_complete().is_none());
-        store.record(8, 1, snap());
+        assert!(
+            store.record(8, 1, snap(), SpanId(2)),
+            "second stage completes the cut"
+        );
         let ckpt = store.latest_complete().expect("complete");
         assert_eq!(ckpt.watermark, 8);
         assert_eq!(ckpt.stages.len(), 2);
+        assert_eq!(
+            ckpt.cut_span,
+            SpanId(2),
+            "cut anchored to the completing span"
+        );
     }
 
     #[test]
     fn completion_prunes_older_complete_watermarks() {
         let store = CheckpointStore::new(2);
-        store.record(4, 0, snap());
-        store.record(4, 1, snap());
-        store.record(8, 0, snap());
+        store.record(4, 0, snap(), SpanId(1));
+        store.record(4, 1, snap(), SpanId(2));
+        store.record(8, 0, snap(), SpanId(3));
         // 8 is partial: 4 must survive.
         assert_eq!(store.latest_complete().expect("complete").watermark, 4);
-        store.record(8, 1, snap());
+        store.record(8, 1, snap(), SpanId(4));
         assert_eq!(store.latest_complete().expect("complete").watermark, 8);
         assert_eq!(store.watermarks(), vec![8]);
     }
@@ -175,16 +215,21 @@ mod tests {
         let store = CheckpointStore::new(2);
         let mut first = snap();
         first.losses.insert(3, 0.5);
-        store.record(4, 0, first);
-        store.record(4, 0, snap()); // replayed worker: ignored
-        store.record(4, 1, snap());
+        store.record(4, 0, first, SpanId(1));
+        store.record(4, 0, snap(), SpanId(9)); // replayed worker: ignored
+        assert!(
+            store.record(4, 1, snap(), SpanId(2)),
+            "completion reported exactly once"
+        );
+        assert!(!store.record(4, 1, snap(), SpanId(3)), "already complete");
         let ckpt = store.latest_complete().expect("complete");
         assert_eq!(ckpt.stages[0].losses.get(&3), Some(&0.5));
+        assert_eq!(ckpt.cut_span, SpanId(2), "replayed span ids are ignored");
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_stage_panics() {
-        CheckpointStore::new(1).record(0, 1, snap());
+        CheckpointStore::new(1).record(0, 1, snap(), SpanId::EXTERNAL);
     }
 }

@@ -65,6 +65,8 @@ pub struct StageCache {
     lru: VecDeque<LayerRef>,
     pinned: BTreeMap<LayerRef, u32>,
     stats: CacheStats,
+    // Evictions since the last `take_evictions` drain, for span tracing.
+    eviction_log: Vec<(LayerRef, u64)>,
 }
 
 impl StageCache {
@@ -83,6 +85,7 @@ impl StageCache {
             lru: VecDeque::new(),
             pinned: BTreeMap::new(),
             stats: CacheStats::default(),
+            eviction_log: Vec::new(),
         }
     }
 
@@ -137,8 +140,16 @@ impl StageCache {
             self.used -= sz;
             self.stats.bytes_evicted += sz;
             self.stats.evictions += 1;
+            self.eviction_log.push((victim, sz));
             self.resident.remove(&victim);
         }
+    }
+
+    /// Drains the evictions recorded since the last drain, as
+    /// `(layer, bytes)` in eviction order — the tracing hook for `Evict`
+    /// spans. Callers that never drain pay only the log's memory.
+    pub fn take_evictions(&mut self) -> Vec<(LayerRef, u64)> {
+        std::mem::take(&mut self.eviction_log)
     }
 
     /// Records an access to `layer` (of `bytes` size) at task-dispatch
@@ -246,6 +257,7 @@ impl StageCache {
         self.used -= bytes;
         self.stats.bytes_evicted += bytes;
         self.stats.evictions += 1;
+        self.eviction_log.push((layer, bytes));
         bytes
     }
 }
@@ -349,6 +361,16 @@ mod tests {
         assert_eq!(cache.evict(l(0, 0)), 0, "still pinned once");
         cache.unpin(l(0, 0));
         assert_eq!(cache.evict(l(0, 0)), 10);
+    }
+
+    #[test]
+    fn take_evictions_drains_lru_and_explicit() {
+        let mut cache = StageCache::new(100);
+        cache.insert(l(0, 0), 60);
+        cache.insert(l(1, 0), 60); // LRU-evicts l(0,0)
+        cache.evict(l(1, 0));
+        assert_eq!(cache.take_evictions(), vec![(l(0, 0), 60), (l(1, 0), 60)]);
+        assert!(cache.take_evictions().is_empty(), "drain empties the log");
     }
 
     #[test]

@@ -5,45 +5,113 @@
 //! forwards, the same symbol dimmed to lowercase-style (prefixed rows use
 //! `F`/`B` markers) for backwards, `.` for idle. Subnet `n` renders as
 //! the character `SYMBOLS[n % 36]`.
+//!
+//! The chart is rendered from the run's *span stream*
+//! ([`PipelineOutcome::spans`]) when one was recorded — which also
+//! surfaces recompute and fault-replay activity on a third `R` row per
+//! stage — and falls back to the plain task records for untraced runs
+//! (e.g. a `NullTracer` run or a transcript replay).
 
 use crate::pipeline::PipelineOutcome;
 use crate::task::TaskKind;
-use naspipe_sim::time::SimTime;
+use naspipe_obs::SpanKind;
 use std::fmt::Write as _;
 
 const SYMBOLS: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
 
+/// One paintable interval: which stage row it lands on and what symbol
+/// fills it.
+struct Cell {
+    stage: u32,
+    row: Row,
+    sym: u8,
+    start_us: u64,
+    end_us: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Row {
+    Fwd,
+    Bwd,
+    /// Recompute / fault-replay activity (span stream only).
+    Aux,
+}
+
+fn subnet_symbol(subnet: u64) -> u8 {
+    SYMBOLS[(subnet % 36) as usize]
+}
+
+/// Cells from the span stream: forward/backward compute plus an `R` row
+/// for recompute (subnet symbol) and fault replay (`x`).
+fn cells_from_spans(outcome: &PipelineOutcome) -> Vec<Cell> {
+    outcome
+        .spans
+        .spans()
+        .iter()
+        .filter_map(|s| {
+            let (row, sym) = match s.kind {
+                SpanKind::Forward => (Row::Fwd, subnet_symbol(s.subnet.unwrap_or(0))),
+                SpanKind::Backward => (Row::Bwd, subnet_symbol(s.subnet.unwrap_or(0))),
+                SpanKind::Recompute => (Row::Aux, subnet_symbol(s.subnet.unwrap_or(0))),
+                SpanKind::Replay => (Row::Aux, b'x'),
+                _ => return None,
+            };
+            Some(Cell {
+                stage: s.stage,
+                row,
+                sym,
+                start_us: s.start_us,
+                end_us: s.end_us,
+            })
+        })
+        .collect()
+}
+
+/// Cells from the task records — the untraced fallback.
+fn cells_from_tasks(outcome: &PipelineOutcome) -> Vec<Cell> {
+    outcome
+        .tasks
+        .iter()
+        .map(|t| Cell {
+            stage: t.stage.0,
+            row: match t.kind {
+                TaskKind::Forward => Row::Fwd,
+                TaskKind::Backward => Row::Bwd,
+            },
+            sym: subnet_symbol(t.subnet.0),
+            start_us: t.start.as_us(),
+            end_us: t.end.as_us(),
+        })
+        .collect()
+}
+
 /// Renders the schedule of `outcome` as an ASCII Gantt chart of `width`
 /// columns.
 ///
-/// Forward cells render as the subnet's symbol, backward cells as `*`
-/// pairs (`<sym>*` alternating) are too noisy at small widths, so
-/// backwards render as the symbol on a marked row instead: every stage
-/// gets two rows, `F` and `B`.
+/// Forward cells render as the subnet's symbol on the stage's `F` row,
+/// backwards on its `B` row. When the outcome carries a span trace,
+/// stages with recompute or fault-replay spans additionally get an `R`
+/// row (`x` marks a wasted fault attempt).
 ///
 /// # Panics
 ///
 /// Panics if `width == 0`.
 pub fn render_gantt(outcome: &PipelineOutcome, width: usize) -> String {
     assert!(width > 0, "width must be positive");
-    let stages = outcome
-        .tasks
+    let cells = if outcome.spans.spans().is_empty() {
+        cells_from_tasks(outcome)
+    } else {
+        cells_from_spans(outcome)
+    };
+    let stages = cells
         .iter()
-        .map(|t| t.stage.0)
+        .map(|c| c.stage)
         .max()
         .map(|m| m + 1)
         .unwrap_or(0);
-    let makespan = outcome
-        .tasks
-        .iter()
-        .map(|t| t.end)
-        .max()
-        .unwrap_or(SimTime::ZERO)
-        .as_us()
-        .max(1);
-    let col = |t: SimTime| -> usize {
-        ((t.as_us() as u128 * width as u128) / (makespan as u128 + 1)) as usize
-    };
+    let makespan = cells.iter().map(|c| c.end_us).max().unwrap_or(0).max(1);
+    let col =
+        |us: u64| -> usize { ((us as u128 * width as u128) / (makespan as u128 + 1)) as usize };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -53,24 +121,26 @@ pub fn render_gantt(outcome: &PipelineOutcome, width: usize) -> String {
         width
     );
     for k in 0..stages {
-        for (kind, label) in [(TaskKind::Forward, 'F'), (TaskKind::Backward, 'B')] {
-            let mut row = vec![b'.'; width];
-            for t in outcome
-                .tasks
+        for (row, label) in [(Row::Fwd, 'F'), (Row::Bwd, 'B'), (Row::Aux, 'R')] {
+            let on_row: Vec<&Cell> = cells
                 .iter()
-                .filter(|t| t.stage.0 == k && t.kind == kind)
-            {
-                let lo = col(t.start);
-                let hi = col(t.end).max(lo + 1).min(width);
-                let sym = SYMBOLS[(t.subnet.0 % 36) as usize];
-                for cell in &mut row[lo..hi] {
-                    *cell = sym;
+                .filter(|c| c.stage == k && c.row == row)
+                .collect();
+            if row == Row::Aux && on_row.is_empty() {
+                continue; // R rows only where recompute/replay happened
+            }
+            let mut chars = vec![b'.'; width];
+            for c in on_row {
+                let lo = col(c.start_us);
+                let hi = col(c.end_us).max(lo + 1).min(width);
+                for cell in &mut chars[lo..hi] {
+                    *cell = c.sym;
                 }
             }
             let _ = writeln!(
                 out,
                 "P{k}.{label} |{}|",
-                String::from_utf8(row).expect("ASCII row")
+                String::from_utf8(chars).expect("ASCII row")
             );
         }
     }
@@ -81,7 +151,8 @@ pub fn render_gantt(outcome: &PipelineOutcome, width: usize) -> String {
 mod tests {
     use super::*;
     use crate::config::{PipelineConfig, SyncPolicy};
-    use crate::pipeline::run_pipeline_with_subnets;
+    use crate::pipeline::{run_pipeline_with_subnets, run_pipeline_with_tracer};
+    use naspipe_obs::NullTracer;
     use naspipe_supernet::layer::Domain;
     use naspipe_supernet::sampler::{ExplorationStrategy, UniformSampler};
     use naspipe_supernet::space::SearchSpace;
@@ -119,6 +190,43 @@ mod tests {
             let body = line.split('|').nth(1).expect("framed row");
             assert_eq!(body.len(), 50);
         }
+    }
+
+    #[test]
+    fn span_and_task_renderings_agree_on_compute_rows() {
+        // The span stream must paint the same F/B picture the task
+        // records do; spans only *add* R rows.
+        let space = SearchSpace::uniform(Domain::Nlp, 8, 4);
+        let subnets = UniformSampler::new(&space, 3).take_subnets(6);
+        let cfg = PipelineConfig::naspipe(4, 6).with_batch(16).with_seed(3);
+        let traced = run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap();
+        let untraced =
+            run_pipeline_with_tracer(&space, &cfg, subnets, Box::new(NullTracer)).unwrap();
+        assert!(untraced.spans.spans().is_empty());
+        let from_spans = render_gantt(&traced, 80);
+        let from_tasks = render_gantt(&untraced, 80);
+        let fb = |g: &str| -> Vec<String> {
+            g.lines()
+                .filter(|l| l.contains(".F ") || l.contains(".B "))
+                .map(String::from)
+                .collect()
+        };
+        assert_eq!(fb(&from_spans), fb(&from_tasks));
+    }
+
+    #[test]
+    fn fault_replay_marks_the_aux_row() {
+        let space = SearchSpace::uniform(Domain::Nlp, 8, 4);
+        let subnets = UniformSampler::new(&space, 3).take_subnets(10);
+        let cfg = PipelineConfig::naspipe(4, 10)
+            .with_batch(16)
+            .with_seed(3)
+            .with_fault_rate(0.3);
+        let out = run_pipeline_with_subnets(&space, &cfg, subnets).unwrap();
+        assert!(out.report.faults_injected > 0, "need at least one fault");
+        let g = render_gantt(&out, 100);
+        assert!(g.contains('x'), "replay marker missing:\n{g}");
+        assert!(g.lines().any(|l| l.contains(".R ")), "no R row:\n{g}");
     }
 
     #[test]

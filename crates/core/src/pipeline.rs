@@ -25,7 +25,10 @@ use crate::predictor::{Fetch, PendingBackward, Predictor};
 use crate::report::{alu_efficiency, PipelineReport};
 use crate::scheduler::{CspScheduler, SubnetTable};
 use crate::task::{FinishedSet, StageId, TaskKind};
-use naspipe_obs::{Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, Sample};
+use naspipe_obs::{
+    CausalEdge, CauseKind, Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, RunMeta,
+    Sample, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, Tracer,
+};
 use naspipe_sim::cluster::Cluster;
 use naspipe_sim::event::EventQueue;
 use naspipe_sim::gpu::GpuId;
@@ -72,6 +75,10 @@ pub struct PipelineOutcome {
     /// Per-stage observability metrics (queue depth, preemptions,
     /// stall/bubble time, cache behaviour, task latencies).
     pub obs: ObsReport,
+    /// Per-task spans with causal edges (simulated time), for Perfetto
+    /// export and critical-path analysis. Empty when the run used a
+    /// [`naspipe_obs::NullTracer`].
+    pub spans: SpanTrace,
 }
 
 /// Why a run could not be performed.
@@ -120,16 +127,25 @@ enum Ev {
     FwdArrive {
         subnet: SubnetId,
         stage: u32,
+        /// The span whose completion produced this arrival: the
+        /// predecessor stage's forward, or [`SpanId::EXTERNAL`] at
+        /// injection.
+        src: SpanId,
     },
     BwdArrive {
         subnet: SubnetId,
         stage: u32,
         pending: Vec<PendingBackward>,
+        /// The successor stage's backward span (or, at the last stage,
+        /// this subnet's own forward span) that produced the gradient.
+        src: SpanId,
     },
     TaskDone {
         subnet: SubnetId,
         stage: u32,
         kind: TaskKind,
+        /// Span of the completing task.
+        span: SpanId,
     },
 }
 
@@ -141,6 +157,15 @@ struct StageState {
     ready_at: BTreeMap<LayerRef, SimTime>,
     predictor: Predictor,
     pinned: Vec<LayerRef>,
+    // Tracing side-state (populated only when the tracer is enabled).
+    // Why each queued task will start: arrival edge + arrival time.
+    fwd_cause: BTreeMap<u64, (CausalEdge, SimTime)>,
+    bwd_cause: BTreeMap<u64, (CausalEdge, SimTime)>,
+    // Backward completions at this stage: subnet -> (span, done time),
+    // the CSP shared-layer writer candidates for later admissions.
+    bwd_done: BTreeMap<u64, (SpanId, SimTime)>,
+    // The fetch/prefetch span that will make each layer resident.
+    ready_span: BTreeMap<LayerRef, SpanId>,
 }
 
 /// Runs the configured pipeline over `space`, sampling subnets uniformly
@@ -175,6 +200,27 @@ pub fn run_pipeline_with_subnets(
     config: &PipelineConfig,
     subnets: Vec<Subnet>,
 ) -> Result<PipelineOutcome, PipelineError> {
+    run_pipeline_with_tracer(space, config, subnets, Box::new(SpanTracer::new()))
+}
+
+/// Like [`run_pipeline_with_subnets`] but with an explicit [`Tracer`].
+///
+/// Pass a [`naspipe_obs::NullTracer`] to prove tracing off the hot path:
+/// the outcome is identical to a traced run except `spans` is empty.
+///
+/// # Errors
+///
+/// See [`run_pipeline`].
+///
+/// # Panics
+///
+/// Panics if any subnet is invalid for `space`.
+pub fn run_pipeline_with_tracer(
+    space: &SearchSpace,
+    config: &PipelineConfig,
+    subnets: Vec<Subnet>,
+    tracer: Box<dyn Tracer>,
+) -> Result<PipelineOutcome, PipelineError> {
     config
         .validate(space)
         .map_err(PipelineError::InvalidConfig)?;
@@ -188,7 +234,7 @@ pub fn run_pipeline_with_subnets(
     for s in &subnets {
         assert!(s.is_valid_for(space), "subnet {s} invalid for space");
     }
-    Engine::new(space, config, subnets)?.run()
+    Engine::new(space, config, subnets, tracer)?.run()
 }
 
 /// Reference pipeline batch of a space's domain when the space is unnamed.
@@ -232,6 +278,8 @@ struct Engine<'a> {
     cache_seen: Vec<CacheStats>,
     // Debug-mode independent re-check of the CSP contract on CSP runs.
     checker: Option<CspChecker>,
+    // Per-task span emission with causal edges (NullTracer = off).
+    tracer: Box<dyn Tracer>,
 }
 
 impl<'a> Engine<'a> {
@@ -239,6 +287,7 @@ impl<'a> Engine<'a> {
         space: &'a SearchSpace,
         config: &'a PipelineConfig,
         subnets: Vec<Subnet>,
+        tracer: Box<dyn Tracer>,
     ) -> Result<Self, PipelineError> {
         let d = config.num_gpus;
         let plan = memory::plan(space, config.policy, d, config.cache_factor);
@@ -304,6 +353,10 @@ impl<'a> Engine<'a> {
                 ready_at: BTreeMap::new(),
                 predictor: Predictor::new(),
                 pinned: Vec::new(),
+                fwd_cause: BTreeMap::new(),
+                bwd_cause: BTreeMap::new(),
+                bwd_done: BTreeMap::new(),
+                ready_span: BTreeMap::new(),
             })
             .collect();
 
@@ -355,6 +408,7 @@ impl<'a> Engine<'a> {
             // Only CSP runs promise the causal contract; debug builds
             // re-verify every admission against it.
             checker: (cfg!(debug_assertions) && use_csp).then(CspChecker::new),
+            tracer,
         })
     }
 
@@ -411,6 +465,7 @@ impl<'a> Engine<'a> {
                 Ev::FwdArrive {
                     subnet: subnet.seq_id(),
                     stage: 0,
+                    src: SpanId::EXTERNAL,
                 },
             );
             self.injected += 1;
@@ -436,13 +491,22 @@ impl<'a> Engine<'a> {
 
     /// Ensures `subnet`'s stage-`k` context is resident; returns the time
     /// compute may start (after synchronous fetches and pending
-    /// prefetches) and pins the layers.
-    fn acquire_context(&mut self, subnet: SubnetId, k: u32, now: SimTime) -> SimTime {
+    /// prefetches) and pins the layers. The second value is the
+    /// latest-finishing fetch/prefetch span gating that start, if any —
+    /// the `FetchCompletion` causal-edge candidate.
+    fn acquire_context(
+        &mut self,
+        subnet: SubnetId,
+        k: u32,
+        now: SimTime,
+    ) -> (SimTime, Option<(SpanId, SimTime)>) {
         if self.stages[k as usize].cache.is_none() {
-            return now;
+            return (now, None);
         }
+        let traced = self.tracer.enabled();
         let layers = self.stage_layers(subnet, k);
         let mut ready = now;
+        let mut gate: Option<(SpanId, SimTime)> = None;
         let mut missing_bytes = 0u64;
         for (l, bytes) in &layers {
             let stage = &mut self.stages[k as usize];
@@ -453,6 +517,12 @@ impl<'a> Engine<'a> {
             if hit {
                 if let Some(&r) = stage.ready_at.get(l) {
                     ready = ready.max(r);
+                    // A pending prefetch gates the start: candidate edge.
+                    if traced && r > now && gate.is_none_or(|(_, t)| r > t) {
+                        if let Some(&sp) = stage.ready_span.get(l) {
+                            gate = Some((sp, r));
+                        }
+                    }
                 }
             } else {
                 missing_bytes += bytes;
@@ -460,30 +530,51 @@ impl<'a> Engine<'a> {
         }
         if missing_bytes > 0 {
             let (_, end) = self.cluster.pcie_mut(GpuId(k)).transfer(now, missing_bytes);
+            let fetch_span = if traced {
+                self.tracer.emit(
+                    SpanDraft::new(k, SpanKind::Fetch, now.as_us(), end.as_us()).subnet(subnet.0),
+                )
+            } else {
+                SpanId::EXTERNAL
+            };
             for (l, _) in &layers {
                 let stage = &mut self.stages[k as usize];
                 if !stage.ready_at.contains_key(l) {
                     stage.ready_at.insert(*l, end);
+                    if traced {
+                        stage.ready_span.insert(*l, fetch_span);
+                    }
                 }
             }
             ready = ready.max(end);
+            if traced && gate.is_none_or(|(_, t)| end > t) {
+                gate = Some((fetch_span, end));
+            }
             self.trace.record(
                 now,
                 GpuId(k),
                 TraceKind::Stall(format!("{subnet}@P{k} swap-in {missing_bytes}B")),
             );
         }
-        ready
+        (ready, gate)
     }
 
     /// Folds stage `k`'s cache-stat growth since the last sync into the
     /// recorder (one emission site covers accesses, prefetches, and
-    /// evictions alike).
-    fn sync_cache_metrics(&mut self, k: u32) {
-        let Some(cache) = self.stages[k as usize].cache.as_ref() else {
+    /// evictions alike), and emits an instant `Evict` span per eviction
+    /// since the last sync.
+    fn sync_cache_metrics(&mut self, k: u32, now: SimTime) {
+        let Some(cache) = self.stages[k as usize].cache.as_mut() else {
             return;
         };
+        let evictions = cache.take_evictions();
         let cur = cache.stats();
+        if self.tracer.enabled() {
+            for _ in &evictions {
+                self.tracer
+                    .emit(SpanDraft::new(k, SpanKind::Evict, now.as_us(), now.as_us()));
+            }
+        }
         let prev = self.cache_seen[k as usize];
         self.recorder
             .incr(k, Counter::CacheHit, cur.hits - prev.hits);
@@ -530,7 +621,14 @@ impl<'a> Engine<'a> {
                 let cache = stage.cache.as_mut().expect("predictor implies cache");
                 if cache.prefetch(l, bytes).is_some() {
                     let (_, end) = self.cluster.pcie_mut(GpuId(k)).transfer(now, bytes);
-                    stage.ready_at.insert(l, end);
+                    self.stages[k as usize].ready_at.insert(l, end);
+                    if self.tracer.enabled() {
+                        let span = self.tracer.emit(
+                            SpanDraft::new(k, SpanKind::Prefetch, now.as_us(), end.as_us())
+                                .subnet(fetch.subnet.0),
+                        );
+                        self.stages[k as usize].ready_span.insert(l, span);
+                    }
                     self.trace.record(
                         now,
                         GpuId(k),
@@ -539,7 +637,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        self.sync_cache_metrics(k);
+        self.sync_cache_metrics(k, now);
     }
 
     /// Pending backwards at the last stage: queued forwards that are
@@ -693,7 +791,61 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let ready = self.acquire_context(subnet, k, now);
+        let (ready, fetch_gate) = self.acquire_context(subnet, k, now);
+
+        // Bind the causal edge: of everything this task waited on — the
+        // arrival that queued it, the last CSP shared-layer writer that
+        // released its admission, the fetch that made its context
+        // resident — the *latest-finishing* one is the cause; earlier
+        // candidates were already satisfied by then. Resource ordering
+        // (the stage finishing its previous task) is derived by the
+        // analyzer, not recorded.
+        let cause = if self.tracer.enabled() {
+            let stage = &mut self.stages[k as usize];
+            let mut cause = match kind {
+                TaskKind::Forward => stage.fwd_cause.remove(&subnet.0),
+                TaskKind::Backward => stage.bwd_cause.remove(&subnet.0),
+            };
+            if kind == TaskKind::Forward && self.use_csp {
+                let entry = self.table.get(subnet).expect("subnet in table");
+                let range = entry.partition.stage_range(StageId(k));
+                let writer = self.stages[k as usize]
+                    .bwd_done
+                    .iter()
+                    .filter(|(&wid, _)| wid < subnet.0)
+                    .filter(|(&wid, _)| {
+                        entry
+                            .subnet
+                            .conflicts_within(range.clone(), &self.subnets[wid as usize])
+                    })
+                    .max_by_key(|(_, &(_, t))| t);
+                if let Some((&wid, &(src, t))) = writer {
+                    if cause.is_none_or(|(_, ct)| t > ct) {
+                        cause = Some((
+                            CausalEdge {
+                                src,
+                                kind: CauseKind::CspWriterCompletion { writer: wid },
+                            },
+                            t,
+                        ));
+                    }
+                }
+            }
+            if let Some((src, t)) = fetch_gate {
+                if cause.is_none_or(|(_, ct)| t > ct) {
+                    cause = Some((
+                        CausalEdge {
+                            src,
+                            kind: CauseKind::FetchCompletion,
+                        },
+                        t,
+                    ));
+                }
+            }
+            cause
+        } else {
+            None
+        };
 
         let entry = self.table.get(subnet).expect("subnet in table");
         let subnet_arch = entry.subnet.clone();
@@ -747,6 +899,12 @@ impl<'a> Engine<'a> {
                 GpuId(k),
                 TraceKind::Stall(format!("{subnet}.{kind}@P{k} fault, re-executing")),
             );
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    SpanDraft::new(k, SpanKind::Replay, w_start.as_us(), w_end.as_us())
+                        .subnet(subnet.0),
+                );
+            }
             w_end
         } else {
             ready
@@ -762,7 +920,21 @@ impl<'a> Engine<'a> {
         };
         self.recorder.sample(k, latency, end.since(start).as_us());
         self.recorder.incr(k, count, 1);
-        self.sync_cache_metrics(k);
+        self.sync_cache_metrics(k, now);
+        let span = if self.tracer.enabled() {
+            let span_kind = match kind {
+                TaskKind::Forward => SpanKind::Forward,
+                TaskKind::Backward => SpanKind::Backward,
+            };
+            let mut draft =
+                SpanDraft::new(k, span_kind, start.as_us(), end.as_us()).subnet(subnet.0);
+            if let Some((edge, _)) = cause {
+                draft = draft.caused_by(edge.src, edge.kind);
+            }
+            self.tracer.emit(draft)
+        } else {
+            SpanId::EXTERNAL
+        };
         self.stages[k as usize].busy = true;
         let label = format!("{subnet}.{kind}@P{k}");
         self.trace
@@ -783,6 +955,7 @@ impl<'a> Engine<'a> {
                 subnet,
                 stage: k,
                 kind,
+                span,
             },
         );
     }
@@ -827,9 +1000,21 @@ impl<'a> Engine<'a> {
             .record(start, GpuId(k), TraceKind::ComputeStart(label.clone()));
         self.trace
             .record(end, GpuId(k), TraceKind::ComputeEnd(label));
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                SpanDraft::new(k, SpanKind::Recompute, start.as_us(), end.as_us()).subnet(subnet.0),
+            );
+        }
     }
 
-    fn on_task_done(&mut self, subnet: SubnetId, k: u32, kind: TaskKind, now: SimTime) {
+    fn on_task_done(
+        &mut self,
+        subnet: SubnetId,
+        k: u32,
+        kind: TaskKind,
+        now: SimTime,
+        span: SpanId,
+    ) {
         self.stages[k as usize].busy = false;
         self.release_context(k);
         self.makespan = self.makespan.max(now);
@@ -844,6 +1029,7 @@ impl<'a> Engine<'a> {
                         Ev::FwdArrive {
                             subnet,
                             stage: k + 1,
+                            src: span,
                         },
                     );
                 } else {
@@ -859,11 +1045,17 @@ impl<'a> Engine<'a> {
                             subnet,
                             stage: k,
                             pending,
+                            src: span,
                         },
                     );
                 }
             }
             TaskKind::Backward => {
+                if self.tracer.enabled() {
+                    self.stages[k as usize]
+                        .bwd_done
+                        .insert(subnet.0, (span, now));
+                }
                 if let Some(checker) = self.checker.as_mut() {
                     checker
                         .on_backward_done(subnet, k)
@@ -885,6 +1077,7 @@ impl<'a> Engine<'a> {
                             subnet,
                             stage: k - 1,
                             pending,
+                            src: span,
                         },
                     );
                 } else {
@@ -929,24 +1122,48 @@ impl<'a> Engine<'a> {
                 self.last_event = now;
             }
             match ev {
-                Ev::FwdArrive { subnet, stage } => {
+                Ev::FwdArrive { subnet, stage, src } => {
                     self.stages[stage as usize].fwd_ready.push(subnet);
+                    if self.tracer.enabled() {
+                        let kind = if src.is_external() {
+                            CauseKind::Injection
+                        } else {
+                            CauseKind::ActivationArrival
+                        };
+                        self.stages[stage as usize]
+                            .fwd_cause
+                            .insert(subnet.0, (CausalEdge { src, kind }, now));
+                    }
                 }
                 Ev::BwdArrive {
                     subnet,
                     stage,
                     pending,
+                    src,
                 } => {
                     self.stages[stage as usize]
                         .bwd_ready
                         .push((subnet, pending));
+                    if self.tracer.enabled() {
+                        self.stages[stage as usize].bwd_cause.insert(
+                            subnet.0,
+                            (
+                                CausalEdge {
+                                    src,
+                                    kind: CauseKind::GradientArrival,
+                                },
+                                now,
+                            ),
+                        );
+                    }
                 }
                 Ev::TaskDone {
                     subnet,
                     stage,
                     kind,
+                    span,
                 } => {
-                    self.on_task_done(subnet, stage, kind, now);
+                    self.on_task_done(subnet, stage, kind, now, span);
                 }
             }
             for k in 0..self.d {
@@ -964,9 +1181,12 @@ impl<'a> Engine<'a> {
     fn finish(mut self) -> PipelineOutcome {
         let makespan = self.makespan.max(SimTime::from_us(1));
         for k in 0..self.d {
-            self.sync_cache_metrics(k); // final deltas (e.g. releases)
+            self.sync_cache_metrics(k, makespan); // final deltas (e.g. releases)
         }
-        let obs = self.recorder.report(makespan.as_us());
+        let obs = self
+            .recorder
+            .report(makespan.as_us())
+            .with_meta(RunMeta::new("des", self.d).seed(self.config.seed));
         let eff = alu_efficiency(self.batch, self.reference_batch);
         let busy: Vec<f64> = self
             .cluster
@@ -1055,6 +1275,7 @@ impl<'a> Engine<'a> {
             trace: self.trace,
             subnets: self.subnets,
             obs,
+            spans: self.tracer.take(),
         }
     }
 }
@@ -1062,6 +1283,7 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use naspipe_obs::NullTracer;
     use naspipe_supernet::layer::Domain;
 
     fn small_space() -> SearchSpace {
@@ -1120,6 +1342,115 @@ mod tests {
         assert_eq!(a.tasks, b.tasks);
         assert_eq!(a.report, b.report);
         assert_eq!(a.obs, b.obs, "observability metrics must be deterministic");
+        assert_eq!(a.spans, b.spans, "span traces must be deterministic");
+    }
+
+    #[test]
+    fn null_tracer_run_is_identical_except_spans() {
+        // Tracing must stay off the hot path: a NullTracer run matches a
+        // traced run in every observable output, only `spans` differs.
+        let space = small_space();
+        let subnets = UniformSampler::new(&space, 42).take_subnets(20);
+        let cfg = PipelineConfig::naspipe(4, 20).with_batch(32).with_seed(42);
+        let traced = run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap();
+        let untraced =
+            run_pipeline_with_tracer(&space, &cfg, subnets, Box::new(NullTracer)).unwrap();
+        assert_eq!(traced.tasks, untraced.tasks);
+        assert_eq!(traced.report, untraced.report);
+        assert_eq!(traced.obs, untraced.obs);
+        assert_eq!(traced.trace.events().len(), untraced.trace.events().len());
+        assert!(
+            untraced.spans.spans().is_empty(),
+            "NullTracer emits nothing"
+        );
+        assert!(!traced.spans.spans().is_empty(), "default run is traced");
+    }
+
+    #[test]
+    fn span_trace_covers_every_task_with_causes() {
+        let out = run(SyncPolicy::naspipe(), 4, 20);
+        let compute: Vec<_> = out
+            .spans
+            .spans()
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Forward | SpanKind::Backward))
+            .collect();
+        assert_eq!(
+            compute.len(),
+            out.tasks.len(),
+            "one forward/backward span per task record"
+        );
+        // Every span's (stage, subnet, kind, start, end) matches a task.
+        for s in &compute {
+            let kind = if s.kind == SpanKind::Forward {
+                TaskKind::Forward
+            } else {
+                TaskKind::Backward
+            };
+            assert!(
+                out.tasks.iter().any(|t| t.stage.0 == s.stage
+                    && Some(t.subnet.0) == s.subnet
+                    && t.kind == kind
+                    && t.start.as_us() == s.start_us
+                    && t.end.as_us() == s.end_us),
+                "span {s:?} has no matching task record"
+            );
+        }
+        // Causal edges: every compute span except stage-0 injections has a
+        // recorded cause, and every referenced span id exists.
+        for s in &compute {
+            if s.stage > 0 || s.kind == SpanKind::Backward {
+                assert!(s.cause.is_some(), "span {s:?} should have a cause");
+            }
+            if let Some(edge) = &s.cause {
+                if !edge.src.is_external() {
+                    assert!(
+                        out.spans.get(edge.src).is_some(),
+                        "cause of {s:?} points at an unknown span"
+                    );
+                }
+            }
+        }
+        // CSP admission gates show up as writer-completion edges somewhere
+        // in a contended 20-subnet stream.
+        assert!(
+            out.spans.spans().iter().any(|s| matches!(
+                s.cause,
+                Some(CausalEdge {
+                    kind: CauseKind::CspWriterCompletion { .. },
+                    ..
+                })
+            )),
+            "expected at least one CSP writer-completion edge"
+        );
+    }
+
+    #[test]
+    fn critical_path_matches_makespan_and_counters() {
+        for (gpus, n) in [(2, 8), (4, 20), (8, 30)] {
+            let out = run(SyncPolicy::naspipe(), gpus, n);
+            let cp = naspipe_obs::critical_path(&out.spans);
+            let makespan = out.spans.makespan_us();
+            assert_eq!(
+                cp.total_us, makespan,
+                "critical path must span the whole run ({gpus} gpus)"
+            );
+            assert_eq!(cp.attributed_us(), cp.total_us, "every µs attributed");
+            let report_us = (out.report.makespan_secs * 1e6).round() as u64;
+            assert!(
+                makespan.abs_diff(report_us) <= 1,
+                "span makespan {makespan} vs report {report_us}"
+            );
+            // Path idle per stage can never exceed what the recorder saw
+            // as that stage's total idle (stall + bubble).
+            for (k, &idle) in cp.stage_idle_us.iter().enumerate() {
+                let recorded = out.obs.stages[k].stall_us + out.obs.stages[k].bubble_us;
+                assert!(
+                    idle <= recorded + 1,
+                    "stage {k}: path idle {idle} > recorded idle {recorded}"
+                );
+            }
+        }
     }
 
     #[test]

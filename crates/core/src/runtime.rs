@@ -55,7 +55,10 @@ use crate::partition::Partition;
 use crate::pipeline::TaskRecord;
 use crate::task::{FinishedSet, StageId, TaskKind};
 use crate::train::{TrainConfig, TrainResult};
-use naspipe_obs::{Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, Sample, Violation};
+use naspipe_obs::{
+    CauseKind, Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, RunMeta, Sample,
+    SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, Tracer, Violation,
+};
 use naspipe_sim::time::SimTime;
 use naspipe_supernet::space::SearchSpace;
 use naspipe_supernet::subnet::{Subnet, SubnetId};
@@ -67,7 +70,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -191,8 +194,10 @@ impl std::error::Error for TrainError {
 }
 
 enum Msg {
-    Fwd(SubnetId, Tensor),
-    Bwd(SubnetId, Tensor),
+    /// An activation, tagged with the forward span that produced it.
+    Fwd(SubnetId, Tensor, SpanId),
+    /// A gradient, tagged with the backward span that produced it.
+    Bwd(SubnetId, Tensor, SpanId),
     /// Supervisor-initiated shutdown: park, do not treat as a failure.
     Stop,
 }
@@ -202,6 +207,7 @@ struct StageOutput {
     params: Vec<Vec<DenseParams>>,
     losses: BTreeMap<u64, f32>,
     recorder: MetricsRecorder,
+    tracer: SpanTracer,
     tasks: Vec<TaskRecord>,
 }
 
@@ -254,14 +260,26 @@ struct StageWorker {
     rx: Receiver<Msg>,
     next_tx: Option<Sender<Msg>>,
     prev_tx: Option<Sender<Msg>>,
-    fwd_queue: Vec<(SubnetId, Tensor)>,
-    bwd_queue: BTreeMap<u64, Tensor>,
+    // Queued work, each entry tagged with the producing span and its
+    // wall-clock arrival (for causal-edge binding).
+    fwd_queue: Vec<(SubnetId, Tensor, SpanId, u64)>,
+    bwd_queue: BTreeMap<u64, (Tensor, SpanId, u64)>,
     ctxs: BTreeMap<u64, ForwardCtx>,
     finished: FinishedSet,
     finished_count: u64,
     injected: u64,
     losses: BTreeMap<u64, f32>,
     recorder: MetricsRecorder,
+    tracer: SpanTracer,
+    incarnation: u32,
+    /// The span that completed the checkpoint cut this incarnation
+    /// resumed from ([`SpanId::EXTERNAL`] for incarnation 0 or a
+    /// from-scratch replay) — the causal source of the `Restart` span.
+    resume_span: SpanId,
+    // Completed backward spans at this stage: subnet -> (span, end µs).
+    // The CSP admission cause of a later forward is the latest of these
+    // that conflicts with it.
+    bwd_done: BTreeMap<u64, (SpanId, u64)>,
     checker: Option<Arc<Mutex<CspChecker>>>,
     // Fault tolerance.
     shutdown: Arc<AtomicBool>,
@@ -314,6 +332,7 @@ impl StageWorker {
             params: self.params,
             losses: self.losses,
             recorder: self.recorder,
+            tracer: self.tracer,
             tasks: self.tasks,
         }
     }
@@ -398,34 +417,39 @@ impl StageWorker {
     }
 
     /// Blocking receive; `Ok(None)` means the supervisor asked us to
-    /// park. Fires any scheduled transient receive fault on the arrived
-    /// message before handing it over.
-    fn recv_msg(&mut self) -> Result<Option<Msg>, TrainError> {
-        let msg = if let Some(timeout) = self.recv_timeout {
+    /// park (shutdown observed). Fault injection and enqueueing happen in
+    /// [`accept_msg`](Self::accept_msg).
+    fn recv_blocking(&mut self) -> Result<Option<Msg>, TrainError> {
+        if let Some(timeout) = self.recv_timeout {
             match self.rx.recv_timeout(timeout) {
-                Ok(m) => m,
+                Ok(m) => Ok(Some(m)),
                 Err(RecvTimeoutError::Timeout) => {
                     if self.shutdown.load(Ordering::Acquire) {
                         return Ok(None);
                     }
-                    return Err(TrainError::Timeout {
+                    Err(TrainError::Timeout {
                         stage: self.stage,
                         task: self.finished.first_unfinished().0,
                         cause: None,
-                    });
+                    })
                 }
-                Err(RecvTimeoutError::Disconnected) => return self.closed_inbound(),
+                Err(RecvTimeoutError::Disconnected) => self.closed_inbound(),
             }
         } else {
             match self.rx.recv() {
-                Ok(m) => m,
-                Err(_) => return self.closed_inbound(),
+                Ok(m) => Ok(Some(m)),
+                Err(_) => self.closed_inbound(),
             }
-        };
+        }
+    }
+
+    /// Fires any scheduled transient receive fault on `msg`, stamps its
+    /// arrival, and enqueues it. `Flow::Stop` for a supervisor [`Msg::Stop`].
+    fn accept_msg(&mut self, msg: Msg) -> Result<Flow, TrainError> {
         let (y, kind) = match &msg {
-            Msg::Stop => return Ok(None),
-            Msg::Fwd(y, _) => (*y, TaskKind::Forward),
-            Msg::Bwd(y, _) => (*y, TaskKind::Backward),
+            Msg::Stop => return Ok(Flow::Stop),
+            Msg::Fwd(y, _, _) => (*y, TaskKind::Forward),
+            Msg::Bwd(y, _, _) => (*y, TaskKind::Backward),
         };
         if let Some(FaultKind::TransientRecv { failures }) =
             self.injector
@@ -433,7 +457,36 @@ impl StageWorker {
         {
             self.retry_backoff(failures, y.0, "inbound")?;
         }
-        Ok(Some(msg))
+        let now = self.now_us();
+        match msg {
+            Msg::Fwd(y, act, src) => self.fwd_queue.push((y, act, src, now)),
+            Msg::Bwd(y, grad, src) => {
+                self.bwd_queue.insert(y.0, (grad, src, now));
+            }
+            Msg::Stop => unreachable!("handled above"),
+        }
+        self.sample_queue_depth();
+        Ok(Flow::Continue)
+    }
+
+    /// Moves every already-delivered message into the local queues, so
+    /// arrival bursts are visible to queue-depth metrics and an arrived
+    /// backward can preempt queued forwards without a blocking receive.
+    fn drain_inbound(&mut self) -> Result<Flow, TrainError> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(msg) => {
+                    if let Flow::Stop = self.accept_msg(msg)? {
+                        return Ok(Flow::Stop);
+                    }
+                }
+                // A disconnect surfaces through the blocking receive once
+                // nothing is runnable; buffered messages drain first.
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
+                    return Ok(Flow::Continue)
+                }
+            }
+        }
     }
 
     fn closed_inbound(&self) -> Result<Option<Msg>, TrainError> {
@@ -463,6 +516,42 @@ impl StageWorker {
         });
     }
 
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    fn sample_queue_depth(&mut self) {
+        self.recorder.sample(
+            self.stage as u32,
+            Sample::QueueDepth,
+            (self.fwd_queue.len() + self.bwd_queue.len()) as u64,
+        );
+    }
+
+    /// Emits the span of a just-completed task, bound to `cause`.
+    fn emit_task_span(
+        &mut self,
+        kind: TaskKind,
+        y: SubnetId,
+        started: Instant,
+        cause: (SpanId, CauseKind),
+    ) -> SpanId {
+        let start = started
+            .duration_since(self.epoch)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let end = self.now_us();
+        let sk = match kind {
+            TaskKind::Forward => SpanKind::Forward,
+            TaskKind::Backward => SpanKind::Backward,
+        };
+        self.tracer.emit(
+            SpanDraft::new(self.stage as u32, sk, start, end)
+                .subnet(y.0)
+                .caused_by(cause.0, cause.1),
+        )
+    }
+
     /// Snapshots this stage's state into the checkpoint store when its
     /// finished prefix reaches the next watermark boundary. Thanks to
     /// the injection barrier in [`try_inject`](Self::try_inject), at
@@ -470,7 +559,9 @@ impl StageWorker {
     /// after `next_ckpt` subnets — no task of any later subnet has run
     /// anywhere — which the `debug_assert`s below audit.
     fn maybe_checkpoint(&mut self) {
-        let Some(store) = &self.ckpts else { return };
+        let Some(store) = self.ckpts.clone() else {
+            return;
+        };
         let prefix = self.finished.first_unfinished().0;
         if self.next_ckpt <= prefix {
             debug_assert_eq!(
@@ -481,36 +572,77 @@ impl StageWorker {
             debug_assert!(self.ctxs.is_empty(), "in-flight forward at watermark");
             debug_assert!(self.bwd_queue.is_empty(), "queued backward at watermark");
             debug_assert!(self.fwd_queue.is_empty(), "queued forward at watermark");
-            store.record(
-                self.next_ckpt,
-                self.stage,
-                StageSnapshot {
-                    params: self.params.clone(),
-                    engine: self.engine.clone(),
-                    losses: self.losses.clone(),
-                },
-            );
+            let snap_start = self.now_us();
+            let snapshot = StageSnapshot {
+                params: self.params.clone(),
+                engine: self.engine.clone(),
+                losses: self.losses.clone(),
+            };
+            let span = self.tracer.emit(SpanDraft::new(
+                self.stage as u32,
+                SpanKind::Checkpoint,
+                snap_start,
+                self.now_us(),
+            ));
+            // The store keeps the completing span per cut; a restart
+            // resuming from this watermark names it as its cause.
+            store.record(self.next_ckpt, self.stage, snapshot, span);
             self.next_ckpt += self.ckpt_interval;
         }
     }
 
-    fn run_forward(&mut self, y: SubnetId, input: Tensor) -> Result<Flow, TrainError> {
+    fn run_forward(
+        &mut self,
+        y: SubnetId,
+        input: Tensor,
+        src: SpanId,
+        arrival_us: u64,
+    ) -> Result<Flow, TrainError> {
         self.fire_execute_fault(y, TaskKind::Forward);
         self.check(|c| c.on_admit_forward(y, self.stage as u32))?;
         let started = Instant::now();
         let subnet = self.subnets[y.0 as usize].clone();
         let ctx = self.forward_slice(&subnet, &input);
+        // Causal edge: the activation's arrival released this forward —
+        // unless a CSP shared-layer writer finished later, in which case
+        // admission (not data) was the binding constraint.
+        let arrival_kind = if src.is_external() {
+            CauseKind::Injection
+        } else {
+            CauseKind::ActivationArrival
+        };
+        let mut cause = (src, arrival_kind, arrival_us);
+        let writer = self
+            .bwd_done
+            .iter()
+            .filter(|(&x, _)| x < y.0)
+            .filter(|(&x, _)| {
+                subnet.conflicts_within(self.blocks.clone(), &self.subnets[x as usize])
+            })
+            .max_by_key(|(_, &(_, end))| end);
+        if let Some((&x, &(wspan, wend))) = writer {
+            if wend > cause.2 {
+                cause = (wspan, CauseKind::CspWriterCompletion { writer: x }, wend);
+            }
+        }
         if self.last {
             let target = self.data.step_batch(y.0).1;
             let (loss, grad) = naspipe_tensor::loss::mse(ctx.output(), &target);
             self.losses.insert(y.0, loss);
-            self.bwd_queue.insert(y.0, grad);
+            let span = self.emit_task_span(TaskKind::Forward, y, started, (cause.0, cause.1));
+            // The gradient "arrives" from the local loss computation.
+            let now = self.now_us();
+            self.bwd_queue.insert(y.0, (grad, span, now));
+            self.sample_queue_depth();
         } else {
             let out = ctx.output().clone();
-            if let Flow::Stop = self.faulty_send(true, y, TaskKind::Forward, Msg::Fwd(y, out))? {
+            let span = self.emit_task_span(TaskKind::Forward, y, started, (cause.0, cause.1));
+            if let Flow::Stop =
+                self.faulty_send(true, y, TaskKind::Forward, Msg::Fwd(y, out, span))?
+            {
                 return Ok(Flow::Stop);
             }
-        }
+        };
         self.ctxs.insert(y.0, ctx);
         self.record_task(TaskKind::Forward, y, started);
         let stage = self.stage as u32;
@@ -541,7 +673,12 @@ impl StageWorker {
         ForwardCtx::from_parts(layers, x)
     }
 
-    fn run_backward(&mut self, y: SubnetId, grad_out: Tensor) -> Result<Flow, TrainError> {
+    fn run_backward(
+        &mut self,
+        y: SubnetId,
+        grad_out: Tensor,
+        src: SpanId,
+    ) -> Result<Flow, TrainError> {
         self.fire_execute_fault(y, TaskKind::Backward);
         let started = Instant::now();
         let ctx = self.ctxs.remove(&y.0).expect("forward context present");
@@ -565,8 +702,18 @@ impl StageWorker {
             self.engine.step_layer(layer, params, &g);
         }
         self.check(|c| c.on_backward_done(y, self.stage as u32))?;
+        let span = self.emit_task_span(
+            TaskKind::Backward,
+            y,
+            started,
+            (src, CauseKind::GradientArrival),
+        );
+        let done_at = self.now_us();
+        self.bwd_done.insert(y.0, (span, done_at));
         if self.prev_tx.is_some() {
-            if let Flow::Stop = self.faulty_send(false, y, TaskKind::Backward, Msg::Bwd(y, grad))? {
+            if let Flow::Stop =
+                self.faulty_send(false, y, TaskKind::Backward, Msg::Bwd(y, grad, span))?
+            {
                 return Ok(Flow::Stop);
             }
         }
@@ -598,13 +745,29 @@ impl StageWorker {
             }
             let y = SubnetId(self.injected);
             let input = self.data.step_batch(y.0).0;
-            self.fwd_queue.push((y, input));
+            let now = self.now_us();
+            self.fwd_queue.push((y, input, SpanId::EXTERNAL, now));
+            self.sample_queue_depth();
             self.injected += 1;
         }
     }
 
     fn run(mut self) -> Result<WorkerExit, TrainError> {
         let stage = self.stage as u32;
+        if self.incarnation > 0 {
+            // Mark the respawn; spans of replayed tasks follow it in
+            // time. The causal source is the checkpoint span that
+            // completed the cut we resumed from, so the recovery chain
+            // shows up as a flow in the exported trace.
+            let t = self.now_us();
+            self.tracer
+                .emit(SpanDraft::new(stage, SpanKind::Restart, t, t).caused_by(
+                    self.resume_span,
+                    CauseKind::RecoveryReplay {
+                        incarnation: self.incarnation,
+                    },
+                ));
+        }
         while self.finished_count < self.total {
             if self.shutdown.load(Ordering::Acquire) {
                 return Ok(WorkerExit::Stopped(self.into_output()));
@@ -615,18 +778,20 @@ impl StageWorker {
             if self.stage == 0 {
                 self.try_inject();
             }
-            self.recorder.sample(
-                stage,
-                Sample::QueueDepth,
-                (self.fwd_queue.len() + self.bwd_queue.len()) as u64,
-            );
+            // Pull every delivered message before picking work, so a
+            // burst shows up in the queue-depth metrics and a delivered
+            // backward takes priority over queued forwards.
+            if let Flow::Stop = self.drain_inbound()? {
+                return Ok(WorkerExit::Stopped(self.into_output()));
+            }
+            self.sample_queue_depth();
             // Backwards first (they resolve dependencies).
             if let Some((&id, _)) = self.bwd_queue.iter().next() {
                 if !self.fwd_queue.is_empty() {
                     self.recorder.incr(stage, Counter::BackwardPreemption, 1);
                 }
-                let grad = self.bwd_queue.remove(&id).expect("present");
-                match self.run_backward(SubnetId(id), grad)? {
+                let (grad, src, _arrival) = self.bwd_queue.remove(&id).expect("present");
+                match self.run_backward(SubnetId(id), grad, src)? {
                     Flow::Continue => continue,
                     Flow::Stop => return Ok(WorkerExit::Stopped(self.into_output())),
                 }
@@ -635,10 +800,10 @@ impl StageWorker {
             let pick = self
                 .fwd_queue
                 .iter()
-                .position(|(id, _)| self.admissible(*id));
+                .position(|(id, _, _, _)| self.admissible(*id));
             if let Some(i) = pick {
-                let (y, input) = self.fwd_queue.remove(i);
-                match self.run_forward(y, input)? {
+                let (y, input, src, arrival) = self.fwd_queue.remove(i);
+                match self.run_forward(y, input, src, arrival)? {
                     Flow::Continue => continue,
                     Flow::Stop => return Ok(WorkerExit::Stopped(self.into_output())),
                 }
@@ -648,7 +813,7 @@ impl StageWorker {
             // pipeline bubble.
             let blocked = !self.fwd_queue.is_empty();
             let waiting = Instant::now();
-            let Some(msg) = self.recv_msg()? else {
+            let Some(msg) = self.recv_blocking()? else {
                 return Ok(WorkerExit::Stopped(self.into_output()));
             };
             let idle = if blocked {
@@ -657,12 +822,8 @@ impl StageWorker {
                 Counter::BubbleUs
             };
             self.recorder.incr(stage, idle, elapsed_us(waiting));
-            match msg {
-                Msg::Fwd(y, act) => self.fwd_queue.push((y, act)),
-                Msg::Bwd(y, grad) => {
-                    self.bwd_queue.insert(y.0, grad);
-                }
-                Msg::Stop => unreachable!("recv_msg maps Stop to None"),
+            if let Flow::Stop = self.accept_msg(msg)? {
+                return Ok(WorkerExit::Stopped(self.into_output()));
             }
         }
         Ok(WorkerExit::Finished(self.into_output()))
@@ -758,6 +919,9 @@ pub struct SupervisedRun {
     pub tasks: Vec<TaskRecord>,
     /// The subnets trained, in exploration order.
     pub subnets: Vec<Subnet>,
+    /// Causal span trace, merged across every stage worker and
+    /// incarnation (wall-clock µs since run start).
+    pub spans: SpanTrace,
 }
 
 /// Trains `subnets` on `gpus` stage threads with CSP scheduling; returns
@@ -862,6 +1026,7 @@ pub fn run_threaded_supervised(
     let epoch = Instant::now();
 
     let mut master = MetricsRecorder::new();
+    let mut spans = SpanTrace::default();
     let mut recovery = RecoveryReport {
         restarts: 0,
         resume_watermarks: Vec::new(),
@@ -962,6 +1127,14 @@ pub fn run_threaded_supervised(
                 injected: resume_w,
                 losses,
                 recorder: MetricsRecorder::new(),
+                // Distinct id namespace per (incarnation, stage) so the
+                // merged trace never collides.
+                tracer: SpanTracer::with_namespace(
+                    u64::from(incarnation) * u64::from(gpus) + k as u64,
+                ),
+                incarnation,
+                resume_span: resume.as_ref().map_or(SpanId::EXTERNAL, |c| c.cut_span),
+                bwd_done: BTreeMap::new(),
                 checker: checker.clone(),
                 shutdown: Arc::clone(&shutdown),
                 injector: Arc::clone(&injector),
@@ -1053,6 +1226,8 @@ pub fn run_threaded_supervised(
                 }
                 losses.extend(out.losses);
                 master.merge(&out.recorder);
+                let mut tracer = out.tracer;
+                spans.merge(tracer.take());
                 real_tasks.extend(out.tasks);
             }
             // Stable by-start sort keeps each stage's (already ordered)
@@ -1061,7 +1236,9 @@ pub fn run_threaded_supervised(
             real_tasks.sort_by_key(|t| t.start);
             let mut tasks = sequential_prefix_tasks(resume_w, &partition, gpus);
             tasks.extend(real_tasks);
-            let report = master.report(elapsed_us(epoch));
+            let report = master
+                .report(elapsed_us(epoch))
+                .with_meta(RunMeta::new("threaded", gpus).seed(cfg.seed));
             let subnets = Arc::try_unwrap(subnets).unwrap_or_else(|a| (*a).clone());
             return Ok(SupervisedRun {
                 result: TrainResult {
@@ -1073,6 +1250,7 @@ pub fn run_threaded_supervised(
                 recovery,
                 tasks,
                 subnets,
+                spans,
             });
         };
 
@@ -1101,6 +1279,8 @@ pub fn run_threaded_supervised(
         salvaged.extend(finished_outputs);
         for (k, out) in salvaged {
             master.merge(&out.recorder);
+            let mut tracer = out.tracer;
+            spans.merge(tracer.take());
             let replayed = out
                 .tasks
                 .iter()
@@ -1446,6 +1626,129 @@ mod tests {
             .expect("momentum state survives recovery");
         assert_eq!(run.result.final_hash, seq.final_hash);
         assert_eq!(run.recovery.restarts, 1);
+    }
+
+    #[test]
+    fn burst_arrivals_raise_max_queue_depth() {
+        // A slow stage 1 under a wide window lets stage 0 race ahead; the
+        // eager inbound drain must surface the burst in the queue-depth
+        // histogram (sampled on enqueue, not just at dispatch). The
+        // subnets are pairwise layer-disjoint so CSP admission never
+        // throttles stage 0's run-ahead.
+        let space = SearchSpace::uniform(Domain::Nlp, 8, 20);
+        let list: Vec<Subnet> = (0..16)
+            .map(|i| Subnet::new(SubnetId(i), vec![i as u32; 8]))
+            .collect();
+        let cfg = TrainConfig::default();
+        let seq = sequential_training(&space, &list, &cfg);
+        let opts = RecoveryOptions {
+            fault_plan: FaultPlan::new().slow(1, 0, TaskKind::Forward, 40),
+            ..RecoveryOptions::default()
+        };
+        let run =
+            run_threaded_supervised(&space, list, &cfg, 2, 16, &opts).expect("slow is benign");
+        assert_eq!(run.result.final_hash, seq.final_hash);
+        let s1 = &run.report.stages[1];
+        assert!(
+            s1.max_queue_depth >= 8,
+            "burst under a 16-window should pile up at stage 1, saw max {}",
+            s1.max_queue_depth
+        );
+        assert!(
+            s1.queue_depth_p99 >= s1.queue_depth_p50,
+            "percentiles must be monotone"
+        );
+    }
+
+    #[test]
+    fn clean_threaded_run_traces_every_task_with_causes() {
+        let space = space();
+        let n = 12u64;
+        let list = subnets(&space, n as usize);
+        let cfg = TrainConfig::default();
+        let gpus = 3u32;
+        let run = run_threaded_supervised(&space, list, &cfg, gpus, 0, &RecoveryOptions::default())
+            .unwrap();
+        assert_eq!(run.report.meta.engine, "threaded");
+        assert_eq!(run.report.meta.stages, gpus);
+        assert_eq!(run.report.meta.seed, Some(cfg.seed));
+        let fwd = run.spans.of_kind(SpanKind::Forward).count() as u64;
+        let bwd = run.spans.of_kind(SpanKind::Backward).count() as u64;
+        assert_eq!(fwd, n * u64::from(gpus), "one forward span per task");
+        assert_eq!(bwd, n * u64::from(gpus), "one backward span per task");
+        assert_eq!(run.spans.num_stages(), gpus);
+        for s in run.spans.spans() {
+            let cause = s.cause.expect("every task span carries a cause");
+            match s.kind {
+                SpanKind::Forward if s.stage == 0 => {
+                    // Injected at stage 0 — unless a CSP writer gated it.
+                    assert!(matches!(
+                        cause.kind,
+                        CauseKind::Injection | CauseKind::CspWriterCompletion { .. }
+                    ));
+                }
+                SpanKind::Forward => {
+                    assert!(matches!(
+                        cause.kind,
+                        CauseKind::ActivationArrival | CauseKind::CspWriterCompletion { .. }
+                    ));
+                    if !cause.src.is_external() {
+                        assert!(run.spans.get(cause.src).is_some(), "dangling edge");
+                    }
+                }
+                SpanKind::Backward => {
+                    assert_eq!(cause.kind, CauseKind::GradientArrival);
+                    assert!(run.spans.get(cause.src).is_some(), "dangling edge");
+                }
+                other => panic!("unexpected span kind in clean run: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recovered_run_traces_checkpoints_and_restarts() {
+        let space = space();
+        let list = subnets(&space, 12);
+        let cfg = TrainConfig::default();
+        let opts = RecoveryOptions {
+            fault_plan: FaultPlan::new().panic_on(1, 6, TaskKind::Backward),
+            checkpoint_interval: 4,
+            max_restarts: 2,
+            recv_timeout_ms: None,
+        };
+        let run = run_threaded_supervised(&space, list, &cfg, 2, 0, &opts)
+            .expect("recovers from one panic");
+        assert!(
+            run.spans.of_kind(SpanKind::Checkpoint).count() > 0,
+            "watermark snapshots must be traced"
+        );
+        let restarts: Vec<_> = run.spans.of_kind(SpanKind::Restart).collect();
+        assert_eq!(restarts.len(), 2, "both stages respawned once");
+        for r in restarts {
+            let cause = r.cause.expect("restart must carry a causal edge");
+            assert_eq!(cause.kind, CauseKind::RecoveryReplay { incarnation: 1 });
+            // The injection barrier completes the watermark-4 cut before
+            // subnet 6 can run, so the restart's causal source is the
+            // checkpoint span that completed that cut — never external.
+            assert!(
+                !cause.src.is_external(),
+                "restart should chain back to the checkpoint it resumed from"
+            );
+        }
+        // The restarted incarnation re-runs every subnet past watermark 4
+        // (SN4..SN11 -> 8 forwards at stage 0). Spans of the *failed*
+        // incarnation are kept when their worker parked cleanly, but a
+        // worker killed mid-send loses its buffer — so only the replay
+        // floor is deterministic.
+        let fwd0 = run
+            .spans
+            .of_kind(SpanKind::Forward)
+            .filter(|s| s.stage == 0)
+            .count();
+        assert!(
+            fwd0 >= 8,
+            "incarnation 1 must re-run the 8 subnets past the watermark, saw {fwd0}"
+        );
     }
 
     #[test]

@@ -314,6 +314,7 @@ pub fn replay_transcript(
         trace: naspipe_sim::trace::Trace::new(),
         subnets: transcript.subnets.clone(),
         obs: naspipe_obs::ObsReport::default(),
+        spans: naspipe_obs::SpanTrace::default(),
     };
     crate::train::replay_training(space, &outcome, cfg)
 }

@@ -20,6 +20,15 @@
 //! 3. **Reports** ([`report`]): [`ObsReport`] renders the recorded
 //!    metrics as a human-readable per-stage table or as JSON, for the
 //!    `crates/bench` experiment drivers.
+//! 4. **Tracing** ([`trace`]): the [`Tracer`] trait emits per-task
+//!    [`Span`]s — forward/backward, fetch/prefetch/evict, checkpoint,
+//!    restart/replay — each carrying a causal edge naming why it started
+//!    when it did (activation arrival, CSP shared-layer writer
+//!    completion, fetch completion, recovery replay). Consumers:
+//!    [`chrome`] exports Chrome trace-event JSON loadable in Perfetto
+//!    (with flow events drawing the causal edges), and [`critical_path`]
+//!    walks the span DAG to attribute the end-to-end makespan to
+//!    compute, fetch, causal stall, and pipeline bubble.
 //!
 //! The crate deliberately has no dependency on `naspipe-core`: the
 //! runtimes resolve their own partition/stage types into plain
@@ -27,10 +36,19 @@
 //! tooling stays reusable across the event-driven simulator and the real
 //! threaded runtime.
 
+pub mod chrome;
+pub mod critical_path;
 pub mod invariant;
 pub mod metrics;
 pub mod report;
+pub mod trace;
 
+pub use chrome::{export_chrome, parse_chrome, ChromeParseError};
+pub use critical_path::{critical_path, AttrClass, CriticalPath, PathSegment};
 pub use invariant::{CspChecker, Violation};
 pub use metrics::{Counter, Histogram, MetricsRecorder, NullRecorder, Recorder, Sample};
-pub use report::{ObsReport, StageObs};
+pub use report::{ObsReport, RunMeta, StageObs, OBS_SCHEMA_VERSION};
+pub use trace::{
+    CausalEdge, CauseKind, NullTracer, Span, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer,
+    Tracer,
+};

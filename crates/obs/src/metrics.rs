@@ -5,7 +5,7 @@
 //! and an add, and lets tests substitute [`NullRecorder`] where metrics
 //! are irrelevant.
 
-use crate::report::{ObsReport, StageObs};
+use crate::report::{ObsReport, RunMeta, StageObs};
 
 /// Monotonic per-stage event and time counters.
 ///
@@ -150,6 +150,40 @@ impl Histogram {
         }
     }
 
+    /// Estimated `p`-th percentile (`p` in 0..=100), or 0.0 when empty.
+    ///
+    /// Walks the log2 buckets to the one holding the rank, then
+    /// interpolates linearly inside that bucket's value range — exact to
+    /// within the bucket's width (a factor of two), which is the
+    /// resolution the recording scheme keeps. The estimate is clamped to
+    /// the recorded `[min, max]`, so p0/p100 are exact.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= rank {
+                // Bucket i holds values of bit length i:
+                // [2^(i-1), 2^i - 1]; bucket 0 holds only 0.
+                let (lo, hi) = if i == 0 {
+                    (0.0, 0.0)
+                } else {
+                    ((1u64 << (i - 1)) as f64, ((1u128 << i) - 1) as f64)
+                };
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let v = lo + frac * (hi - lo);
+                return v.clamp(self.min_or_zero() as f64, self.max as f64);
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
     /// Folds `other`'s observations into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -273,14 +307,27 @@ impl MetricsRecorder {
                     replayed_tasks: m.counter(Counter::ReplayedTask),
                     mean_queue_depth: depth.mean(),
                     max_queue_depth: depth.max,
+                    queue_depth_p50: depth.percentile(50.0),
+                    queue_depth_p95: depth.percentile(95.0),
+                    queue_depth_p99: depth.percentile(99.0),
                     fwd_latency_mean_us: fwd.mean(),
                     fwd_latency_max_us: fwd.max,
+                    fwd_latency_p50_us: fwd.percentile(50.0),
+                    fwd_latency_p95_us: fwd.percentile(95.0),
+                    fwd_latency_p99_us: fwd.percentile(99.0),
                     bwd_latency_mean_us: bwd.mean(),
                     bwd_latency_max_us: bwd.max,
+                    bwd_latency_p50_us: bwd.percentile(50.0),
+                    bwd_latency_p95_us: bwd.percentile(95.0),
+                    bwd_latency_p99_us: bwd.percentile(99.0),
                 }
             })
             .collect();
-        ObsReport { wall_us, stages }
+        ObsReport {
+            wall_us,
+            stages,
+            meta: RunMeta::default(),
+        }
     }
 }
 
@@ -332,6 +379,38 @@ mod tests {
         assert!((h.mean() - 207.8).abs() < 1e-9);
         assert_eq!(h.buckets[1], 1); // value 1
         assert_eq!(h.buckets[11], 1); // value 1024
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped() {
+        let mut h = Histogram::default();
+        for v in 1u64..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 1.0, "p0 is the min");
+        assert_eq!(h.percentile(100.0), 100.0, "p100 is the max");
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} <= {p95} <= {p99}");
+        // The true median (50.5) lives in bucket 6 = [32, 63]; the log2
+        // interpolation must land in that bucket.
+        assert!((32.0..=63.0).contains(&p50), "p50 = {p50}");
+        assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn percentile_handles_edge_shapes() {
+        assert_eq!(Histogram::default().percentile(50.0), 0.0, "empty");
+        let mut zeros = Histogram::default();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(99.0), 0.0, "all-zero values");
+        let mut single = Histogram::default();
+        single.record(42);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(single.percentile(p), 42.0, "single value at p{p}");
+        }
     }
 
     #[test]

@@ -9,6 +9,35 @@
 
 use std::fmt::Write as _;
 
+/// Identity of the run a report (or trace) describes, stamped into the
+/// JSON so downstream tooling can detect format or provenance drift.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunMeta {
+    /// Which engine produced the data: `"des"` or `"threaded"`.
+    pub engine: String,
+    /// Number of pipeline stages.
+    pub stages: u32,
+    /// RNG seed of the run, when one exists.
+    pub seed: Option<u64>,
+}
+
+impl RunMeta {
+    /// Metadata for an engine/stage-count pair.
+    pub fn new(engine: &str, stages: u32) -> Self {
+        RunMeta {
+            engine: engine.to_string(),
+            stages,
+            seed: None,
+        }
+    }
+
+    /// Attaches the run seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
 /// Derived per-stage observability summary.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StageObs {
@@ -44,18 +73,36 @@ pub struct StageObs {
     pub restarts: u64,
     /// Tasks re-executed after a checkpoint rollback.
     pub replayed_tasks: u64,
-    /// Mean queue depth at dispatch decisions.
+    /// Mean queue depth at dispatch decisions and enqueues.
     pub mean_queue_depth: f64,
     /// Largest observed queue depth.
     pub max_queue_depth: u64,
+    /// Median observed queue depth.
+    pub queue_depth_p50: f64,
+    /// 95th-percentile observed queue depth.
+    pub queue_depth_p95: f64,
+    /// 99th-percentile observed queue depth.
+    pub queue_depth_p99: f64,
     /// Mean forward-task latency in microseconds.
     pub fwd_latency_mean_us: f64,
     /// Largest forward-task latency in microseconds.
     pub fwd_latency_max_us: u64,
+    /// Median forward-task latency in microseconds.
+    pub fwd_latency_p50_us: f64,
+    /// 95th-percentile forward-task latency in microseconds.
+    pub fwd_latency_p95_us: f64,
+    /// 99th-percentile forward-task latency in microseconds.
+    pub fwd_latency_p99_us: f64,
     /// Mean backward-task latency in microseconds.
     pub bwd_latency_mean_us: f64,
     /// Largest backward-task latency in microseconds.
     pub bwd_latency_max_us: u64,
+    /// Median backward-task latency in microseconds.
+    pub bwd_latency_p50_us: f64,
+    /// 95th-percentile backward-task latency in microseconds.
+    pub bwd_latency_p95_us: f64,
+    /// 99th-percentile backward-task latency in microseconds.
+    pub bwd_latency_p99_us: f64,
 }
 
 impl StageObs {
@@ -66,6 +113,11 @@ impl StageObs {
     }
 }
 
+/// Version of the JSON layout [`ObsReport::to_json`] emits. Bumped when
+/// fields change meaning or disappear; additions alone keep it stable
+/// within a major revision.
+pub const OBS_SCHEMA_VERSION: u32 = 2;
+
 /// A full observability snapshot of one run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ObsReport {
@@ -73,9 +125,16 @@ pub struct ObsReport {
     pub wall_us: u64,
     /// One summary per pipeline stage.
     pub stages: Vec<StageObs>,
+    /// Identity of the run (engine, stage count, seed).
+    pub meta: RunMeta,
 }
 
 impl ObsReport {
+    /// Stamps the run metadata (builder-style).
+    pub fn with_meta(mut self, meta: RunMeta) -> Self {
+        self.meta = meta;
+        self
+    }
     /// Whole-pipeline bubble ratio: mean of the per-stage bubble ratios.
     pub fn bubble_ratio(&self) -> f64 {
         mean(self.stages.iter().map(|s| s.bubble_ratio))
@@ -118,13 +177,16 @@ impl ObsReport {
         let _ = writeln!(
             out,
             "stage  fwd   bwd  preempt  util%  stall%  bubble%  cache-hit%  \
-             ev  rst  rty  repl  q-mean  q-max  fwd-us(mean/max)  bwd-us(mean/max)"
+             ev  rst  rty  repl  q-mean  q-max  q(p50/p95/p99)  \
+             fwd-us(mean/max)  fwd-us(p50/p95/p99)  \
+             bwd-us(mean/max)  bwd-us(p50/p95/p99)"
         );
         for s in &self.stages {
             let _ = writeln!(
                 out,
                 "{:>5} {:>5} {:>5} {:>8} {:>6.1} {:>7.1} {:>8.1} {:>11.1} {:>3} \
-                 {:>4} {:>4} {:>5} {:>7.1} {:>6} {:>9.0}/{:<7} {:>9.0}/{:<7}",
+                 {:>4} {:>4} {:>5} {:>7.1} {:>6} {:>5.1}/{:.1}/{:.1} \
+                 {:>9.0}/{:<7} {:>7.0}/{:.0}/{:.0} {:>9.0}/{:<7} {:>7.0}/{:.0}/{:.0}",
                 s.stage,
                 s.forward_tasks,
                 s.backward_tasks,
@@ -139,10 +201,19 @@ impl ObsReport {
                 s.replayed_tasks,
                 s.mean_queue_depth,
                 s.max_queue_depth,
+                s.queue_depth_p50,
+                s.queue_depth_p95,
+                s.queue_depth_p99,
                 s.fwd_latency_mean_us,
                 s.fwd_latency_max_us,
+                s.fwd_latency_p50_us,
+                s.fwd_latency_p95_us,
+                s.fwd_latency_p99_us,
                 s.bwd_latency_mean_us,
                 s.bwd_latency_max_us,
+                s.bwd_latency_p50_us,
+                s.bwd_latency_p95_us,
+                s.bwd_latency_p99_us,
             );
         }
         let _ = writeln!(
@@ -161,12 +232,23 @@ impl ObsReport {
     }
 
     /// Renders the report as a JSON object.
+    ///
+    /// `"schema"` is [`OBS_SCHEMA_VERSION`]; schema-1 fields keep their
+    /// exact key names and value formatting, so schema-1 consumers that
+    /// ignore unknown keys keep working unchanged.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"wall_us\":{},\"bubble_ratio\":{},\"stall_ratio\":{},\
+            "{{\"schema\":{},\"meta\":{{\"engine\":{},\"stages\":{},\"seed\":{}}},\
+             \"wall_us\":{},\"bubble_ratio\":{},\"stall_ratio\":{},\
              \"cache_hit_rate\":{},\"stages\":[",
+            OBS_SCHEMA_VERSION,
+            json_str(&self.meta.engine),
+            self.meta.stages,
+            self.meta
+                .seed
+                .map_or_else(|| "null".to_string(), |s| s.to_string()),
             self.wall_us,
             json_f64(self.bubble_ratio()),
             json_f64(self.stall_ratio()),
@@ -186,7 +268,13 @@ impl ObsReport {
                  \"retries\":{},\"restarts\":{},\"replayed_tasks\":{},\
                  \"mean_queue_depth\":{},\"max_queue_depth\":{},\
                  \"fwd_latency_mean_us\":{},\"fwd_latency_max_us\":{},\
-                 \"bwd_latency_mean_us\":{},\"bwd_latency_max_us\":{}}}",
+                 \"bwd_latency_mean_us\":{},\"bwd_latency_max_us\":{},\
+                 \"queue_depth_p50\":{},\"queue_depth_p95\":{},\
+                 \"queue_depth_p99\":{},\
+                 \"fwd_latency_p50_us\":{},\"fwd_latency_p95_us\":{},\
+                 \"fwd_latency_p99_us\":{},\
+                 \"bwd_latency_p50_us\":{},\"bwd_latency_p95_us\":{},\
+                 \"bwd_latency_p99_us\":{}}}",
                 s.stage,
                 s.forward_tasks,
                 s.backward_tasks,
@@ -210,6 +298,15 @@ impl ObsReport {
                 s.fwd_latency_max_us,
                 json_f64(s.bwd_latency_mean_us),
                 s.bwd_latency_max_us,
+                json_f64(s.queue_depth_p50),
+                json_f64(s.queue_depth_p95),
+                json_f64(s.queue_depth_p99),
+                json_f64(s.fwd_latency_p50_us),
+                json_f64(s.fwd_latency_p95_us),
+                json_f64(s.fwd_latency_p99_us),
+                json_f64(s.bwd_latency_p50_us),
+                json_f64(s.bwd_latency_p95_us),
+                json_f64(s.bwd_latency_p99_us),
             );
         }
         out.push_str("]}");
@@ -235,6 +332,25 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Formats a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +358,7 @@ mod tests {
     fn two_stage_report() -> ObsReport {
         ObsReport {
             wall_us: 1_000_000,
+            meta: RunMeta::new("des", 2).seed(7),
             stages: vec![
                 StageObs {
                     stage: 0,
@@ -297,6 +414,34 @@ mod tests {
             json.matches('}').count(),
             "balanced braces: {json}"
         );
+    }
+
+    #[test]
+    fn json_carries_schema_meta_and_percentiles() {
+        let json = two_stage_report().to_json();
+        assert!(json.starts_with("{\"schema\":2,"), "schema first: {json}");
+        assert!(json.contains("\"meta\":{\"engine\":\"des\",\"stages\":2,\"seed\":7}"));
+        for key in [
+            "\"queue_depth_p50\":",
+            "\"queue_depth_p99\":",
+            "\"fwd_latency_p95_us\":",
+            "\"bwd_latency_p99_us\":",
+        ] {
+            assert_eq!(json.matches(key).count(), 2, "missing {key} in {json}");
+        }
+        // No seed -> null, not absent (fixed key set per schema).
+        let unseeded = ObsReport::default().to_json();
+        assert!(unseeded.contains("\"seed\":null"));
+    }
+
+    #[test]
+    fn text_table_surfaces_percentiles() {
+        let mut r = two_stage_report();
+        r.stages[0].queue_depth_p95 = 4.0;
+        r.stages[0].fwd_latency_p99_us = 900.0;
+        let text = r.render_text();
+        assert!(text.lines().next().unwrap().contains("q(p50/p95/p99)"));
+        assert!(text.lines().next().unwrap().contains("fwd-us(p50/p95/p99)"));
     }
 
     #[test]
