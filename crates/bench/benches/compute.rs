@@ -1,0 +1,50 @@
+//! Compute-backend micro-benchmarks: tiled vs naive matmul across
+//! shapes, the transposed multiplies, and a pool-engaging dense layer
+//! step. `repro bench` produces the tracked `BENCH_compute.json`; this
+//! harness is for quick interactive comparisons (`cargo bench -p
+//! naspipe-bench --bench compute`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naspipe_tensor::tensor::Tensor;
+use std::hint::black_box;
+
+fn operand(rows: usize, cols: usize, phase: f32) -> Tensor {
+    Tensor::from_vec(
+        (0..rows * cols)
+            .map(|i| (i as f32 * 0.37 + phase).sin() + 0.01)
+            .collect(),
+        &[rows, cols],
+    )
+}
+
+fn bench_matmul_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for side in [64usize, 128, 256] {
+        let a = operand(side, side, 0.0);
+        let b = operand(side, side, 1.0);
+        group.bench_with_input(BenchmarkId::new("naive", side), &side, |bch, _| {
+            bch.iter(|| black_box(a.matmul_naive(black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", side), &side, |bch, _| {
+            bch.iter(|| black_box(a.matmul(black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transposed(c: &mut Criterion) {
+    let a = operand(256, 256, 0.0);
+    let b = operand(256, 256, 1.0);
+    c.bench_function("matmul_t_256", |bch| {
+        bch.iter(|| black_box(a.matmul_t(black_box(&b))))
+    });
+    c.bench_function("t_matmul_256", |bch| {
+        bch.iter(|| black_box(a.t_matmul(black_box(&b))))
+    });
+    c.bench_function("transpose_then_matmul_256", |bch| {
+        bch.iter(|| black_box(black_box(&a).transpose().matmul(&b)))
+    });
+}
+
+criterion_group!(benches, bench_matmul_shapes, bench_transposed);
+criterion_main!(benches);

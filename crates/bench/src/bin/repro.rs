@@ -10,8 +10,8 @@
 //! floating-point training for dozens of pipeline schedules.
 
 use naspipe_bench::experiments::{
-    cache_sweep, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute, soundness,
-    table1, table2, table3, table4, table5, topology, trace,
+    cache_sweep, compute, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute,
+    soundness, table1, table2, table3, table4, table5, topology, trace,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
 use naspipe_supernet::space::SpaceId;
@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "obs",
     "faults",
     "trace",
+    "bench",
 ];
 
 fn main() {
@@ -239,6 +240,27 @@ fn run_experiment(name: &str) {
             assert!(
                 r.all_ok(),
                 "trace verdicts failed: critical path must equal the makespan,                  the chrome export must round-trip, and DES path idle must stay                  within the recorder's stall+bubble counters"
+            );
+        }
+        "bench" => {
+            banner(
+                "Extra: compute-backend benchmark",
+                "The deterministic tiled kernels vs the pre-optimisation naive matmul (GFLOP/s per shape), transposed multiplies vs explicit transposition, numeric replay throughput and threaded-runtime makespan — with bitwise-equality and pool-size hash-invariance verdicts asserted. Set BENCH_COMPUTE_JSON=<path> to write the machine-readable artifact (BENCH_compute.json).",
+            );
+            let r = compute::run(24);
+            println!("{}", compute::render(&r));
+            if let Ok(path) = std::env::var("BENCH_COMPUTE_JSON") {
+                if !path.is_empty() && path != "0" {
+                    std::fs::write(&path, compute::render_json(&r))
+                        .expect("compute bench artifact written");
+                    println!("wrote {path}");
+                }
+            }
+            assert!(
+                r.all_ok(),
+                "compute verdicts failed: every kernel must match the naive \
+                 reference bitwise and both end-to-end hashes must be \
+                 invariant across pool sizes"
             );
         }
         _ => unreachable!("validated in main"),

@@ -1,0 +1,451 @@
+//! Compute-backend benchmark: the tiled deterministic kernels against
+//! the pre-existing naive matmul, plus end-to-end replay and threaded
+//! runtime throughput under the compute pool.
+//!
+//! Three layers are measured, mirroring how the backend is wired in:
+//!
+//! 1. **Kernels** — `matmul` (tiled, SIMD where available) vs
+//!    [`Tensor::matmul_naive`] (the pre-optimisation reference kernel)
+//!    at several shapes, in GFLOP/s, with a bitwise-equality verdict
+//!    per shape; the transposed multiplies `matmul_t` / `t_matmul`
+//!    against their allocate-then-`transpose()` equivalents.
+//! 2. **Replay** — a NASPipe schedule replayed numerically
+//!    ([`replay_training`]) at a pool-engaging width, in subnets/s,
+//!    with a hash-invariance verdict across pool sizes.
+//! 3. **Runtime** — the threaded CSP runtime's wall-clock makespan,
+//!    again with cross-pool-size hash invariance.
+//!
+//! Throughputs are machine-dependent; every `*_equal` / `*_invariant`
+//! verdict is not, and `repro bench` asserts them. The JSON rendering is
+//! the `BENCH_compute.json` artifact tracked at the repo root.
+
+use crate::experiments::subnet_stream;
+use naspipe_core::config::PipelineConfig;
+use naspipe_core::pipeline::run_pipeline_with_subnets;
+use naspipe_core::runtime::run_threaded_observed;
+use naspipe_core::train::{replay_training, TrainConfig};
+use naspipe_supernet::layer::Domain;
+use naspipe_supernet::space::SearchSpace;
+use naspipe_tensor::pool;
+use naspipe_tensor::tensor::Tensor;
+use std::time::Instant;
+
+/// One matmul shape measured naive vs tiled.
+#[derive(Debug, Clone)]
+pub struct MatmulBench {
+    /// Output rows.
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Pre-PR reference kernel throughput.
+    pub naive_gflops: f64,
+    /// Tiled kernel throughput.
+    pub tiled_gflops: f64,
+    /// `tiled_gflops / naive_gflops`.
+    pub speedup: f64,
+    /// Whether tiled output is bitwise equal to the naive kernel's.
+    pub bitwise_equal: bool,
+}
+
+/// One transposed-multiply measurement.
+#[derive(Debug, Clone)]
+pub struct TransposedBench {
+    /// `"matmul_t"` (A·Bᵀ) or `"t_matmul"` (Aᵀ·B).
+    pub op: &'static str,
+    /// Fused-kernel throughput.
+    pub gflops: f64,
+    /// Explicit `transpose()` + `matmul` throughput.
+    pub explicit_gflops: f64,
+    /// Whether the fused output is bitwise equal to the explicit form.
+    pub bitwise_equal: bool,
+}
+
+/// The full compute-backend benchmark result.
+#[derive(Debug, Clone)]
+pub struct ComputeRun {
+    /// Pool workers the parallel sections ran with (the pool default).
+    pub threads: usize,
+    /// Kernel measurements, one per shape.
+    pub matmul: Vec<MatmulBench>,
+    /// Transposed-multiply measurements at the square shape.
+    pub transposed: Vec<TransposedBench>,
+    /// Subnets replayed in the end-to-end measurement.
+    pub replay_subnets: u64,
+    /// Replay throughput at `dim` below.
+    pub replay_subnets_per_s: f64,
+    /// Numeric width of the replay/runtime measurements.
+    pub replay_dim: usize,
+    /// Whether replay `final_hash` matches across pool sizes 1 and 4.
+    pub replay_hash_invariant: bool,
+    /// Threaded-runtime wall clock for the same subnet list, µs.
+    pub threaded_makespan_us: u64,
+    /// Whether the threaded `final_hash` matches across pool sizes.
+    pub threaded_hash_invariant: bool,
+}
+
+impl ComputeRun {
+    /// Whether every machine-independent verdict holds: each kernel
+    /// shape bitwise equal to the reference, and both end-to-end hashes
+    /// invariant across pool sizes.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.matmul.iter().all(|s| s.bitwise_equal)
+            && self.transposed.iter().all(|t| t.bitwise_equal)
+            && self.replay_hash_invariant
+            && self.threaded_hash_invariant
+    }
+
+    /// Speedup recorded at the `side`³ square shape, if measured.
+    #[must_use]
+    pub fn square_speedup(&self, side: usize) -> Option<f64> {
+        self.matmul
+            .iter()
+            .find(|s| s.m == side && s.k == side && s.n == side)
+            .map(|s| s.speedup)
+    }
+}
+
+/// Mean seconds per call of `f`, best of three calibrated batches.
+fn secs_per_iter(mut f: impl FnMut()) -> f64 {
+    f(); // warm up caches and the pool
+    let mut iters = 1u32;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= 0.05 {
+            let mut best = dt / f64::from(iters);
+            for _ in 0..2 {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                best = best.min(t0.elapsed().as_secs_f64() / f64::from(iters));
+            }
+            return best;
+        }
+        iters *= 2;
+    }
+}
+
+fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
+    2.0 * (m as f64) * (k as f64) * (n as f64) / secs / 1e9
+}
+
+/// A deterministic non-trivial operand (no zeros, mixed sign).
+fn operand(rows: usize, cols: usize, phase: f32) -> Tensor {
+    Tensor::from_vec(
+        (0..rows * cols)
+            .map(|i| (i as f32 * 0.37 + phase).sin() + 0.01)
+            .collect(),
+        &[rows, cols],
+    )
+}
+
+fn bench_shape(m: usize, k: usize, n: usize) -> MatmulBench {
+    let a = operand(m, k, 0.0);
+    let b = operand(k, n, 1.0);
+    let tiled = a.matmul(&b);
+    let naive = a.matmul_naive(&b);
+    let bitwise_equal = tiled
+        .data()
+        .iter()
+        .zip(naive.data().iter())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    let naive_s = secs_per_iter(|| {
+        std::hint::black_box(a.matmul_naive(std::hint::black_box(&b)));
+    });
+    let tiled_s = secs_per_iter(|| {
+        std::hint::black_box(a.matmul(std::hint::black_box(&b)));
+    });
+    MatmulBench {
+        m,
+        k,
+        n,
+        naive_gflops: gflops(m, k, n, naive_s),
+        tiled_gflops: gflops(m, k, n, tiled_s),
+        speedup: naive_s / tiled_s,
+        bitwise_equal,
+    }
+}
+
+fn bench_transposed(side: usize) -> Vec<TransposedBench> {
+    let a = operand(side, side, 0.0);
+    let b = operand(side, side, 1.0);
+    let bits_eq = |x: &Tensor, y: &Tensor| {
+        x.data()
+            .iter()
+            .zip(y.data().iter())
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+    };
+    let mt = TransposedBench {
+        op: "matmul_t",
+        gflops: gflops(
+            side,
+            side,
+            side,
+            secs_per_iter(|| {
+                std::hint::black_box(a.matmul_t(std::hint::black_box(&b)));
+            }),
+        ),
+        explicit_gflops: gflops(
+            side,
+            side,
+            side,
+            secs_per_iter(|| {
+                std::hint::black_box(a.matmul(&std::hint::black_box(&b).transpose()));
+            }),
+        ),
+        bitwise_equal: bits_eq(&a.matmul_t(&b), &a.matmul(&b.transpose())),
+    };
+    let tm = TransposedBench {
+        op: "t_matmul",
+        gflops: gflops(
+            side,
+            side,
+            side,
+            secs_per_iter(|| {
+                std::hint::black_box(a.t_matmul(std::hint::black_box(&b)));
+            }),
+        ),
+        explicit_gflops: gflops(
+            side,
+            side,
+            side,
+            secs_per_iter(|| {
+                std::hint::black_box(std::hint::black_box(&a).transpose().matmul(&b));
+            }),
+        ),
+        bitwise_equal: bits_eq(&a.t_matmul(&b), &a.transpose().matmul(&b)),
+    };
+    vec![mt, tm]
+}
+
+/// Runs the full compute-backend benchmark.
+///
+/// `n` subnets feed the replay/runtime measurements; the kernel shapes
+/// are fixed (the tracked artifact's headline number is the 256³
+/// square).
+///
+/// # Panics
+///
+/// Panics if the schedule or any training run fails (fixed small batch,
+/// so memory verdicts cannot fail).
+#[must_use]
+pub fn run(n: u64) -> ComputeRun {
+    let matmul = vec![
+        bench_shape(64, 64, 64),
+        bench_shape(128, 128, 128),
+        bench_shape(256, 256, 256),
+        bench_shape(192, 320, 96),
+    ];
+    let transposed = bench_transposed(256);
+
+    // End-to-end: schedule once, replay numerically at a pool-engaging
+    // width. `PipelineConfig::compute_threads` carries the knob to
+    // `TrainConfig::with_threads` — the pipeline itself is discrete-event
+    // and does no numeric work.
+    let dim = 128;
+    let space = SearchSpace::uniform(Domain::Nlp, 8, 5);
+    let pcfg = PipelineConfig::naspipe(4, n)
+        .with_batch(32)
+        .with_compute_threads(0);
+    let outcome = run_pipeline_with_subnets(&space, &pcfg, subnet_stream(&space, n))
+        .expect("bench schedule runs at fixed batch");
+    let tcfg = TrainConfig {
+        dim,
+        rows: 64,
+        seed: crate::SEED,
+        ..TrainConfig::default()
+    }
+    .with_threads(pcfg.compute_threads);
+    let t0 = Instant::now();
+    let replay = replay_training(&space, &outcome, &tcfg);
+    let replay_subnets_per_s = n as f64 / t0.elapsed().as_secs_f64();
+    let replay_serial = replay_training(&space, &outcome, &tcfg.with_threads(1));
+    let replay_quad = replay_training(&space, &outcome, &tcfg.with_threads(4));
+    let replay_hash_invariant = replay.final_hash == replay_serial.final_hash
+        && replay.final_hash == replay_quad.final_hash;
+
+    let subnets = subnet_stream(&space, n);
+    let t0 = Instant::now();
+    let (threaded, _) = run_threaded_observed(&space, subnets.clone(), &tcfg, 4, 0)
+        .expect("threaded bench run succeeds");
+    let threaded_makespan_us = t0.elapsed().as_micros() as u64;
+    let (threaded_serial, _) = run_threaded_observed(&space, subnets, &tcfg.with_threads(1), 4, 0)
+        .expect("threaded serial bench run succeeds");
+    let threaded_hash_invariant = threaded.final_hash == threaded_serial.final_hash
+        && threaded.final_hash == replay.final_hash;
+
+    ComputeRun {
+        threads: pool::default_threads(),
+        matmul,
+        transposed,
+        replay_subnets: n,
+        replay_subnets_per_s,
+        replay_dim: dim,
+        replay_hash_invariant,
+        threaded_makespan_us,
+        threaded_hash_invariant,
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "FAIL"
+    }
+}
+
+/// Renders the kernel table, end-to-end rates and verdicts.
+#[must_use]
+pub fn render(run: &ComputeRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "compute pool: {} worker(s)", run.threads);
+    let _ = writeln!(
+        out,
+        "{:>16}  {:>12}  {:>12}  {:>8}  {:>8}",
+        "matmul shape", "naive GF/s", "tiled GF/s", "speedup", "bitwise"
+    );
+    for s in &run.matmul {
+        let _ = writeln!(
+            out,
+            "{:>16}  {:>12.2}  {:>12.2}  {:>7.2}x  {:>8}",
+            format!("{}x{}x{}", s.m, s.k, s.n),
+            s.naive_gflops,
+            s.tiled_gflops,
+            s.speedup,
+            verdict(s.bitwise_equal)
+        );
+    }
+    for t in &run.transposed {
+        let _ = writeln!(
+            out,
+            "{:>16}  fused {:>8.2} GF/s  explicit-transpose {:>8.2} GF/s  bitwise {}",
+            t.op,
+            t.gflops,
+            t.explicit_gflops,
+            verdict(t.bitwise_equal)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "replay (dim {}): {:.1} subnets/s over {} subnets, hash invariant across pool sizes: {}",
+        run.replay_dim,
+        run.replay_subnets_per_s,
+        run.replay_subnets,
+        verdict(run.replay_hash_invariant)
+    );
+    let _ = writeln!(
+        out,
+        "threaded runtime: makespan {} us, hash invariant across pool sizes: {}",
+        run.threaded_makespan_us,
+        verdict(run.threaded_hash_invariant)
+    );
+    out
+}
+
+/// Renders the machine-readable artifact (`BENCH_compute.json`).
+#[must_use]
+pub fn render_json(run: &ComputeRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"bench\":\"compute\",\"threads\":{},\"matmul\":[",
+        run.threads
+    );
+    for (i, s) in run.matmul.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"m\":{},\"k\":{},\"n\":{},\"naive_gflops\":{:.3},\"tiled_gflops\":{:.3},\"speedup\":{:.3},\"bitwise_equal\":{}}}",
+            s.m, s.k, s.n, s.naive_gflops, s.tiled_gflops, s.speedup, s.bitwise_equal
+        );
+    }
+    let _ = write!(out, "],\"transposed\":[");
+    for (i, t) in run.transposed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"op\":\"{}\",\"gflops\":{:.3},\"explicit_gflops\":{:.3},\"bitwise_equal\":{}}}",
+            t.op, t.gflops, t.explicit_gflops, t.bitwise_equal
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"replay\":{{\"subnets\":{},\"dim\":{},\"subnets_per_s\":{:.3},\"hash_invariant\":{}}}",
+        run.replay_subnets, run.replay_dim, run.replay_subnets_per_s, run.replay_hash_invariant
+    );
+    let _ = write!(
+        out,
+        ",\"threaded\":{{\"gpus\":4,\"makespan_us\":{},\"hash_invariant\":{}}}}}",
+        run.threaded_makespan_us, run.threaded_hash_invariant
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny run exercising the full path (shapes shrunk implicitly by
+    /// the fixed list — this is about wiring, not numbers).
+    #[test]
+    fn json_is_balanced_and_carries_verdicts() {
+        let run = ComputeRun {
+            threads: 2,
+            matmul: vec![MatmulBench {
+                m: 4,
+                k: 4,
+                n: 4,
+                naive_gflops: 1.0,
+                tiled_gflops: 2.5,
+                speedup: 2.5,
+                bitwise_equal: true,
+            }],
+            transposed: vec![TransposedBench {
+                op: "matmul_t",
+                gflops: 2.0,
+                explicit_gflops: 1.0,
+                bitwise_equal: true,
+            }],
+            replay_subnets: 8,
+            replay_subnets_per_s: 100.0,
+            replay_dim: 128,
+            replay_hash_invariant: true,
+            threaded_makespan_us: 1234,
+            threaded_hash_invariant: true,
+        };
+        assert!(run.all_ok());
+        assert_eq!(run.square_speedup(4), Some(2.5));
+        let json = render_json(&run);
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert!(json.contains("\"speedup\":2.500"));
+        assert!(json.contains("\"hash_invariant\":true"));
+        let text = render(&run);
+        assert!(text.contains("2.50x"));
+        assert!(text.contains("hash invariant across pool sizes: ok"));
+    }
+
+    #[test]
+    fn kernel_bench_verdicts_hold_on_small_shapes() {
+        let s = bench_shape(48, 33, 40);
+        assert!(s.bitwise_equal);
+        assert!(s.naive_gflops > 0.0 && s.tiled_gflops > 0.0);
+        for t in bench_transposed(40) {
+            assert!(t.bitwise_equal, "{} diverged", t.op);
+        }
+    }
+}

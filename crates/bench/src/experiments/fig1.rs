@@ -103,6 +103,7 @@ pub fn run() -> Fig1 {
                 recompute_ahead: true,
                 jitter: 0.0,
                 seed: crate::SEED,
+                compute_threads: 0,
             };
             let out = run_pipeline_with_subnets(&space, &cfg, subnets.clone())
                 .expect("figure space fits everywhere");

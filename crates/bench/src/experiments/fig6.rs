@@ -90,6 +90,7 @@ pub fn group_for(id: SpaceId, num_gpus: u32, n: u64) -> Fig6Group {
             recompute_ahead: true,
             jitter: 0.0,
             seed: crate::SEED,
+            compute_threads: 0,
         };
         match run_pipeline_with_subnets(&space, &cfg, subnets.clone()) {
             Ok(out) => Some((

@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure, plus shared machinery.
 
 pub mod cache_sweep;
+pub mod compute;
 pub mod faults;
 pub mod fig1;
 pub mod fig4;

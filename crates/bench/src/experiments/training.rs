@@ -26,6 +26,7 @@ pub fn train_config() -> TrainConfig {
         momentum: 0.0,
         weight_decay: 0.0,
         seed: crate::SEED,
+        threads: 0,
     }
 }
 

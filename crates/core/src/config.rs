@@ -108,6 +108,11 @@ pub struct PipelineConfig {
     pub jitter: f64,
     /// Seed for subnet exploration.
     pub seed: u64,
+    /// Compute-pool workers each runtime stage uses for its numeric
+    /// kernels (`0` = the pool default: `NASPIPE_THREADS` or the
+    /// machine's parallelism). Like the GPU count, this must never
+    /// change training results — kernels chunk work by shape.
+    pub compute_threads: usize,
 }
 
 impl PipelineConfig {
@@ -126,6 +131,7 @@ impl PipelineConfig {
             recompute_ahead: true,
             jitter: 0.0,
             seed: 0,
+            compute_threads: 0,
         }
     }
 
@@ -163,6 +169,12 @@ impl PipelineConfig {
     /// Sets the simulated host topology (GPUs per host).
     pub fn with_gpus_per_host(mut self, gpus_per_host: u32) -> Self {
         self.gpus_per_host = gpus_per_host;
+        self
+    }
+
+    /// Sets the compute-pool worker count per runtime stage.
+    pub fn with_compute_threads(mut self, compute_threads: usize) -> Self {
+        self.compute_threads = compute_threads;
         self
     }
 

@@ -1303,6 +1303,7 @@ mod tests {
             recompute_ahead: true,
             jitter: 0.0,
             seed: 42,
+            compute_threads: 0,
         };
         run_pipeline(&small_space(), &cfg).expect("run succeeds")
     }
@@ -1701,6 +1702,7 @@ mod tests {
             recompute_ahead: true,
             jitter: 0.0,
             seed: 0,
+            compute_threads: 0,
         };
         match run_pipeline(&space, &cfg) {
             Err(PipelineError::OutOfMemory { .. }) => {}

@@ -221,6 +221,7 @@ mod tests {
             recompute_ahead: true,
             jitter: 0.0,
             seed: 0,
+            compute_threads: 0,
         };
         run_pipeline_with_subnets(&space, &cfg, subnets).unwrap()
     }

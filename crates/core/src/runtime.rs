@@ -56,8 +56,8 @@ use crate::pipeline::TaskRecord;
 use crate::task::{FinishedSet, StageId, TaskKind};
 use crate::train::{TrainConfig, TrainResult};
 use naspipe_obs::{
-    CauseKind, Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, RunMeta, Sample,
-    SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, Tracer, Violation,
+    CauseKind, Counter, CspChecker, MetricsRecorder, ObsReport, PoolWorkerObs, Recorder, RunMeta,
+    Sample, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, Tracer, Violation,
 };
 use naspipe_sim::time::SimTime;
 use naspipe_supernet::space::SearchSpace;
@@ -327,7 +327,19 @@ impl StageWorker {
         Ok(())
     }
 
-    fn into_output(self) -> StageOutput {
+    fn into_output(mut self) -> StageOutput {
+        // Attribute the compute-pool work this stage's kernels fanned
+        // out (drained from thread-local accounting; runs on the worker
+        // thread, before the pool binding is dropped). Job and chunk
+        // counts are shape-derived, so they are identical across worker
+        // counts; only busy time is timing-dependent.
+        let pool = naspipe_tensor::pool::take_thread_stats();
+        if pool.jobs > 0 {
+            let stage = self.stage as u32;
+            self.recorder.incr(stage, Counter::PoolJob, pool.jobs);
+            self.recorder.incr(stage, Counter::PoolChunk, pool.chunks);
+            self.recorder.incr(stage, Counter::PoolBusyUs, pool.busy_us);
+        }
         StageOutput {
             params: self.params,
             losses: self.losses,
@@ -1024,6 +1036,10 @@ pub fn run_threaded_supervised(
         (opts.checkpoint_interval > 0).then(|| Arc::new(CheckpointStore::new(gpus as usize)));
     let recv_timeout = opts.recv_timeout_ms.map(Duration::from_millis);
     let epoch = Instant::now();
+    // Snapshot the shared compute pool's counters so the final report
+    // attributes only this run's fan-out work.
+    let compute_threads = cfg.threads;
+    let pool_base = naspipe_tensor::pool::shared(compute_threads).stats();
 
     let mut master = MetricsRecorder::new();
     let mut spans = SpanTrace::default();
@@ -1156,7 +1172,10 @@ pub fn run_threaded_supervised(
                         notify,
                         armed: true,
                     };
-                    let out = worker.run();
+                    // Each stage worker runs its numeric kernels on the
+                    // configured compute pool — the software analogue of
+                    // each pipeline stage owning one GPU.
+                    let out = naspipe_tensor::pool::with_threads(compute_threads, || worker.run());
                     guard.armed = false;
                     let note = match &out {
                         Ok(_) => ExitNote::Clean,
@@ -1236,9 +1255,14 @@ pub fn run_threaded_supervised(
             real_tasks.sort_by_key(|t| t.start);
             let mut tasks = sequential_prefix_tasks(resume_w, &partition, gpus);
             tasks.extend(real_tasks);
+            let wall_us = elapsed_us(epoch);
+            let pool_run = naspipe_tensor::pool::shared(compute_threads)
+                .stats()
+                .since(&pool_base);
             let report = master
-                .report(elapsed_us(epoch))
-                .with_meta(RunMeta::new("threaded", gpus).seed(cfg.seed));
+                .report(wall_us)
+                .with_meta(RunMeta::new("threaded", gpus).seed(cfg.seed))
+                .with_pool(pool_worker_obs(&pool_run, wall_us));
             let subnets = Arc::try_unwrap(subnets).unwrap_or_else(|a| (*a).clone());
             return Ok(SupervisedRun {
                 result: TrainResult {
@@ -1302,6 +1326,26 @@ pub fn run_threaded_supervised(
 
 /// Root-cause preference: anything beats a secondary channel closure;
 /// otherwise first error wins.
+/// Maps one run's compute-pool counter delta to the report's per-worker
+/// utilisation rows; empty when the run fanned nothing out, so reports
+/// without pool activity keep their compact schema-2 rendering.
+fn pool_worker_obs(stats: &naspipe_tensor::pool::PoolStats, wall_us: u64) -> Vec<PoolWorkerObs> {
+    if stats.jobs == 0 {
+        return Vec::new();
+    }
+    stats
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(worker, &(chunks, busy_us))| PoolWorkerObs {
+            worker,
+            chunks,
+            busy_us,
+            idle_us: wall_us.saturating_sub(busy_us),
+        })
+        .collect()
+}
+
 fn note_error(first: &mut Option<TrainError>, err: TrainError) {
     let replace = match first {
         None => true,
@@ -1442,6 +1486,41 @@ mod tests {
             assert_eq!(s.backward_tasks, 12, "stage {}", s.stage);
         }
         assert!(report.wall_us > 0);
+    }
+
+    #[test]
+    fn threaded_run_is_compute_worker_count_invariant_and_reports_pool() {
+        // Batches above the kernels' parallel thresholds: the stage
+        // workers fan out on the compute pool, the report carries pool
+        // utilisation, and the result stays bitwise equal across pool
+        // sizes (the compute-level "same results regardless of GPU
+        // count").
+        let space = SearchSpace::uniform(Domain::Nlp, 4, 3);
+        let list = subnets(&space, 4);
+        let base = TrainConfig {
+            dim: 128,
+            rows: 64,
+            threads: 1,
+            ..TrainConfig::default()
+        };
+        let (serial, serial_report) =
+            run_threaded_observed(&space, list.clone(), &base, 2, 0).unwrap();
+        let cfg = TrainConfig { threads: 4, ..base };
+        let (parallel, report) = run_threaded_observed(&space, list.clone(), &cfg, 2, 0).unwrap();
+        assert_eq!(serial.final_hash, parallel.final_hash);
+        assert_eq!(
+            serial.final_hash,
+            sequential_training(&space, &list, &base).final_hash
+        );
+        // Pool counters are shape-derived, so both runs report identical
+        // job/chunk totals; the 4-worker run lists 4 worker rows.
+        assert!(report.pool_jobs() > 0, "kernels fanned out");
+        assert_eq!(report.pool_jobs(), serial_report.pool_jobs());
+        assert_eq!(report.pool_chunks(), serial_report.pool_chunks());
+        assert_eq!(report.pool.len(), 4);
+        assert_eq!(serial_report.pool.len(), 1);
+        let chunks: u64 = report.pool.iter().map(|w| w.chunks).sum();
+        assert_eq!(chunks, report.pool_chunks());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use naspipe_supernet::space::SearchSpace;
 use naspipe_supernet::subnet::Subnet;
 use naspipe_tensor::data::SyntheticDataset;
 use naspipe_tensor::model::{ForwardCtx, NumericSupernet, ParamStore};
+use naspipe_tensor::pool;
 use naspipe_tensor::tensor::Tensor;
 use std::collections::BTreeMap;
 
@@ -42,6 +43,10 @@ pub struct TrainConfig {
     pub weight_decay: f32,
     /// Seed for parameter initialisation and data generation.
     pub seed: u64,
+    /// Compute-pool workers for the numeric kernels (`0` = the pool
+    /// default: `NASPIPE_THREADS` or the machine's parallelism). Never
+    /// affects results — kernels chunk work by shape, not thread count.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -54,11 +59,22 @@ impl Default for TrainConfig {
             momentum: 0.0,
             weight_decay: 0.0,
             seed: 0,
+            threads: 0,
         }
     }
 }
 
 impl TrainConfig {
+    /// Sets the compute-pool worker count (builder-style); `0` restores
+    /// the pool default. Pairs with
+    /// `PipelineConfig::with_compute_threads` for runs that replay a
+    /// pipeline schedule.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Builds the numeric engine this configuration describes.
     pub fn engine(&self) -> NumericSupernet {
         let e = NumericSupernet::new(self.lr).with_residual_scale(self.residual_scale);
@@ -119,21 +135,23 @@ pub fn sequential_training(
     subnets: &[Subnet],
     cfg: &TrainConfig,
 ) -> TrainResult {
-    let mut store = ParamStore::init(space, cfg.dim, cfg.seed);
-    let mut engine = cfg.engine();
-    let data = SyntheticDataset::new(cfg.seed, cfg.rows, cfg.dim);
-    let mut losses = Vec::with_capacity(subnets.len());
-    for subnet in subnets {
-        let step = subnet.seq_id().0;
-        let (x, y) = data.step_batch(step);
-        let loss = engine.train_step(&mut store, subnet, &x, &y);
-        losses.push((step, loss));
-    }
-    TrainResult {
-        losses,
-        final_hash: store.bitwise_hash(),
-        store,
-    }
+    pool::with_threads(cfg.threads, || {
+        let mut store = ParamStore::init(space, cfg.dim, cfg.seed);
+        let mut engine = cfg.engine();
+        let data = SyntheticDataset::new(cfg.seed, cfg.rows, cfg.dim);
+        let mut losses = Vec::with_capacity(subnets.len());
+        for subnet in subnets {
+            let step = subnet.seq_id().0;
+            let (x, y) = data.step_batch(step);
+            let loss = engine.train_step(&mut store, subnet, &x, &y);
+            losses.push((step, loss));
+        }
+        TrainResult {
+            losses,
+            final_hash: store.bitwise_hash(),
+            store,
+        }
+    })
 }
 
 /// Replays a pipeline run's task schedule numerically: every stage-level
@@ -146,6 +164,14 @@ pub fn sequential_training(
 /// Panics if the outcome's tasks are inconsistent (missing forward
 /// context or boundary activation — a pipeline engine bug).
 pub fn replay_training(
+    space: &SearchSpace,
+    outcome: &PipelineOutcome,
+    cfg: &TrainConfig,
+) -> TrainResult {
+    pool::with_threads(cfg.threads, || replay_training_inner(space, outcome, cfg))
+}
+
+fn replay_training_inner(
     space: &SearchSpace,
     outcome: &PipelineOutcome,
     cfg: &TrainConfig,
@@ -221,27 +247,29 @@ pub fn search_best_subnet(
     cfg: &TrainConfig,
     rounds: usize,
 ) -> (f64, Subnet) {
-    let engine = cfg.engine();
-    let data = SyntheticDataset::new(cfg.seed.wrapping_add(0x5641_4c49), cfg.rows, cfg.dim);
-    let outcome = evolve(
-        space,
-        EvolutionConfig {
-            population: 16,
-            tournament: 4,
-            rounds,
-            seed: cfg.seed,
-        },
-        |subnet| {
-            // Fitness = negative mean validation loss over 4 batches.
-            let mut total = 0.0f64;
-            for step in 0..4 {
-                let (x, t) = data.step_batch(step);
-                total += f64::from(engine.evaluate(store, subnet, &x, &t));
-            }
-            -(total / 4.0)
-        },
-    );
-    (-outcome.best.fitness, outcome.best.subnet)
+    pool::with_threads(cfg.threads, || {
+        let engine = cfg.engine();
+        let data = SyntheticDataset::new(cfg.seed.wrapping_add(0x5641_4c49), cfg.rows, cfg.dim);
+        let outcome = evolve(
+            space,
+            EvolutionConfig {
+                population: 16,
+                tournament: 4,
+                rounds,
+                seed: cfg.seed,
+            },
+            |subnet| {
+                // Fitness = negative mean validation loss over 4 batches.
+                let mut total = 0.0f64;
+                for step in 0..4 {
+                    let (x, t) = data.step_batch(step);
+                    total += f64::from(engine.evaluate(store, subnet, &x, &t));
+                }
+                -(total / 4.0)
+            },
+        );
+        (-outcome.best.fitness, outcome.best.subnet)
+    })
 }
 
 #[cfg(test)]
@@ -278,6 +306,7 @@ mod tests {
             recompute_ahead: true,
             jitter: 0.0,
             seed: 0,
+            compute_threads: 0,
         };
         run_pipeline_with_subnets(space, &cfg, subnets).unwrap()
     }
@@ -417,6 +446,32 @@ mod tests {
         let r4 = replay_training(&space, &run(&space, list.clone(), SyncPolicy::Asp, 4), &cfg);
         let r8 = replay_training(&space, &run(&space, list, SyncPolicy::Asp, 8), &cfg);
         assert_ne!(r4.quality_ranking(), r8.quality_ranking());
+    }
+
+    #[test]
+    fn training_is_worker_count_invariant() {
+        // The compute-level analogue of "same results regardless of GPU
+        // count": a batch large enough to cross the kernels' parallel
+        // thresholds must train to the same bits at 1, 2, 4 and 8 pool
+        // workers.
+        let space = SearchSpace::uniform(Domain::Nlp, 3, 4);
+        let list = subnets(&space, 4);
+        let base = TrainConfig {
+            dim: 128,
+            rows: 64,
+            threads: 1,
+            ..TrainConfig::default()
+        };
+        let reference = sequential_training(&space, &list, &base);
+        for threads in [2usize, 4, 8] {
+            let cfg = TrainConfig { threads, ..base };
+            let got = sequential_training(&space, &list, &cfg);
+            assert_eq!(
+                got.final_hash, reference.final_hash,
+                "final hash diverged at {threads} workers"
+            );
+            assert_eq!(got.losses, reference.losses);
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use chrome::{export_chrome, parse_chrome, ChromeParseError};
 pub use critical_path::{critical_path, AttrClass, CriticalPath, PathSegment};
 pub use invariant::{CspChecker, Violation};
 pub use metrics::{Counter, Histogram, MetricsRecorder, NullRecorder, Recorder, Sample};
-pub use report::{ObsReport, RunMeta, StageObs, OBS_SCHEMA_VERSION};
+pub use report::{ObsReport, PoolWorkerObs, RunMeta, StageObs, OBS_SCHEMA_VERSION};
 pub use trace::{
     CausalEdge, CauseKind, NullTracer, Span, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer,
     Tracer,

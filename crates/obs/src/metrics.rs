@@ -48,10 +48,20 @@ pub enum Counter {
     /// Task re-executed after a recovery because its pre-failure effect
     /// was discarded by the checkpoint rollback.
     ReplayedTask,
+    /// Compute-pool jobs submitted by this stage's kernels (one job per
+    /// fanned-out tensor op). Deterministic: kernels fan out on shape
+    /// thresholds, never on the worker count.
+    PoolJob,
+    /// Compute-pool chunks executed on behalf of this stage's jobs (the
+    /// fixed, shape-derived work units). Also worker-count invariant.
+    PoolChunk,
+    /// Microseconds of compute-pool chunk execution attributed to this
+    /// stage's jobs (summed across workers; timing-dependent).
+    PoolBusyUs,
 }
 
 /// Number of [`Counter`] variants; sizes the per-stage counter array.
-pub const NUM_COUNTERS: usize = Counter::ReplayedTask as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::PoolBusyUs as usize + 1;
 
 /// Distribution-valued per-stage observations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,6 +315,9 @@ impl MetricsRecorder {
                     retries: m.counter(Counter::Retry),
                     restarts: m.counter(Counter::Restart),
                     replayed_tasks: m.counter(Counter::ReplayedTask),
+                    pool_jobs: m.counter(Counter::PoolJob),
+                    pool_chunks: m.counter(Counter::PoolChunk),
+                    pool_busy_us: m.counter(Counter::PoolBusyUs),
                     mean_queue_depth: depth.mean(),
                     max_queue_depth: depth.max,
                     queue_depth_p50: depth.percentile(50.0),
@@ -327,6 +340,7 @@ impl MetricsRecorder {
             wall_us,
             stages,
             meta: RunMeta::default(),
+            pool: Vec::new(),
         }
     }
 }

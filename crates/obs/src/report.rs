@@ -73,6 +73,15 @@ pub struct StageObs {
     pub restarts: u64,
     /// Tasks re-executed after a checkpoint rollback.
     pub replayed_tasks: u64,
+    /// Compute-pool jobs this stage's tensor kernels fanned out
+    /// (shape-gated; worker-count invariant).
+    pub pool_jobs: u64,
+    /// Compute-pool chunks executed for this stage's jobs (the fixed,
+    /// shape-derived work units; worker-count invariant).
+    pub pool_chunks: u64,
+    /// Microseconds of pool chunk execution attributed to this stage's
+    /// jobs (timing-dependent).
+    pub pool_busy_us: u64,
     /// Mean queue depth at dispatch decisions and enqueues.
     pub mean_queue_depth: f64,
     /// Largest observed queue depth.
@@ -116,7 +125,25 @@ impl StageObs {
 /// Version of the JSON layout [`ObsReport::to_json`] emits. Bumped when
 /// fields change meaning or disappear; additions alone keep it stable
 /// within a major revision.
-pub const OBS_SCHEMA_VERSION: u32 = 2;
+///
+/// Schema 3 = schema 2 plus the compute-pool fields: per-stage
+/// `pool_jobs` / `pool_chunks` / `pool_busy_us` and the top-level
+/// `"pool"` array of per-worker utilisation. Every schema-2 field keeps
+/// its exact key name and value formatting.
+pub const OBS_SCHEMA_VERSION: u32 = 3;
+
+/// Utilisation of one compute-pool worker over a run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolWorkerObs {
+    /// Worker index (0 is the submitting thread itself).
+    pub worker: usize,
+    /// Chunks this worker executed.
+    pub chunks: u64,
+    /// Microseconds this worker spent executing chunks.
+    pub busy_us: u64,
+    /// Microseconds of the run this worker was not executing chunks.
+    pub idle_us: u64,
+}
 
 /// A full observability snapshot of one run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -127,6 +154,9 @@ pub struct ObsReport {
     pub stages: Vec<StageObs>,
     /// Identity of the run (engine, stage count, seed).
     pub meta: RunMeta,
+    /// Compute-pool worker utilisation over the run, when a pool was
+    /// used (empty otherwise).
+    pub pool: Vec<PoolWorkerObs>,
 }
 
 impl ObsReport {
@@ -134,6 +164,22 @@ impl ObsReport {
     pub fn with_meta(mut self, meta: RunMeta) -> Self {
         self.meta = meta;
         self
+    }
+
+    /// Attaches compute-pool worker utilisation (builder-style).
+    pub fn with_pool(mut self, pool: Vec<PoolWorkerObs>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Total compute-pool jobs across all stages.
+    pub fn pool_jobs(&self) -> u64 {
+        self.stages.iter().map(|s| s.pool_jobs).sum()
+    }
+
+    /// Total compute-pool chunks across all stages.
+    pub fn pool_chunks(&self) -> u64 {
+        self.stages.iter().map(|s| s.pool_chunks).sum()
     }
     /// Whole-pipeline bubble ratio: mean of the per-stage bubble ratios.
     pub fn bubble_ratio(&self) -> f64 {
@@ -216,7 +262,7 @@ impl ObsReport {
                 s.bwd_latency_p99_us,
             );
         }
-        let _ = writeln!(
+        let _ = write!(
             out,
             "total: wall {:.3}s  bubble ratio {:.3}  stall ratio {:.3}  \
              cache hit rate {:.3}  restarts {}  retries {}  replayed {}",
@@ -228,6 +274,27 @@ impl ObsReport {
             self.retries(),
             self.replayed_tasks(),
         );
+        if self.pool_jobs() > 0 {
+            let _ = write!(
+                out,
+                "  pool jobs {}  chunks {}",
+                self.pool_jobs(),
+                self.pool_chunks()
+            );
+        }
+        out.push('\n');
+        for w in &self.pool {
+            let denom = (w.busy_us + w.idle_us).max(1);
+            let _ = writeln!(
+                out,
+                "pool worker {:>2}: chunks {:>8}  busy {:>9}us  idle {:>9}us  busy% {:>5.1}",
+                w.worker,
+                w.chunks,
+                w.busy_us,
+                w.idle_us,
+                100.0 * w.busy_us as f64 / denom as f64,
+            );
+        }
         out
     }
 
@@ -266,6 +333,7 @@ impl ObsReport {
                  \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
                  \"cache_prefetches\":{},\"cache_hit_rate\":{},\
                  \"retries\":{},\"restarts\":{},\"replayed_tasks\":{},\
+                 \"pool_jobs\":{},\"pool_chunks\":{},\"pool_busy_us\":{},\
                  \"mean_queue_depth\":{},\"max_queue_depth\":{},\
                  \"fwd_latency_mean_us\":{},\"fwd_latency_max_us\":{},\
                  \"bwd_latency_mean_us\":{},\"bwd_latency_max_us\":{},\
@@ -292,6 +360,9 @@ impl ObsReport {
                 s.retries,
                 s.restarts,
                 s.replayed_tasks,
+                s.pool_jobs,
+                s.pool_chunks,
+                s.pool_busy_us,
                 json_f64(s.mean_queue_depth),
                 s.max_queue_depth,
                 json_f64(s.fwd_latency_mean_us),
@@ -307,6 +378,17 @@ impl ObsReport {
                 json_f64(s.bwd_latency_p50_us),
                 json_f64(s.bwd_latency_p95_us),
                 json_f64(s.bwd_latency_p99_us),
+            );
+        }
+        out.push_str("],\"pool\":[");
+        for (i, w) in self.pool.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"worker\":{},\"chunks\":{},\"busy_us\":{},\"idle_us\":{}}}",
+                w.worker, w.chunks, w.busy_us, w.idle_us,
             );
         }
         out.push_str("]}");
@@ -359,6 +441,7 @@ mod tests {
         ObsReport {
             wall_us: 1_000_000,
             meta: RunMeta::new("des", 2).seed(7),
+            pool: Vec::new(),
             stages: vec![
                 StageObs {
                     stage: 0,
@@ -419,7 +502,7 @@ mod tests {
     #[test]
     fn json_carries_schema_meta_and_percentiles() {
         let json = two_stage_report().to_json();
-        assert!(json.starts_with("{\"schema\":2,"), "schema first: {json}");
+        assert!(json.starts_with("{\"schema\":3,"), "schema first: {json}");
         assert!(json.contains("\"meta\":{\"engine\":\"des\",\"stages\":2,\"seed\":7}"));
         for key in [
             "\"queue_depth_p50\":",
@@ -460,6 +543,51 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"restarts\":1"));
         assert!(json.contains("\"replayed_tasks\":7"));
+    }
+
+    #[test]
+    fn pool_section_renders_in_text_and_json() {
+        let mut r = two_stage_report();
+        r.stages[0].pool_jobs = 4;
+        r.stages[0].pool_chunks = 32;
+        r.stages[1].pool_jobs = 2;
+        r.stages[1].pool_chunks = 16;
+        r.pool = vec![
+            PoolWorkerObs {
+                worker: 0,
+                chunks: 30,
+                busy_us: 900,
+                idle_us: 100,
+            },
+            PoolWorkerObs {
+                worker: 1,
+                chunks: 18,
+                busy_us: 600,
+                idle_us: 400,
+            },
+        ];
+        assert_eq!(r.pool_jobs(), 6);
+        assert_eq!(r.pool_chunks(), 48);
+        let text = r.render_text();
+        assert!(text.contains("pool jobs 6  chunks 48"), "{text}");
+        assert!(text.contains("pool worker  1"), "{text}");
+        assert_eq!(text.lines().count(), 6); // header + 2 stages + totals + 2 workers
+        let json = r.to_json();
+        assert!(json.contains("\"pool_jobs\":4"));
+        assert!(json
+            .contains("\"pool\":[{\"worker\":0,\"chunks\":30,\"busy_us\":900,\"idle_us\":100},"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_pool_keeps_compact_rendering() {
+        // Runs without pool activity keep the schema-2 text shape: no
+        // pool suffix on the totals line and no worker lines.
+        let r = two_stage_report();
+        let text = r.render_text();
+        assert!(!text.contains("pool"), "{text}");
+        assert_eq!(text.lines().count(), 4);
+        assert!(r.to_json().contains("\"pool\":[]"));
     }
 
     #[test]

@@ -87,11 +87,13 @@ pub fn dense_backward(
     scale: f32,
 ) -> (Tensor, DenseGrads) {
     // Through the scaled tanh branch; the residual passes grad_output
-    // through untouched.
+    // through untouched. The fused transposed multiplies are bitwise
+    // identical to the transpose()+matmul forms they replace, without
+    // materialising either transpose.
     let dz = Tensor::tanh_backward(&cache.tanh_out, &grad_output.scale(scale));
-    let grad_weight = cache.input.transpose().matmul(&dz);
+    let grad_weight = cache.input.t_matmul(&dz);
     let grad_bias = dz.sum_rows();
-    let grad_input = grad_output.add(&dz.matmul(&params.weight.transpose()));
+    let grad_input = grad_output.add(&dz.matmul_t(&params.weight));
     (
         grad_input,
         DenseGrads {

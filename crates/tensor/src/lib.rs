@@ -15,6 +15,9 @@
 //! * [`optim::Sgd`] — deterministic SGD,
 //! * [`data::SyntheticDataset`] — seed-reproducible stand-ins for
 //!   WNMT/ImageNet batches,
+//! * [`pool`] — a hand-rolled scoped worker pool the tensor kernels fan
+//!   out on; chunk boundaries derive from shapes (never thread counts),
+//!   so results stay bitwise identical at any worker count,
 //! * [`hash`] — FNV-1a hashing of parameter bit patterns for cheap bitwise
 //!   equality checks.
 //!
@@ -35,6 +38,7 @@ pub mod layers;
 pub mod loss;
 pub mod model;
 pub mod optim;
+pub mod pool;
 pub mod tensor;
 
 pub use model::{NumericSupernet, ParamStore};

@@ -1,12 +1,285 @@
 //! Dense f32 tensors with deterministic operations.
 //!
-//! Every reduction iterates in a single fixed order, so results are
-//! bit-reproducible across runs and platforms (IEEE-754 f32 arithmetic is
-//! deterministic when the operation order is fixed — the property the
-//! paper's "intra-subnet reproducibility" relies on deterministic CUDA
-//! libraries for).
+//! Every operation computes each output element by a **fixed, shape-derived
+//! accumulation order** (IEEE-754 f32 arithmetic is deterministic when the
+//! operation order is fixed — the property the paper's "intra-subnet
+//! reproducibility" relies on deterministic CUDA libraries for). The
+//! kernels here are additionally *parallel*: work above a shape-derived
+//! threshold fans out over the current [`crate::pool`] worker pool, split
+//! at fixed chunk boundaries that never depend on the worker count, so
+//! results are bitwise identical at 1, 2, 4, or 8 workers.
+//!
+//! Matrix-multiply contract, shared by [`Tensor::matmul`],
+//! [`Tensor::matmul_t`] and [`Tensor::t_matmul`]: every output element is
+//! a dot product accumulated in ascending inner-index order from `+0.0`.
+//! The register-tiled kernels (4x16 accumulator tiles, AVX when the CPU
+//! has it, an identically-ordered scalar tile otherwise) only reorder
+//! *across* output elements, never within one, so the tiled, tailed,
+//! packed and parallel paths all agree bitwise — with each other and with
+//! the naive reference kernel [`Tensor::matmul_naive`]. FMA is never
+//! used: its fused rounding would diverge from the scalar mul-then-add.
+//!
+//! Reductions ([`Tensor::mean`], [`Tensor::sum_sq`], [`Tensor::sum_rows`])
+//! keep the historical single-pass order below a fixed size threshold and
+//! switch to fixed-size chunk partials combined in ascending chunk order
+//! above it. The threshold depends only on the shape, so the association
+//! is still a pure function of the shape — never of the worker count.
 
+use crate::pool;
 use std::fmt;
+
+/// Rows per register tile (and per accumulator block of the scalar tile).
+const MR: usize = 4;
+/// Columns per register tile: two 8-lane AVX vectors.
+const NR: usize = 16;
+/// Output rows per parallel matmul chunk (fixed: chunk boundaries must
+/// derive from the shape, not the worker count).
+const MM_ROW_BAND: usize = 32;
+/// Minimum `m * k * n` before a matmul fans out to the pool.
+const PAR_MIN_FLOPS: usize = 1 << 20;
+/// Elements per parallel elementwise chunk.
+const ELEM_CHUNK: usize = 16 * 1024;
+/// Minimum element count before elementwise ops fan out.
+const ELEM_PAR_MIN: usize = 32 * 1024;
+/// Elements per reduction partial.
+const REDUCE_CHUNK: usize = 16 * 1024;
+/// Minimum element count before reductions switch to chunked partials.
+const REDUCE_PAR_MIN: usize = 64 * 1024;
+
+/// A raw output pointer asserted `Send`/`Sync`: pool chunks write only
+/// the disjoint region their chunk index selects.
+#[derive(Clone, Copy)]
+struct OutPtr(*mut f32);
+
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+impl OutPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper, not the raw pointer field.
+    fn ptr(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx_available() -> bool {
+    static AVX: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx_available() -> bool {
+    false
+}
+
+/// Computes one `MR x NR` output tile: `out[r][j] += sum_kk a(r, kk) *
+/// b(kk, j)` with `a(r, kk) = a[r * ars + kk * aks]`, `b(kk, j) =
+/// b[kk * bs + j]`, accumulated in ascending `kk` and stored over `out`
+/// (rows `on` apart). Identical per-element order to [`tile_avx`].
+///
+/// # Safety
+///
+/// All strided accesses for `r < MR`, `j < NR`, `kk < k` must be in
+/// bounds of the underlying allocations.
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_scalar(
+    a: *const f32,
+    ars: usize,
+    aks: usize,
+    k: usize,
+    b: *const f32,
+    bs: usize,
+    out: *mut f32,
+    on: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let brow = b.add(kk * bs);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = *a.add(r * ars + kk * aks);
+            for (j, slot) in accr.iter_mut().enumerate() {
+                *slot += av * *brow.add(j);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let orow = out.add(r * on);
+        for (j, &v) in accr.iter().enumerate() {
+            *orow.add(j) = v;
+        }
+    }
+}
+
+/// AVX twin of [`tile_scalar`]: same per-element operation order (the
+/// lanes are independent elements; `mul` + `add` are elementwise IEEE
+/// ops, bitwise equal to the scalar mul-then-add — FMA would not be).
+///
+/// # Safety
+///
+/// As [`tile_scalar`], plus the CPU must support AVX.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_avx(
+    a: *const f32,
+    ars: usize,
+    aks: usize,
+    k: usize,
+    b: *const f32,
+    bs: usize,
+    out: *mut f32,
+    on: usize,
+) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+    for kk in 0..k {
+        let brow = b.add(kk * bs);
+        let b0 = _mm256_loadu_ps(brow);
+        let b1 = _mm256_loadu_ps(brow.add(8));
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*a.add(r * ars + kk * aks));
+            accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(av, b0));
+            accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(av, b1));
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let orow = out.add(r * on);
+        _mm256_storeu_ps(orow, accr[0]);
+        _mm256_storeu_ps(orow.add(8), accr[1]);
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_avx(
+    a: *const f32,
+    ars: usize,
+    aks: usize,
+    k: usize,
+    b: *const f32,
+    bs: usize,
+    out: *mut f32,
+    on: usize,
+) {
+    tile_scalar(a, ars, aks, k, b, bs, out, on);
+}
+
+/// Computes `rows` output rows of width `n` into `out` (row-major,
+/// tightly packed): `out[r][j] = sum_kk a[a0 + r*ars + kk*aks] *
+/// b(kk, j)`, ascending `kk`, from `+0.0`.
+///
+/// The main `MR x NR` tiles read `b` through
+/// `bslice[bpanel(j0) + kk*bs + (j - j0)]` (a column panel that is
+/// contiguous in `j`); tail elements read through the scalar accessor
+/// `belem(kk, j)`. Both views must expose the same values — only the
+/// access pattern differs.
+#[allow(clippy::too_many_arguments)]
+fn mm_rows(
+    a: &[f32],
+    a0: usize,
+    ars: usize,
+    aks: usize,
+    k: usize,
+    n: usize,
+    rows: usize,
+    bslice: &[f32],
+    bpanel: &(impl Fn(usize) -> usize + Sync),
+    bs: usize,
+    belem: &(impl Fn(usize, usize) -> f32 + Sync),
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), rows * n);
+    let m_main = rows - rows % MR;
+    let n_main = n - n % NR;
+    let avx = avx_available();
+    for i0 in (0..m_main).step_by(MR) {
+        for j0 in (0..n_main).step_by(NR) {
+            // SAFETY: i0 + MR <= rows, j0 + NR <= n, and the panel
+            // contract guarantees kk*bs + NR-1 stays inside bslice.
+            unsafe {
+                let ap = a.as_ptr().add(a0 + i0 * ars);
+                let bp = bslice.as_ptr().add(bpanel(j0));
+                let op = out.as_mut_ptr().add(i0 * n + j0);
+                if avx {
+                    tile_avx(ap, ars, aks, k, bp, bs, op, n);
+                } else {
+                    tile_scalar(ap, ars, aks, k, bp, bs, op, n);
+                }
+            }
+        }
+        for j in n_main..n {
+            for r in 0..MR {
+                let row = i0 + r;
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[a0 + row * ars + kk * aks] * belem(kk, j);
+                }
+                out[row * n + j] = acc;
+            }
+        }
+    }
+    for row in m_main..rows {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[a0 + row * ars + kk * aks] * belem(kk, j);
+            }
+            out[row * n + j] = acc;
+        }
+    }
+}
+
+/// Shared matmul driver: runs [`mm_rows`] over the whole output, fanned
+/// out in fixed [`MM_ROW_BAND`]-row chunks when `m * k * n` crosses
+/// [`PAR_MIN_FLOPS`]. The band grid depends only on the shape, and bands
+/// write disjoint row ranges, so the output is bitwise identical for any
+/// worker count.
+#[allow(clippy::too_many_arguments)]
+fn mm_exec(
+    a: &[f32],
+    ars: usize,
+    aks: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    bslice: &[f32],
+    bpanel: impl Fn(usize) -> usize + Sync,
+    bs: usize,
+    belem: impl Fn(usize, usize) -> f32 + Sync,
+    out: &mut [f32],
+) {
+    if m * k * n < PAR_MIN_FLOPS || m <= MM_ROW_BAND {
+        mm_rows(a, 0, ars, aks, k, n, m, bslice, &bpanel, bs, &belem, out);
+        return;
+    }
+    let bands = m.div_ceil(MM_ROW_BAND);
+    let optr = OutPtr(out.as_mut_ptr());
+    pool::current().run(bands, &|band| {
+        let lo = band * MM_ROW_BAND;
+        let hi = (lo + MM_ROW_BAND).min(m);
+        // SAFETY: bands cover disjoint row ranges of `out`.
+        let out_band =
+            unsafe { std::slice::from_raw_parts_mut(optr.ptr().add(lo * n), (hi - lo) * n) };
+        mm_rows(
+            a,
+            lo * ars,
+            ars,
+            aks,
+            k,
+            n,
+            hi - lo,
+            bslice,
+            &bpanel,
+            bs,
+            &belem,
+            out_band,
+        );
+    });
+}
 
 /// A dense row-major f32 tensor of rank 1 or 2.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,7 +380,13 @@ impl Tensor {
         self.data[row * self.shape[1] + col]
     }
 
-    /// Matrix product `self x rhs` with fixed i-k-j loop order.
+    /// Matrix product `self x rhs` via the register-tiled (AVX when
+    /// available) parallel kernel. Every output element accumulates in
+    /// ascending-`k` order, so the result is bitwise identical to
+    /// [`matmul_naive`](Self::matmul_naive) and invariant to the worker
+    /// count. NaN/±inf in either operand propagate per IEEE-754 — there
+    /// is no zero-skip shortcut (skipping `a == 0.0` would silently drop
+    /// `0.0 * NaN = NaN`).
     ///
     /// # Panics
     ///
@@ -119,12 +398,41 @@ impl Tensor {
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
         let mut out = Tensor::zeros(&[m, n]);
+        mm_exec(
+            &self.data,
+            k,
+            1,
+            m,
+            k,
+            n,
+            &rhs.data,
+            |j0| j0,
+            n,
+            |kk, j| rhs.data[kk * n + j],
+            &mut out.data,
+        );
+        out
+    }
+
+    /// The pre-optimisation reference matmul: a single-threaded
+    /// accumulate-by-rows triple loop (fixed i-k-j order). Kept as the
+    /// baseline the tiled kernel is benchmarked and differentially
+    /// tested against; produces bitwise-identical results to
+    /// [`matmul`](Self::matmul).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not `[m, k]` x `[k, n]`.
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be a matrix");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be a matrix");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
         for i in 0..m {
             for kk in 0..k {
                 let a = self.data[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
                 let row = &rhs.data[kk * n..(kk + 1) * n];
                 let dst = &mut out.data[i * n..(i + 1) * n];
                 for (d, &b) in dst.iter_mut().zip(row) {
@@ -132,6 +440,84 @@ impl Tensor {
                 }
             }
         }
+        out
+    }
+
+    /// Fused transposed product `self x rhsᵀ` for `self = [m, k]`,
+    /// `rhs = [n, k]`: bitwise identical to
+    /// `self.matmul(&rhs.transpose())` (each element is the ascending-`k`
+    /// dot of two rows) without materialising the `[k, n]` transpose —
+    /// `rhs` is packed into `NR`-column panels instead, which the tiled
+    /// kernel then reads like ordinary column panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not `[m, k]` x `[n, k]`.
+    pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_t lhs must be a matrix");
+        assert_eq!(rhs.shape.len(), 2, "matmul_t rhs must be a matrix");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul_t inner dimensions differ: {k} vs {k2}");
+        let n_main = n - n % NR;
+        // Pack rhsᵀ's full NR-wide column panels: panel p holds element
+        // (kk, j) at [p*k*NR + kk*NR + (j - p*NR)]. Tail columns are
+        // read directly from rhs's (contiguous) rows by the accessor.
+        let mut packed = vec![0.0f32; n_main * k];
+        for p in 0..n_main / NR {
+            for kk in 0..k {
+                for c in 0..NR {
+                    packed[p * k * NR + kk * NR + c] = rhs.data[(p * NR + c) * k + kk];
+                }
+            }
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        mm_exec(
+            &self.data,
+            k,
+            1,
+            m,
+            k,
+            n,
+            &packed,
+            |j0| (j0 / NR) * k * NR,
+            NR,
+            |kk, j| rhs.data[j * k + kk],
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Fused transposed product `selfᵀ x rhs` for `self = [r, m]`,
+    /// `rhs = [r, n]`: bitwise identical to
+    /// `self.transpose().matmul(rhs)` (each element accumulates over the
+    /// shared leading dimension in ascending order) without
+    /// materialising the `[m, r]` transpose — the kernel reads `self`
+    /// column-wise through its stride instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leading dimensions differ or either is not rank 2.
+    pub fn t_matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "t_matmul lhs must be a matrix");
+        assert_eq!(rhs.shape.len(), 2, "t_matmul rhs must be a matrix");
+        let (r, m) = (self.shape[0], self.shape[1]);
+        let (r2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(r, r2, "t_matmul leading dimensions differ: {r} vs {r2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        mm_exec(
+            &self.data,
+            1,
+            m,
+            m,
+            r,
+            n,
+            &rhs.data,
+            |j0| j0,
+            n,
+            |kk, j| rhs.data[kk * n + j],
+            &mut out.data,
+        );
         out
     }
 
@@ -152,6 +538,62 @@ impl Tensor {
         out
     }
 
+    /// Applies `f` elementwise over `self` and `rhs` (already
+    /// shape-checked by the caller), fanning out in fixed
+    /// [`ELEM_CHUNK`]-element chunks above [`ELEM_PAR_MIN`] elements.
+    fn zip_with(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        let total = self.data.len();
+        let mut out = vec![0.0f32; total];
+        if total < ELEM_PAR_MIN {
+            for ((d, &a), &b) in out.iter_mut().zip(&self.data).zip(&rhs.data) {
+                *d = f(a, b);
+            }
+        } else {
+            let optr = OutPtr(out.as_mut_ptr());
+            let (a, b) = (&self.data, &rhs.data);
+            pool::current().run(total.div_ceil(ELEM_CHUNK), &|c| {
+                let lo = c * ELEM_CHUNK;
+                let hi = (lo + ELEM_CHUNK).min(total);
+                // SAFETY: chunks cover disjoint element ranges.
+                let dst = unsafe { std::slice::from_raw_parts_mut(optr.ptr().add(lo), hi - lo) };
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = f(a[lo + i], b[lo + i]);
+                }
+            });
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
+    }
+
+    /// Applies `f` elementwise; same chunking as [`Self::zip_with`].
+    fn map_with(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let total = self.data.len();
+        let mut out = vec![0.0f32; total];
+        if total < ELEM_PAR_MIN {
+            for (d, &a) in out.iter_mut().zip(&self.data) {
+                *d = f(a);
+            }
+        } else {
+            let optr = OutPtr(out.as_mut_ptr());
+            let a = &self.data;
+            pool::current().run(total.div_ceil(ELEM_CHUNK), &|c| {
+                let lo = c * ELEM_CHUNK;
+                let hi = (lo + ELEM_CHUNK).min(total);
+                // SAFETY: chunks cover disjoint element ranges.
+                let dst = unsafe { std::slice::from_raw_parts_mut(optr.ptr().add(lo), hi - lo) };
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d = f(a[lo + i]);
+                }
+            });
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
+    }
+
     /// Element-wise sum.
     ///
     /// # Panics
@@ -159,13 +601,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "add shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| a + b)
-            .collect();
-        Tensor::from_vec(data, &self.shape)
+        self.zip_with(rhs, |a, b| a + b)
     }
 
     /// Element-wise difference.
@@ -175,13 +611,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn sub(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "sub shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| a - b)
-            .collect();
-        Tensor::from_vec(data, &self.shape)
+        self.zip_with(rhs, |a, b| a - b)
     }
 
     /// Element-wise (Hadamard) product.
@@ -191,19 +621,12 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn hadamard(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.shape, rhs.shape, "hadamard shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| a * b)
-            .collect();
-        Tensor::from_vec(data, &self.shape)
+        self.zip_with(rhs, |a, b| a * b)
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
-        let data = self.data.iter().map(|a| a * s).collect();
-        Tensor::from_vec(data, &self.shape)
+        self.map_with(|a| a * s)
     }
 
     /// Adds a row vector `bias` (shape `[1, n]` or `[n]`) to every row.
@@ -215,16 +638,40 @@ impl Tensor {
         let n = *self.shape.last().expect("non-scalar");
         assert_eq!(bias.numel(), n, "bias width mismatch");
         let mut out = self.clone();
-        for row in out.data.chunks_mut(n) {
-            for (d, &b) in row.iter_mut().zip(&bias.data) {
-                *d += b;
+        let total = out.data.len();
+        if total < ELEM_PAR_MIN {
+            for row in out.data.chunks_mut(n) {
+                for (d, &b) in row.iter_mut().zip(&bias.data) {
+                    *d += b;
+                }
             }
+        } else {
+            let rows = total / n;
+            let band = (ELEM_CHUNK / n).max(1);
+            let optr = OutPtr(out.data.as_mut_ptr());
+            let bias = &bias.data;
+            pool::current().run(rows.div_ceil(band), &|c| {
+                let lo = c * band;
+                let hi = (lo + band).min(rows);
+                // SAFETY: bands cover disjoint row ranges.
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(optr.ptr().add(lo * n), (hi - lo) * n)
+                };
+                for row in dst.chunks_mut(n) {
+                    for (d, &b) in row.iter_mut().zip(bias) {
+                        *d += b;
+                    }
+                }
+            });
         }
         out
     }
 
-    /// Sums over rows, producing a `[1, n]` tensor (fixed top-to-bottom
-    /// order).
+    /// Sums over rows, producing a `[1, n]` tensor. Below the chunking
+    /// threshold this is the historical fixed top-to-bottom accumulation;
+    /// above it, fixed row bands are reduced independently and their
+    /// partial rows combined in ascending band order — either way the
+    /// association is a pure function of the shape.
     ///
     /// # Panics
     ///
@@ -233,9 +680,33 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "sum_rows requires a matrix");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = Tensor::zeros(&[1, n]);
-        for i in 0..m {
+        if m * n < REDUCE_PAR_MIN || n == 0 {
+            for i in 0..m {
+                for j in 0..n {
+                    out.data[j] += self.data[i * n + j];
+                }
+            }
+            return out;
+        }
+        let band = (REDUCE_CHUNK / n).max(1);
+        let bands = m.div_ceil(band);
+        let mut partials = vec![0.0f32; bands * n];
+        let pptr = OutPtr(partials.as_mut_ptr());
+        let data = &self.data;
+        pool::current().run(bands, &|c| {
+            let lo = c * band;
+            let hi = (lo + band).min(m);
+            // SAFETY: each chunk owns partial row `c`.
+            let partial = unsafe { std::slice::from_raw_parts_mut(pptr.ptr().add(c * n), n) };
+            for i in lo..hi {
+                for (j, p) in partial.iter_mut().enumerate() {
+                    *p += data[i * n + j];
+                }
+            }
+        });
+        for c in 0..bands {
             for j in 0..n {
-                out.data[j] += self.data[i * n + j];
+                out.data[j] += partials[c * n + j];
             }
         }
         out
@@ -243,38 +714,57 @@ impl Tensor {
 
     /// Element-wise `tanh`.
     pub fn tanh(&self) -> Tensor {
-        let data = self.data.iter().map(|a| a.tanh()).collect();
-        Tensor::from_vec(data, &self.shape)
+        self.map_with(f32::tanh)
     }
 
     /// Derivative of `tanh` given the *activation output* `y`: `1 - y^2`.
     pub fn tanh_backward(y: &Tensor, grad: &Tensor) -> Tensor {
         assert_eq!(y.shape, grad.shape, "tanh_backward shape mismatch");
-        let data = y
-            .data
-            .iter()
-            .zip(&grad.data)
-            .map(|(y, g)| (1.0 - y * y) * g)
-            .collect();
-        Tensor::from_vec(data, &y.shape)
+        y.zip_with(grad, |y, g| (1.0 - y * y) * g)
     }
 
-    /// Mean of all elements (fixed left-to-right accumulation).
-    pub fn mean(&self) -> f32 {
-        let mut acc = 0.0f32;
-        for &x in &self.data {
-            acc += x;
+    /// Sums `term(x)` over all elements: the historical fixed
+    /// left-to-right accumulation below the chunking threshold, fixed
+    /// [`REDUCE_CHUNK`]-element partials combined in ascending chunk
+    /// order above it (shape-derived either way).
+    fn reduce_sum(&self, term: impl Fn(f32) -> f32 + Sync) -> f32 {
+        let total = self.data.len();
+        if total < REDUCE_PAR_MIN {
+            let mut acc = 0.0f32;
+            for &x in &self.data {
+                acc += term(x);
+            }
+            return acc;
         }
-        acc / self.data.len() as f32
-    }
-
-    /// Sum of squared elements (fixed order).
-    pub fn sum_sq(&self) -> f32 {
+        let chunks = total.div_ceil(REDUCE_CHUNK);
+        let mut partials = vec![0.0f32; chunks];
+        let pptr = OutPtr(partials.as_mut_ptr());
+        let data = &self.data;
+        pool::current().run(chunks, &|c| {
+            let lo = c * REDUCE_CHUNK;
+            let hi = (lo + REDUCE_CHUNK).min(total);
+            let mut acc = 0.0f32;
+            for &x in &data[lo..hi] {
+                acc += term(x);
+            }
+            // SAFETY: each chunk owns partial slot `c`.
+            unsafe { *pptr.ptr().add(c) = acc };
+        });
         let mut acc = 0.0f32;
-        for &x in &self.data {
-            acc += x * x;
+        for &p in &partials {
+            acc += p;
         }
         acc
+    }
+
+    /// Mean of all elements (fixed, shape-derived accumulation order).
+    pub fn mean(&self) -> f32 {
+        self.reduce_sum(|x| x) / self.data.len() as f32
+    }
+
+    /// Sum of squared elements (fixed, shape-derived accumulation order).
+    pub fn sum_sq(&self) -> f32 {
+        self.reduce_sum(|x| x * x)
     }
 
     /// L2 norm.
@@ -317,6 +807,91 @@ mod tests {
         for (x, y) in c1.data().iter().zip(c2.data()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    fn wavy(rows: usize, cols: usize, phase: f32) -> Tensor {
+        Tensor::from_vec(
+            (0..rows * cols)
+                .map(|i| (i as f32 * 0.37 + phase).sin())
+                .collect(),
+            &[rows, cols],
+        )
+    }
+
+    fn assert_bitwise_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_matches_naive_on_ragged_shapes() {
+        // Tail paths (m % MR, n % NR, 1xN, Nx1) must keep the same
+        // per-element ascending-k order as the reference kernel.
+        for &(m, k, n) in &[
+            (7usize, 5usize, 3usize),
+            (123, 77, 50),
+            (1, 64, 300),
+            (300, 64, 1),
+            (33, 16, 17),
+            (4, 1, 16),
+        ] {
+            let a = wavy(m, k, 0.1);
+            let b = wavy(k, n, 0.7);
+            assert_bitwise_eq(&a.matmul(&b), &a.matmul_naive(&b), &format!("{m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_nan_from_zero_lhs_rows() {
+        // Regression: the old kernel skipped `a == 0.0`, silently
+        // dropping `0.0 * NaN = NaN` and `0.0 * inf = NaN`.
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0, 2.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert!(c.at(0, 0).is_nan(), "0*NaN must surface as NaN");
+        assert!(c.at(0, 1).is_nan(), "0*inf must surface as NaN");
+        assert_bitwise_eq(&c, &a.matmul_naive(&b), "NaN propagation");
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        for &(m, k, n) in &[(8usize, 16usize, 16usize), (23, 19, 37), (5, 3, 2)] {
+            let a = wavy(m, k, 0.2);
+            let b = wavy(n, k, 0.9);
+            assert_bitwise_eq(
+                &a.matmul_t(&b),
+                &a.matmul(&b.transpose()),
+                &format!("matmul_t {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        for &(r, m, n) in &[(8usize, 16usize, 16usize), (19, 23, 37), (3, 5, 2)] {
+            let a = wavy(r, m, 0.4);
+            let b = wavy(r, n, 1.3);
+            assert_bitwise_eq(
+                &a.t_matmul(&b),
+                &a.transpose().matmul(&b),
+                &format!("t_matmul {r}:{m}x{n}"),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_worker_count_invariant() {
+        // Big enough to cross PAR_MIN_FLOPS and actually fan out.
+        let a = wavy(160, 96, 0.3);
+        let b = wavy(96, 110, 1.1);
+        let reference = pool::with_threads(1, || a.matmul(&b));
+        for threads in [2, 4, 8] {
+            let c = pool::with_threads(threads, || a.matmul(&b));
+            assert_bitwise_eq(&c, &reference, &format!("{threads} workers"));
+        }
+        assert_bitwise_eq(&reference, &a.matmul_naive(&b), "vs naive");
     }
 
     #[test]
@@ -368,6 +943,41 @@ mod tests {
         assert_eq!(x.mean(), 3.5);
         assert_eq!(x.sum_sq(), 25.0);
         assert_eq!(x.norm(), 5.0);
+    }
+
+    #[test]
+    fn parallel_elementwise_and_reductions_are_worker_count_invariant() {
+        // Above ELEM_PAR_MIN / REDUCE_PAR_MIN, so the chunked paths run.
+        let x = wavy(260, 300, 0.0);
+        let y = wavy(260, 300, 2.0);
+        let reference = pool::with_threads(1, || {
+            (
+                x.add(&y),
+                x.hadamard(&y),
+                x.tanh(),
+                x.sum_rows(),
+                x.mean(),
+                x.sum_sq(),
+            )
+        });
+        for threads in [2, 8] {
+            let got = pool::with_threads(threads, || {
+                (
+                    x.add(&y),
+                    x.hadamard(&y),
+                    x.tanh(),
+                    x.sum_rows(),
+                    x.mean(),
+                    x.sum_sq(),
+                )
+            });
+            assert_bitwise_eq(&got.0, &reference.0, "add");
+            assert_bitwise_eq(&got.1, &reference.1, "hadamard");
+            assert_bitwise_eq(&got.2, &reference.2, "tanh");
+            assert_bitwise_eq(&got.3, &reference.3, "sum_rows");
+            assert_eq!(got.4.to_bits(), reference.4.to_bits(), "mean");
+            assert_eq!(got.5.to_bits(), reference.5.to_bits(), "sum_sq");
+        }
     }
 
     #[test]

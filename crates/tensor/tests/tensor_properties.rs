@@ -9,6 +9,7 @@ use naspipe_tensor::data::SyntheticDataset;
 use naspipe_tensor::hash::hash_tensors;
 use naspipe_tensor::layers::{dense_backward, dense_forward, DenseParams};
 use naspipe_tensor::model::{NumericSupernet, ParamStore};
+use naspipe_tensor::pool;
 use naspipe_tensor::tensor::Tensor;
 use proptest::prelude::*;
 
@@ -120,6 +121,102 @@ proptest! {
         let second: Vec<Tensor> = steps.iter().map(|&s| d.step_batch(s).0).collect();
         for (a, b) in first.iter().zip(second.iter().rev()) {
             prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// A deterministic dense operand (mixed sign, no zeros, no patterns the
+/// kernels could shortcut on).
+fn wavy(rows: usize, cols: usize, phase: f32) -> Tensor {
+    Tensor::from_vec(
+        (0..rows * cols)
+            .map(|i| (i as f32 * 0.619 + phase).sin() + 0.013)
+            .collect(),
+        &[rows, cols],
+    )
+}
+
+fn assert_pool_invariant(
+    label: &str,
+    f: impl Fn() -> Tensor,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let reference = pool::with_threads(1, &f);
+    for threads in [2usize, 4, 8] {
+        let parallel = pool::with_threads(threads, &f);
+        prop_assert_eq!(reference.shape(), parallel.shape(), "{} shape", label);
+        for (i, (a, b)) in reference.data().iter().zip(parallel.data()).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{} diverged at element {} with {} workers",
+                label,
+                i,
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
+// Worker-count invariance of every parallelised kernel. The shapes are
+// chosen above the parallel-dispatch thresholds (so the pool genuinely
+// fans out) and ragged (so tile tails and uneven chunk splits are
+// exercised). Cases are few but each one covers every op at three pool
+// sizes against the serial result.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `matmul`, `matmul_t` and `t_matmul` are bitwise identical at
+    /// 1/2/4/8 workers on ragged above-threshold shapes.
+    #[test]
+    fn matmul_family_is_worker_count_invariant(
+        m in 33usize..72,
+        k in 9usize..48,
+        tail in 1usize..48,
+        phase in 0.0f32..6.0,
+    ) {
+        // Force m*k*n past the parallel threshold regardless of m and k.
+        let n = (1usize << 20) / (m * k) + tail;
+        let a = wavy(m, k, phase);
+        let b = wavy(k, n, phase + 1.0);
+        let c = wavy(n, k, phase + 2.0);
+        let e = wavy(k, m, phase + 3.0);
+        assert_pool_invariant("matmul", || a.matmul(&b))?;
+        assert_pool_invariant("matmul_t", || a.matmul_t(&c))?;
+        assert_pool_invariant("t_matmul", || e.t_matmul(&b))?;
+        // And the tiled result still equals the naive reference kernel.
+        let tiled = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        for (x, y) in tiled.data().iter().zip(naive.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Every parallelised elementwise and reduction op is bitwise
+    /// identical at 1/2/4/8 workers on above-threshold shapes.
+    #[test]
+    fn elementwise_and_reductions_are_worker_count_invariant(
+        rows in 200usize..280,
+        cols in 330usize..420,
+        phase in 0.0f32..6.0,
+    ) {
+        let x = wavy(rows, cols, phase);
+        let y = wavy(rows, cols, phase + 1.0);
+        let bias = wavy(1, cols, phase + 2.0);
+        assert_pool_invariant("add", || x.add(&y))?;
+        assert_pool_invariant("sub", || x.sub(&y))?;
+        assert_pool_invariant("hadamard", || x.hadamard(&y))?;
+        assert_pool_invariant("scale", || x.scale(1.75))?;
+        assert_pool_invariant("tanh", || x.tanh())?;
+        assert_pool_invariant("tanh_backward", || Tensor::tanh_backward(&x.tanh(), &y))?;
+        assert_pool_invariant("add_row", || x.add_row(&bias))?;
+        assert_pool_invariant("sum_rows", || x.sum_rows())?;
+        let serial = pool::with_threads(1, || (x.mean(), x.sum_sq(), x.norm()));
+        for threads in [2usize, 4, 8] {
+            let parallel = pool::with_threads(threads, || (x.mean(), x.sum_sq(), x.norm()));
+            prop_assert_eq!(serial.0.to_bits(), parallel.0.to_bits(), "mean");
+            prop_assert_eq!(serial.1.to_bits(), parallel.1.to_bits(), "sum_sq");
+            prop_assert_eq!(serial.2.to_bits(), parallel.2.to_bits(), "norm");
         }
     }
 }

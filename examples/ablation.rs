@@ -74,6 +74,7 @@ fn main() {
             recompute_ahead: true,
             jitter: 0.0,
             seed: 5,
+            compute_threads: 0,
         };
         match run_pipeline_with_subnets(&space, &cfg, subnets.clone()) {
             Ok(out) => {

@@ -66,6 +66,7 @@ fn main() {
                 recompute_ahead: true,
                 jitter: 0.0,
                 seed: 3,
+                compute_threads: 0,
             };
             let out = run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap();
             let order = layer_access_order(&out, probe);

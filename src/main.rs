@@ -4,7 +4,7 @@
 //! ```text
 //! naspipe spaces
 //! naspipe train  --space NLP.c2 --gpus 8 --subnets 120 [--system gpipe]
-//!                [--seed 7] [--batch 64] [--transcript run.nt]
+//!                [--seed 7] [--batch 64] [--threads 4] [--transcript run.nt]
 //! naspipe replay --space NLP.c2 --transcript run.nt [--seed 7]
 //! naspipe search --space CV.c2 --gpus 8 --subnets 120 --rounds 96 [--seed 7]
 //! ```
@@ -73,12 +73,13 @@ impl Args {
     }
 }
 
-fn train_config(seed: u64) -> TrainConfig {
+fn train_config(seed: u64, threads: usize) -> TrainConfig {
     TrainConfig {
         seed,
         residual_scale: 0.15,
         ..TrainConfig::default()
     }
+    .with_threads(threads)
 }
 
 fn cmd_spaces() {
@@ -103,10 +104,14 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let n = args.u64_opt("subnets", 64)?;
     let seed = args.u64_opt("seed", 0)?;
     let batch = args.u64_opt("batch", 0)? as u32;
+    let threads = args.u64_opt("threads", 0)? as usize;
     let system = args.system()?;
 
     let subnets = UniformSampler::new(&space, seed).take_subnets(n as usize);
-    let mut cfg = system.config(gpus, n).with_seed(seed);
+    let mut cfg = system
+        .config(gpus, n)
+        .with_seed(seed)
+        .with_compute_threads(threads);
     cfg.batch = batch;
     let outcome = run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
     let r = &outcome.report;
@@ -129,7 +134,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         );
     }
 
-    let trained = replay_training(&space, &outcome, &train_config(seed));
+    let trained = replay_training(&space, &outcome, &train_config(seed, cfg.compute_threads));
     println!(
         "  trained: converged loss {:.4}, parameter hash {:016x}",
         trained.converged_loss(),
@@ -148,6 +153,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 fn cmd_replay(args: &Args) -> Result<(), String> {
     let space = args.space()?;
     let seed = args.u64_opt("seed", 0)?;
+    let threads = args.u64_opt("threads", 0)? as usize;
     let path = args
         .options
         .get("transcript")
@@ -159,7 +165,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         t.tasks.len(),
         t.subnets.len()
     );
-    let result = replay_transcript(&space, &t, &train_config(seed));
+    let result = replay_transcript(&space, &t, &train_config(seed, threads));
     println!(
         "converged loss {:.4}, parameter hash {:016x}",
         result.converged_loss(),
@@ -178,11 +184,14 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let n = args.u64_opt("subnets", 64)?;
     let seed = args.u64_opt("seed", 0)?;
     let rounds = args.u64_opt("rounds", 64)? as usize;
+    let threads = args.u64_opt("threads", 0)? as usize;
 
     let subnets = UniformSampler::new(&space, seed).take_subnets(n as usize);
-    let cfg = naspipe::core::config::PipelineConfig::naspipe(gpus, n).with_seed(seed);
+    let cfg = naspipe::core::config::PipelineConfig::naspipe(gpus, n)
+        .with_seed(seed)
+        .with_compute_threads(threads);
     let outcome = run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
-    let tc = train_config(seed);
+    let tc = train_config(seed, cfg.compute_threads);
     let trained = replay_training(&space, &outcome, &tc);
     let (loss, best) = search_best_subnet(&space, &trained.store, &tc, rounds);
     println!(
@@ -200,9 +209,13 @@ fn usage() -> &'static str {
      naspipe spaces\n\
      naspipe train  --space NLP.c2 [--gpus 8] [--subnets 64] [--seed 0]\n\
      \x20              [--batch 0] [--system naspipe|gpipe|pipedream|vpipe]\n\
-     \x20              [--transcript FILE]\n\
-     naspipe replay --space NLP.c2 --transcript FILE [--seed 0]\n\
-     naspipe search --space CV.c2 [--gpus 8] [--subnets 64] [--rounds 64]"
+     \x20              [--threads 0] [--transcript FILE]\n\
+     naspipe replay --space NLP.c2 --transcript FILE [--seed 0] [--threads 0]\n\
+     naspipe search --space CV.c2 [--gpus 8] [--subnets 64] [--rounds 64]\n\
+     \x20              [--threads 0]\n\
+     \n\
+     --threads sets the compute-pool worker count (0 = NASPIPE_THREADS\n\
+     or the machine's parallelism); it never changes numeric results."
 }
 
 fn main() -> ExitCode {
