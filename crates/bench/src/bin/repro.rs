@@ -11,7 +11,7 @@
 
 use naspipe_bench::experiments::{
     cache_sweep, compute, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute,
-    soundness, table1, table2, table3, table4, table5, topology, trace,
+    soundness, table1, table2, table3, table4, table5, telemetry, topology, trace,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
 use naspipe_supernet::space::SpaceId;
@@ -37,6 +37,7 @@ const EXPERIMENTS: &[&str] = &[
     "faults",
     "trace",
     "bench",
+    "telemetry",
 ];
 
 fn main() {
@@ -46,19 +47,28 @@ fn main() {
         std::process::exit(2);
     }
     let mut selected: Vec<&str> = Vec::new();
+    let mut check = false;
     for arg in &args {
         match arg.as_str() {
             "all" => selected.extend_from_slice(EXPERIMENTS),
+            "--check" => check = true,
             name if EXPERIMENTS.contains(&name) => selected.push(name),
             other => {
-                eprintln!("unknown experiment '{other}'; expected one of {EXPERIMENTS:?} or 'all'");
+                eprintln!(
+                    "unknown experiment '{other}'; expected one of {EXPERIMENTS:?}, \
+                     'all', or the 'bench' flag --check"
+                );
                 std::process::exit(2);
             }
         }
     }
+    if check && !selected.contains(&"bench") {
+        eprintln!("--check only applies to the 'bench' experiment");
+        std::process::exit(2);
+    }
     for name in selected {
         let started = Instant::now();
-        run_experiment(name);
+        run_experiment(name, check);
         eprintln!("[{name} took {:.1}s]\n", started.elapsed().as_secs_f64());
     }
 }
@@ -68,7 +78,7 @@ fn banner(title: &str, caption: &str) {
     println!("{caption}\n");
 }
 
-fn run_experiment(name: &str) {
+fn run_experiment(name: &str, check: bool) {
     match name {
         "fig1" => {
             banner(
@@ -261,6 +271,34 @@ fn run_experiment(name: &str) {
                 "compute verdicts failed: every kernel must match the naive \
                  reference bitwise and both end-to-end hashes must be \
                  invariant across pool sizes"
+            );
+            if check {
+                let path = std::env::var("BENCH_COMPUTE_BASELINE")
+                    .unwrap_or_else(|_| "BENCH_compute.json".to_string());
+                let baseline = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+                let verdicts =
+                    compute::check_against(&baseline, &r, 0.15).expect("baseline artifact parses");
+                println!("\nregression check against {path}:");
+                println!("{}", compute::render_check(&verdicts));
+                assert!(
+                    verdicts.ok(),
+                    "bench-check failed: fresh throughput regressed more than \
+                     15% below the tracked baseline"
+                );
+            }
+        }
+        "telemetry" => {
+            banner(
+                "Extra: live telemetry",
+                "The threaded CSP runtime on NLP.c2, 4 stages, with a TelemetryHub attached and a Prometheus endpoint on an ephemeral port — scraped by the experiment itself mid-run. Hard verdicts: every scrape is well-formed 0.0.4 text, counters never move backwards between scrapes, and the final snapshot equals the merged observability report.",
+            );
+            let r = telemetry::run(SpaceId::NlpC2, 4, 32);
+            println!("{}", telemetry::render(&r));
+            assert!(
+                r.all_ok(),
+                "telemetry verdicts failed: the live endpoint and the \
+                 post-mortem report must tell one consistent story"
             );
         }
         _ => unreachable!("validated in main"),

@@ -395,6 +395,192 @@ pub fn render_json(run: &ComputeRun) -> String {
     out
 }
 
+/// One baseline-vs-fresh throughput comparison from
+/// [`check_against`].
+#[derive(Debug, Clone)]
+pub struct CheckRow {
+    /// Human-readable metric name (e.g. `matmul 256x256x256 tiled`).
+    pub metric: String,
+    /// Throughput recorded in the tracked baseline artifact.
+    pub baseline: f64,
+    /// Throughput measured by the fresh run.
+    pub fresh: f64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+    /// Whether `fresh < baseline * (1 - threshold)`.
+    pub regressed: bool,
+}
+
+/// A perf-regression check of a fresh [`ComputeRun`] against a tracked
+/// `BENCH_compute.json` baseline.
+#[derive(Debug, Clone)]
+pub struct BenchCheck {
+    /// Allowed fractional slowdown before a metric counts as regressed.
+    pub threshold: f64,
+    /// One row per metric present in both baseline and fresh run.
+    pub rows: Vec<CheckRow>,
+}
+
+impl BenchCheck {
+    /// Whether no compared metric regressed beyond the threshold.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// The rows that regressed beyond the threshold.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&CheckRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+}
+
+/// Extracts the `[..]` body following `"key":[` (objects are flat in
+/// this artifact, so the first `]` closes the array).
+fn json_array<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let start = json.find(&format!("\"{key}\":["))? + key.len() + 4;
+    let end = json[start..].find(']')?;
+    Some(&json[start..start + end])
+}
+
+/// Extracts the flat `{..}` body following `"key":{`.
+fn json_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let start = json.find(&format!("\"{key}\":{{"))? + key.len() + 4;
+    let end = json[start..].find('}')?;
+    Some(&json[start..start + end])
+}
+
+/// Numeric field of a flat JSON object body.
+fn json_num(obj: &str, key: &str) -> Option<f64> {
+    let start = obj.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let rest = &obj[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Compares a fresh run against a tracked `BENCH_compute.json`: tiled
+/// kernel GFLOP/s per shape, fused transposed-multiply GFLOP/s per op,
+/// and replay subnets/s. A metric regresses when the fresh value falls
+/// below `baseline * (1 - threshold)`; faster-than-baseline is never an
+/// error (the baseline only ratchets forward when re-recorded). The
+/// threaded makespan is deliberately not compared — it is wall-clock
+/// over threads and too noisy for a hard gate.
+///
+/// # Errors
+///
+/// Returns a message when `baseline_json` is not a recognisable
+/// `BENCH_compute.json` (no parsable metric in common with the run).
+pub fn check_against(
+    baseline_json: &str,
+    fresh: &ComputeRun,
+    threshold: f64,
+) -> Result<BenchCheck, String> {
+    let mut rows = Vec::new();
+    let mut push = |metric: String, baseline: f64, fresh_v: f64| {
+        if baseline > 0.0 {
+            let ratio = fresh_v / baseline;
+            rows.push(CheckRow {
+                metric,
+                baseline,
+                fresh: fresh_v,
+                ratio,
+                regressed: ratio < 1.0 - threshold,
+            });
+        }
+    };
+
+    if let Some(arr) = json_array(baseline_json, "matmul") {
+        for obj in arr.split('}').filter(|o| o.contains("\"m\":")) {
+            let (Some(m), Some(k), Some(n), Some(base)) = (
+                json_num(obj, "m"),
+                json_num(obj, "k"),
+                json_num(obj, "n"),
+                json_num(obj, "tiled_gflops"),
+            ) else {
+                continue;
+            };
+            if let Some(s) = fresh
+                .matmul
+                .iter()
+                .find(|s| (s.m, s.k, s.n) == (m as usize, k as usize, n as usize))
+            {
+                push(
+                    format!("matmul {}x{}x{} tiled GF/s", s.m, s.k, s.n),
+                    base,
+                    s.tiled_gflops,
+                );
+            }
+        }
+    }
+    if let Some(arr) = json_array(baseline_json, "transposed") {
+        for obj in arr.split('}').filter(|o| o.contains("\"op\":")) {
+            let Some(base) = json_num(obj, "gflops") else {
+                continue;
+            };
+            if let Some(t) = fresh
+                .transposed
+                .iter()
+                .find(|t| obj.contains(&format!("\"op\":\"{}\"", t.op)))
+            {
+                push(format!("{} fused GF/s", t.op), base, t.gflops);
+            }
+        }
+    }
+    if let Some(obj) = json_object(baseline_json, "replay") {
+        if let Some(base) = json_num(obj, "subnets_per_s") {
+            push(
+                "replay subnets/s".to_string(),
+                base,
+                fresh.replay_subnets_per_s,
+            );
+        }
+    }
+
+    if rows.is_empty() {
+        return Err("baseline JSON has no metric in common with this run \
+                    (is it a BENCH_compute.json artifact?)"
+            .to_string());
+    }
+    Ok(BenchCheck { threshold, rows })
+}
+
+/// Renders the regression-check table.
+#[must_use]
+pub fn render_check(check: &BenchCheck) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>28}  {:>10}  {:>10}  {:>7}  verdict (floor {:.0}%)",
+        "metric",
+        "baseline",
+        "fresh",
+        "ratio",
+        (1.0 - check.threshold) * 100.0
+    );
+    for r in &check.rows {
+        let _ = writeln!(
+            out,
+            "{:>28}  {:>10.2}  {:>10.2}  {:>6.2}x  {}",
+            r.metric,
+            r.baseline,
+            r.fresh,
+            r.ratio,
+            if r.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "bench-check: {} ({} metric(s), {} regression(s))",
+        verdict(check.ok()),
+        check.rows.len(),
+        check.regressions().len()
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,6 +623,112 @@ mod tests {
         let text = render(&run);
         assert!(text.contains("2.50x"));
         assert!(text.contains("hash invariant across pool sizes: ok"));
+    }
+
+    fn fabricated_run() -> ComputeRun {
+        ComputeRun {
+            threads: 2,
+            matmul: vec![
+                MatmulBench {
+                    m: 256,
+                    k: 256,
+                    n: 256,
+                    naive_gflops: 2.0,
+                    tiled_gflops: 10.0,
+                    speedup: 5.0,
+                    bitwise_equal: true,
+                },
+                MatmulBench {
+                    m: 64,
+                    k: 64,
+                    n: 64,
+                    naive_gflops: 1.0,
+                    tiled_gflops: 4.0,
+                    speedup: 4.0,
+                    bitwise_equal: true,
+                },
+            ],
+            transposed: vec![TransposedBench {
+                op: "matmul_t",
+                gflops: 8.0,
+                explicit_gflops: 4.0,
+                bitwise_equal: true,
+            }],
+            replay_subnets: 24,
+            replay_subnets_per_s: 50.0,
+            replay_dim: 128,
+            replay_hash_invariant: true,
+            threaded_makespan_us: 1234,
+            threaded_hash_invariant: true,
+        }
+    }
+
+    #[test]
+    fn check_passes_against_own_baseline() {
+        // A run compared against the artifact it itself rendered can
+        // never regress: every ratio is 1.0.
+        let run = fabricated_run();
+        let check = check_against(&render_json(&run), &run, 0.15).unwrap();
+        assert!(check.ok());
+        assert_eq!(check.rows.len(), 4); // 2 shapes + 1 transposed + replay
+        assert!(check.rows.iter().all(|r| (r.ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn check_fails_on_injected_regression() {
+        // Inject a 20% slowdown on every throughput: with a 15% floor
+        // each compared metric must flag, and the check must fail.
+        let baseline = fabricated_run();
+        let mut slow = baseline.clone();
+        for s in &mut slow.matmul {
+            s.tiled_gflops *= 0.8;
+        }
+        for t in &mut slow.transposed {
+            t.gflops *= 0.8;
+        }
+        slow.replay_subnets_per_s *= 0.8;
+        let check = check_against(&render_json(&baseline), &slow, 0.15).unwrap();
+        assert!(!check.ok());
+        assert_eq!(check.regressions().len(), check.rows.len());
+        let text = render_check(&check);
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("bench-check: FAIL"));
+
+        // A 10% slowdown stays inside the 15% floor.
+        let mut mild = baseline.clone();
+        for s in &mut mild.matmul {
+            s.tiled_gflops *= 0.9;
+        }
+        let check = check_against(&render_json(&baseline), &mild, 0.15).unwrap();
+        assert!(check.ok());
+
+        // Faster than baseline is never an error.
+        let mut fast = baseline.clone();
+        fast.replay_subnets_per_s *= 3.0;
+        assert!(check_against(&render_json(&baseline), &fast, 0.15)
+            .unwrap()
+            .ok());
+    }
+
+    #[test]
+    fn check_rejects_unrelated_json() {
+        let run = fabricated_run();
+        assert!(check_against("{\"schema\":4}", &run, 0.15).is_err());
+        assert!(check_against("not json at all", &run, 0.15).is_err());
+    }
+
+    #[test]
+    fn check_parses_the_tracked_artifact_format() {
+        // The shape-matching must work against the exact field order
+        // render_json emits (and the tracked artifact therefore uses).
+        let run = fabricated_run();
+        let json = render_json(&run);
+        assert_eq!(
+            json_num(json_object(&json, "replay").unwrap(), "subnets_per_s"),
+            Some(50.0)
+        );
+        let arr = json_array(&json, "matmul").unwrap();
+        assert_eq!(arr.split('}').filter(|o| o.contains("\"m\":")).count(), 2);
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub fn run() -> Fig1 {
                 jitter: 0.0,
                 seed: crate::SEED,
                 compute_threads: 0,
+                sample_interval_us: 0,
             };
             let out = run_pipeline_with_subnets(&space, &cfg, subnets.clone())
                 .expect("figure space fits everywhere");

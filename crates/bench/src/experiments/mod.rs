@@ -17,6 +17,7 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod telemetry;
 pub mod throughput;
 pub mod topology;
 pub mod trace;

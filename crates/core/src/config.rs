@@ -113,6 +113,11 @@ pub struct PipelineConfig {
     /// machine's parallelism). Like the GPU count, this must never
     /// change training results — kernels chunk work by shape.
     pub compute_threads: usize,
+    /// Simulated-time interval between live-telemetry snapshots when a
+    /// telemetry hub is attached to the DES engine (`0` = the telemetry
+    /// default, 200 ms). Ignored when no hub is attached; never affects
+    /// the schedule or training results.
+    pub sample_interval_us: u64,
 }
 
 impl PipelineConfig {
@@ -132,6 +137,7 @@ impl PipelineConfig {
             jitter: 0.0,
             seed: 0,
             compute_threads: 0,
+            sample_interval_us: 0,
         }
     }
 
@@ -175,6 +181,13 @@ impl PipelineConfig {
     /// Sets the compute-pool worker count per runtime stage.
     pub fn with_compute_threads(mut self, compute_threads: usize) -> Self {
         self.compute_threads = compute_threads;
+        self
+    }
+
+    /// Sets the live-telemetry sampling interval (simulated time for the
+    /// DES engine, wall time for the threaded runtime default).
+    pub fn with_sample_interval_us(mut self, sample_interval_us: u64) -> Self {
+        self.sample_interval_us = sample_interval_us;
         self
     }
 

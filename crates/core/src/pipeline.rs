@@ -25,9 +25,11 @@ use crate::predictor::{Fetch, PendingBackward, Predictor};
 use crate::report::{alu_efficiency, PipelineReport};
 use crate::scheduler::{CspScheduler, SubnetTable};
 use crate::task::{FinishedSet, StageId, TaskKind};
+use naspipe_obs::telemetry::DEFAULT_SAMPLE_INTERVAL_US;
 use naspipe_obs::{
-    CausalEdge, CauseKind, Counter, CspChecker, MetricsRecorder, ObsReport, Recorder, RunMeta,
-    Sample, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, Tracer,
+    CausalEdge, CauseKind, Counter, CspChecker, MetricsRecorder, MetricsSnapshot, ObsReport,
+    Recorder, RunMeta, Sample, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, TelemetryHub,
+    TelemetryOptions, Tracer,
 };
 use naspipe_sim::cluster::Cluster;
 use naspipe_sim::event::EventQueue;
@@ -42,6 +44,7 @@ use naspipe_supernet::subnet::{Subnet, SubnetId};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// One executed task with its timing — the raw material for metrics,
 /// reproducibility analysis, and numeric training replay.
@@ -221,6 +224,34 @@ pub fn run_pipeline_with_tracer(
     subnets: Vec<Subnet>,
     tracer: Box<dyn Tracer>,
 ) -> Result<PipelineOutcome, PipelineError> {
+    run_pipeline_telemetry(space, config, subnets, tracer, None)
+}
+
+/// Like [`run_pipeline_with_tracer`] but with an optional live-telemetry
+/// hub attached: the engine publishes a [`MetricsSnapshot`] of its
+/// recorder whenever simulated time crosses the sampling interval
+/// (`opts.sample_interval_us`, falling back to
+/// `config.sample_interval_us`, then the telemetry default), plus one
+/// final snapshot at the makespan, so a [`naspipe_obs::MetricsServer`]
+/// scraping the hub sees the run progress in simulated time. The
+/// returned report embeds the published series. Telemetry never touches
+/// the event queue: schedules and training results are bit-identical
+/// with and without a hub.
+///
+/// # Errors
+///
+/// See [`run_pipeline`].
+///
+/// # Panics
+///
+/// Panics if any subnet is invalid for `space`.
+pub fn run_pipeline_telemetry(
+    space: &SearchSpace,
+    config: &PipelineConfig,
+    subnets: Vec<Subnet>,
+    tracer: Box<dyn Tracer>,
+    telemetry: Option<&TelemetryOptions>,
+) -> Result<PipelineOutcome, PipelineError> {
     config
         .validate(space)
         .map_err(PipelineError::InvalidConfig)?;
@@ -234,7 +265,31 @@ pub fn run_pipeline_with_tracer(
     for s in &subnets {
         assert!(s.is_valid_for(space), "subnet {s} invalid for space");
     }
-    Engine::new(space, config, subnets, tracer)?.run()
+    let mut engine = Engine::new(space, config, subnets, tracer)?;
+    engine.telemetry = telemetry.map(|t| {
+        let interval_us = if t.sample_interval_us != 0 {
+            t.sample_interval_us
+        } else if config.sample_interval_us != 0 {
+            config.sample_interval_us
+        } else {
+            DEFAULT_SAMPLE_INTERVAL_US
+        };
+        DesTelemetry {
+            hub: Arc::clone(&t.hub),
+            interval_us,
+            next_us: interval_us,
+        }
+    });
+    engine.run()
+}
+
+/// SimTime-driven telemetry state for the DES engine: the hub snapshots
+/// are published when the simulation clock crosses `next_us`, the
+/// discrete-event analogue of the threaded runtime's sampler thread.
+struct DesTelemetry {
+    hub: Arc<TelemetryHub>,
+    interval_us: u64,
+    next_us: u64,
 }
 
 /// Reference pipeline batch of a space's domain when the space is unnamed.
@@ -280,6 +335,8 @@ struct Engine<'a> {
     checker: Option<CspChecker>,
     // Per-task span emission with causal edges (NullTracer = off).
     tracer: Box<dyn Tracer>,
+    // SimTime-paced live-telemetry publisher (None = off).
+    telemetry: Option<DesTelemetry>,
 }
 
 impl<'a> Engine<'a> {
@@ -409,6 +466,7 @@ impl<'a> Engine<'a> {
             // re-verify every admission against it.
             checker: (cfg!(debug_assertions) && use_csp).then(CspChecker::new),
             tracer,
+            telemetry: None,
         })
     }
 
@@ -1121,6 +1179,19 @@ impl<'a> Engine<'a> {
                 }
                 self.last_event = now;
             }
+            // Publish a telemetry snapshot whenever simulated time crosses
+            // the sampling boundary (catching up across long event gaps).
+            if let Some(tel) = self.telemetry.as_mut() {
+                let now_us = now.as_us();
+                if now_us >= tel.next_us {
+                    tel.hub.publish_snapshot(MetricsSnapshot::from_recorder(
+                        &self.recorder,
+                        now_us,
+                        0,
+                    ));
+                    tel.next_us = now_us - now_us % tel.interval_us + tel.interval_us;
+                }
+            }
             match ev {
                 Ev::FwdArrive { subnet, stage, src } => {
                     self.stages[stage as usize].fwd_ready.push(subnet);
@@ -1183,10 +1254,21 @@ impl<'a> Engine<'a> {
         for k in 0..self.d {
             self.sync_cache_metrics(k, makespan); // final deltas (e.g. releases)
         }
-        let obs = self
+        let mut obs = self
             .recorder
             .report(makespan.as_us())
             .with_meta(RunMeta::new("des", self.d).seed(self.config.seed));
+        if let Some(tel) = self.telemetry.as_ref() {
+            // Final snapshot after the cache-metric sync above, so the
+            // hub's last published state equals the report totals.
+            tel.hub.publish_snapshot(MetricsSnapshot::from_recorder(
+                &self.recorder,
+                makespan.as_us(),
+                0,
+            ));
+            let (series, dropped) = tel.hub.series_points();
+            obs = obs.with_series(series, dropped);
+        }
         let eff = alu_efficiency(self.batch, self.reference_batch);
         let busy: Vec<f64> = self
             .cluster
@@ -1304,6 +1386,7 @@ mod tests {
             jitter: 0.0,
             seed: 42,
             compute_threads: 0,
+            sample_interval_us: 0,
         };
         run_pipeline(&small_space(), &cfg).expect("run succeeds")
     }
@@ -1365,6 +1448,48 @@ mod tests {
             "NullTracer emits nothing"
         );
         assert!(!traced.spans.spans().is_empty(), "default run is traced");
+    }
+
+    #[test]
+    fn telemetry_run_is_identical_and_final_snapshot_matches_report() {
+        use naspipe_obs::telemetry::diff_against_report;
+
+        let space = small_space();
+        let subnets = UniformSampler::new(&space, 42).take_subnets(20);
+        let cfg = PipelineConfig::naspipe(4, 20)
+            .with_batch(32)
+            .with_seed(42)
+            .with_sample_interval_us(500);
+        let plain = run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap();
+
+        let hub = Arc::new(TelemetryHub::new(4, 0));
+        let opts = TelemetryOptions::new(Arc::clone(&hub));
+        let live = run_pipeline_telemetry(
+            &space,
+            &cfg,
+            subnets,
+            Box::new(SpanTracer::new()),
+            Some(&opts),
+        )
+        .unwrap();
+
+        // Telemetry must be off the schedule path entirely.
+        assert_eq!(plain.tasks, live.tasks);
+        assert_eq!(plain.report, live.report);
+        assert_eq!(plain.obs.stages, live.obs.stages);
+
+        // Snapshots were published in simulated time, the final one at
+        // the makespan agreeing exactly with the report totals.
+        assert!(hub.published() >= 2, "expected interval + final snapshots");
+        let last = hub.latest().expect("final snapshot");
+        let diffs = diff_against_report(&last, &live.obs);
+        assert!(diffs.is_empty(), "snapshot != report: {diffs:?}");
+
+        // The report embeds the published series; the plain run has none.
+        assert_eq!(live.obs.series.len(), hub.published() as usize);
+        assert!(plain.obs.series.is_empty());
+        let times: Vec<u64> = live.obs.series.iter().map(|p| p.at_us).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "series unsorted");
     }
 
     #[test]
@@ -1703,6 +1828,7 @@ mod tests {
             jitter: 0.0,
             seed: 0,
             compute_threads: 0,
+            sample_interval_us: 0,
         };
         match run_pipeline(&space, &cfg) {
             Err(PipelineError::OutOfMemory { .. }) => {}

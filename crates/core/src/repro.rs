@@ -222,6 +222,7 @@ mod tests {
             jitter: 0.0,
             seed: 0,
             compute_threads: 0,
+            sample_interval_us: 0,
         };
         run_pipeline_with_subnets(&space, &cfg, subnets).unwrap()
     }

@@ -55,9 +55,11 @@ use crate::partition::Partition;
 use crate::pipeline::TaskRecord;
 use crate::task::{FinishedSet, StageId, TaskKind};
 use crate::train::{TrainConfig, TrainResult};
+use naspipe_obs::telemetry::progress_line;
 use naspipe_obs::{
-    CauseKind, Counter, CspChecker, MetricsRecorder, ObsReport, PoolWorkerObs, Recorder, RunMeta,
-    Sample, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, Tracer, Violation,
+    CauseKind, Counter, CspChecker, MetricsRecorder, MetricsSnapshot, ObsReport, PoolWorkerObs,
+    Recorder, RunMeta, Sample, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, TeeRecorder,
+    TelemetryOptions, Tracer, Violation,
 };
 use naspipe_sim::time::SimTime;
 use naspipe_supernet::space::SearchSpace;
@@ -269,7 +271,7 @@ struct StageWorker {
     finished_count: u64,
     injected: u64,
     losses: BTreeMap<u64, f32>,
-    recorder: MetricsRecorder,
+    recorder: TeeRecorder,
     tracer: SpanTracer,
     incarnation: u32,
     /// The span that completed the checkpoint cut this incarnation
@@ -343,7 +345,7 @@ impl StageWorker {
         StageOutput {
             params: self.params,
             losses: self.losses,
-            recorder: self.recorder,
+            recorder: self.recorder.into_inner(),
             tracer: self.tracer,
             tasks: self.tasks,
         }
@@ -1016,6 +1018,40 @@ pub fn run_threaded_supervised(
     window: u64,
     opts: &RecoveryOptions,
 ) -> Result<SupervisedRun, TrainError> {
+    run_threaded_telemetry(space, subnets, cfg, gpus, window, opts, None)
+}
+
+/// [`run_threaded_supervised`] with optional live telemetry: stage
+/// workers tee every metric into `telemetry.hub` as it happens, and a
+/// sampler thread publishes [`MetricsSnapshot`]s every
+/// `telemetry.sample_interval_us` of wall time — feeding a concurrently
+/// scrapeable `/metrics` endpoint and (when `telemetry.progress` is
+/// set) a single-line live report on stderr.
+///
+/// The sampler survives supervisor restarts: the hub outlives every
+/// incarnation, the current incarnation is exported as a gauge, and the
+/// supervisor's own recovery accounting (restarts, replayed tasks) is
+/// mirrored into the hub. A final snapshot is published on every exit
+/// path — after the workers have joined, so on a fault-free run its
+/// totals equal the merged [`ObsReport`] — and the sampled series is
+/// embedded in the returned report (JSON schema 4).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_threaded_supervised`].
+///
+/// # Panics
+///
+/// Same contract-violation panics as [`run_threaded`].
+pub fn run_threaded_telemetry(
+    space: &SearchSpace,
+    subnets: Vec<Subnet>,
+    cfg: &TrainConfig,
+    gpus: u32,
+    window: u64,
+    opts: &RecoveryOptions,
+    telemetry: Option<&TelemetryOptions>,
+) -> Result<SupervisedRun, TrainError> {
     assert!(gpus > 0, "need at least one stage thread");
     for (i, s) in subnets.iter().enumerate() {
         assert_eq!(s.seq_id().0, i as u64, "subnets must be numbered from 0");
@@ -1040,6 +1076,11 @@ pub fn run_threaded_supervised(
     // attributes only this run's fan-out work.
     let compute_threads = cfg.threads;
     let pool_base = naspipe_tensor::pool::shared(compute_threads).stats();
+    // The sampler owns snapshot publication for the whole run (all
+    // incarnations); its drop guard publishes a final snapshot on every
+    // exit path, after the workers have joined.
+    let mut sampler =
+        telemetry.map(|t| TelemetrySampler::start(t, epoch, compute_threads, pool_base.clone()));
 
     let mut master = MetricsRecorder::new();
     let mut spans = SpanTrace::default();
@@ -1054,6 +1095,9 @@ pub fn run_threaded_supervised(
     let mut incarnation: u32 = 0;
 
     loop {
+        if let Some(t) = telemetry {
+            t.hub.set_incarnation(incarnation);
+        }
         let resume: Option<Checkpoint> = if incarnation == 0 {
             None
         } else {
@@ -1142,7 +1186,7 @@ pub fn run_threaded_supervised(
                 finished_count: resume_w,
                 injected: resume_w,
                 losses,
-                recorder: MetricsRecorder::new(),
+                recorder: TeeRecorder::new(telemetry.map(|t| Arc::clone(&t.hub))),
                 // Distinct id namespace per (incarnation, stage) so the
                 // merged trace never collides.
                 tracer: SpanTracer::with_namespace(
@@ -1259,10 +1303,20 @@ pub fn run_threaded_supervised(
             let pool_run = naspipe_tensor::pool::shared(compute_threads)
                 .stats()
                 .since(&pool_base);
-            let report = master
+            // Stop the sampler first: its shutdown publishes the final
+            // snapshot (workers have joined, so the hub is complete),
+            // which must be in the series the report embeds.
+            if let Some(s) = sampler.as_mut() {
+                s.finish();
+            }
+            let mut report = master
                 .report(wall_us)
                 .with_meta(RunMeta::new("threaded", gpus).seed(cfg.seed))
                 .with_pool(pool_worker_obs(&pool_run, wall_us));
+            if let Some(t) = telemetry {
+                let (series, dropped) = t.hub.series_points();
+                report = report.with_series(series, dropped);
+            }
             let subnets = Arc::try_unwrap(subnets).unwrap_or_else(|a| (*a).clone());
             return Ok(SupervisedRun {
                 result: TrainResult {
@@ -1312,15 +1366,103 @@ pub fn run_threaded_supervised(
                 .count() as u64;
             recovery.replayed_tasks += replayed;
             master.incr(k as u32, Counter::ReplayedTask, replayed);
+            if let Some(t) = telemetry {
+                t.hub.record(k as u32, Counter::ReplayedTask, replayed);
+            }
         }
         recovery.restarts += 1;
         for k in 0..gpus {
             master.incr(k, Counter::Restart, 1);
+            if let Some(t) = telemetry {
+                t.hub.record(k, Counter::Restart, 1);
+            }
         }
         if let Some(at) = failure_detected {
             recovery.recovery_latency_us += elapsed_us(at);
         }
         incarnation += 1;
+    }
+}
+
+/// The wall-clock sampler behind [`run_threaded_telemetry`]: a thread
+/// that publishes a hub snapshot every interval, updating the global
+/// pool counters from the shared pool's run delta first. Stopping it
+/// (explicitly via [`finish`](Self::finish) or implicitly on drop, so
+/// every supervisor exit path is covered) publishes one final snapshot.
+struct TelemetrySampler {
+    stop: Sender<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    hub: Arc<naspipe_obs::TelemetryHub>,
+    epoch: Instant,
+    pool: Arc<naspipe_tensor::pool::ComputePool>,
+    pool_base: naspipe_tensor::pool::PoolStats,
+    progress: bool,
+}
+
+impl TelemetrySampler {
+    fn start(
+        opts: &TelemetryOptions,
+        epoch: Instant,
+        compute_threads: usize,
+        pool_base: naspipe_tensor::pool::PoolStats,
+    ) -> Self {
+        let (stop, stop_rx) = channel::<()>();
+        let interval = Duration::from_micros(opts.interval_us());
+        let pool = naspipe_tensor::pool::shared(compute_threads);
+        let handle = {
+            let hub = Arc::clone(&opts.hub);
+            let pool = Arc::clone(&pool);
+            let base = pool_base.clone();
+            let progress = opts.progress;
+            std::thread::Builder::new()
+                .name("naspipe-sampler".to_string())
+                .spawn(move || {
+                    let mut prev: Option<MetricsSnapshot> = None;
+                    // recv_timeout doubles as the interval clock and the
+                    // prompt-shutdown channel.
+                    while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                        let stats = pool.stats().since(&base);
+                        hub.set_pool(stats.jobs, stats.chunks, stats.busy_us);
+                        let snap = hub.publish(elapsed_us(epoch));
+                        if progress {
+                            eprint!("\r{}", progress_line(&snap, prev.as_ref()));
+                        }
+                        prev = Some(snap);
+                    }
+                })
+                .expect("spawn telemetry sampler")
+        };
+        TelemetrySampler {
+            stop,
+            handle: Some(handle),
+            hub: Arc::clone(&opts.hub),
+            epoch,
+            pool,
+            pool_base,
+            progress: opts.progress,
+        }
+    }
+
+    /// Stops the sampler thread and publishes the final snapshot.
+    /// Idempotent; also runs on drop.
+    fn finish(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        let _ = self.stop.send(());
+        let _ = handle.join();
+        let stats = self.pool.stats().since(&self.pool_base);
+        self.hub.set_pool(stats.jobs, stats.chunks, stats.busy_us);
+        self.hub.publish(elapsed_us(self.epoch));
+        if self.progress {
+            eprintln!();
+        }
+    }
+}
+
+impl Drop for TelemetrySampler {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 

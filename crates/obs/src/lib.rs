@@ -29,6 +29,14 @@
 //!    (with flow events drawing the causal edges), and [`critical_path`]
 //!    walks the span DAG to attribute the end-to-end makespan to
 //!    compute, fetch, causal stall, and pipeline bubble.
+//! 5. **Live telemetry** ([`telemetry`] + [`expo`]): a [`TelemetryHub`]
+//!    of lock-light per-stage atomic cells mirrors the recorder stream
+//!    while the run is still in flight ([`TeeRecorder`]); a sampler
+//!    publishes [`MetricsSnapshot`]s onto a fixed-capacity ring, rates
+//!    are derived between snapshots, and [`expo`] serves the whole
+//!    thing as hand-rolled Prometheus 0.0.4 text over a
+//!    `std::net::TcpListener` ([`MetricsServer`]) — plus the parser /
+//!    validator the `repro telemetry` hard verdicts are built on.
 //!
 //! The crate deliberately has no dependency on `naspipe-core`: the
 //! runtimes resolve their own partition/stage types into plain
@@ -38,16 +46,28 @@
 
 pub mod chrome;
 pub mod critical_path;
+pub mod expo;
 pub mod invariant;
 pub mod metrics;
 pub mod report;
+pub mod telemetry;
 pub mod trace;
 
 pub use chrome::{export_chrome, parse_chrome, ChromeParseError};
 pub use critical_path::{critical_path, AttrClass, CriticalPath, PathSegment};
+pub use expo::{
+    counter_values, monotonicity_violations, render_exposition, scrape, validate_exposition,
+    MetricsServer,
+};
 pub use invariant::{CspChecker, Violation};
 pub use metrics::{Counter, Histogram, MetricsRecorder, NullRecorder, Recorder, Sample};
-pub use report::{ObsReport, PoolWorkerObs, RunMeta, StageObs, OBS_SCHEMA_VERSION};
+pub use report::{
+    ObsReport, PoolWorkerObs, RunMeta, SeriesPoint, SeriesStage, StageObs, OBS_SCHEMA_VERSION,
+};
+pub use telemetry::{
+    derive_rates, MetricsSnapshot, RatePoint, StageRate, TeeRecorder, TelemetryHub,
+    TelemetryOptions,
+};
 pub use trace::{
     CausalEdge, CauseKind, NullTracer, Span, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer,
     Tracer,

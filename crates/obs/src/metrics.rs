@@ -5,7 +5,7 @@
 //! and an add, and lets tests substitute [`NullRecorder`] where metrics
 //! are irrelevant.
 
-use crate::report::{ObsReport, RunMeta, StageObs};
+use crate::report::{ObsReport, StageObs};
 
 /// Monotonic per-stage event and time counters.
 ///
@@ -63,6 +63,55 @@ pub enum Counter {
 /// Number of [`Counter`] variants; sizes the per-stage counter array.
 pub const NUM_COUNTERS: usize = Counter::PoolBusyUs as usize + 1;
 
+impl Counter {
+    /// Every variant in declaration (= index) order, so snapshot and
+    /// exposition code can iterate the counter array without hardcoding
+    /// the variant list twice.
+    pub const ALL: [Counter; NUM_COUNTERS] = [
+        Counter::CacheHit,
+        Counter::CacheMiss,
+        Counter::CacheEviction,
+        Counter::CachePrefetch,
+        Counter::CacheBytesFetched,
+        Counter::CacheBytesEvicted,
+        Counter::BackwardPreemption,
+        Counter::ForwardTask,
+        Counter::BackwardTask,
+        Counter::StallUs,
+        Counter::BubbleUs,
+        Counter::Retry,
+        Counter::Restart,
+        Counter::ReplayedTask,
+        Counter::PoolJob,
+        Counter::PoolChunk,
+        Counter::PoolBusyUs,
+    ];
+
+    /// Stable snake_case name used in the Prometheus exposition and the
+    /// time-series JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::CacheHit => "cache_hit",
+            Counter::CacheMiss => "cache_miss",
+            Counter::CacheEviction => "cache_eviction",
+            Counter::CachePrefetch => "cache_prefetch",
+            Counter::CacheBytesFetched => "cache_bytes_fetched",
+            Counter::CacheBytesEvicted => "cache_bytes_evicted",
+            Counter::BackwardPreemption => "backward_preemption",
+            Counter::ForwardTask => "forward_task",
+            Counter::BackwardTask => "backward_task",
+            Counter::StallUs => "stall_us",
+            Counter::BubbleUs => "bubble_us",
+            Counter::Retry => "retry",
+            Counter::Restart => "restart",
+            Counter::ReplayedTask => "replayed_task",
+            Counter::PoolJob => "pool_job",
+            Counter::PoolChunk => "pool_chunk",
+            Counter::PoolBusyUs => "pool_busy_us",
+        }
+    }
+}
+
 /// Distribution-valued per-stage observations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
@@ -77,6 +126,25 @@ pub enum Sample {
 
 /// Number of [`Sample`] variants; sizes the per-stage histogram array.
 pub const NUM_SAMPLES: usize = Sample::BackwardLatencyUs as usize + 1;
+
+impl Sample {
+    /// Every variant in declaration (= index) order; see
+    /// [`Counter::ALL`].
+    pub const ALL: [Sample; NUM_SAMPLES] = [
+        Sample::QueueDepth,
+        Sample::ForwardLatencyUs,
+        Sample::BackwardLatencyUs,
+    ];
+
+    /// Stable snake_case name used in the Prometheus exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sample::QueueDepth => "queue_depth",
+            Sample::ForwardLatencyUs => "forward_latency_us",
+            Sample::BackwardLatencyUs => "backward_latency_us",
+        }
+    }
+}
 
 /// Sink for per-stage runtime metrics.
 ///
@@ -339,8 +407,7 @@ impl MetricsRecorder {
         ObsReport {
             wall_us,
             stages,
-            meta: RunMeta::default(),
-            pool: Vec::new(),
+            ..ObsReport::default()
         }
     }
 }
@@ -425,6 +492,59 @@ mod tests {
         for p in [0.0, 50.0, 100.0] {
             assert_eq!(single.percentile(p), 42.0, "single value at p{p}");
         }
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::default();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0);
+        assert_eq!(h.min_or_zero(), 0, "raw min is a MAX sentinel, not 0");
+        assert_eq!(h.max, 0);
+        assert_eq!(h.mean(), 0.0);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0.0, "empty percentile p{p}");
+        }
+    }
+
+    #[test]
+    fn single_sample_histogram_pins_every_statistic() {
+        // One observation occupies exactly one bucket: every percentile
+        // (p99 included) must collapse to that value, and min == max.
+        for v in [0u64, 1, 7, 42, 1 << 40] {
+            let mut h = Histogram::default();
+            h.record(v);
+            assert_eq!(h.count, 1);
+            assert_eq!(h.sum, v);
+            assert_eq!(h.min, v);
+            assert_eq!(h.max, v);
+            assert_eq!(h.mean(), v as f64);
+            for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+                assert_eq!(h.percentile(p), v as f64, "value {v} at p{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_min_sentinel() {
+        // Empty histograms carry min == u64::MAX; merging one in either
+        // direction must not corrupt min/max or resurrect phantom counts.
+        let mut a = Histogram::default();
+        a.record(42);
+        a.merge(&Histogram::default());
+        assert_eq!((a.count, a.min, a.max), (1, 42, 42));
+        assert_eq!(a.percentile(99.0), 42.0);
+
+        let mut b = Histogram::default();
+        b.merge(&a);
+        assert_eq!((b.count, b.min, b.max), (1, 42, 42));
+
+        let mut e = Histogram::default();
+        e.merge(&Histogram::default());
+        assert_eq!(e.count, 0);
+        assert_eq!(e.min, u64::MAX, "empty+empty keeps the sentinel");
+        assert_eq!(e.min_or_zero(), 0);
+        assert_eq!(e.percentile(99.0), 0.0);
     }
 
     #[test]

@@ -130,7 +130,49 @@ impl StageObs {
 /// `pool_jobs` / `pool_chunks` / `pool_busy_us` and the top-level
 /// `"pool"` array of per-worker utilisation. Every schema-2 field keeps
 /// its exact key name and value formatting.
-pub const OBS_SCHEMA_VERSION: u32 = 3;
+///
+/// Schema 4 = schema 3 plus the live-telemetry time series: top-level
+/// `"samples_dropped"` (snapshots evicted from the ring — truncation is
+/// always explicit, never silent) and `"series"`, an array of sampled
+/// points (`at_us`, `incarnation`, `pool_busy_us`, per-stage cumulative
+/// task/cache/idle counters) that rate curves can be derived from.
+/// Every schema-3 field keeps its exact key name and value formatting.
+pub const OBS_SCHEMA_VERSION: u32 = 4;
+
+/// One stage's cumulative counters at a sampled instant (schema-4
+/// `"series"` entries; a compressed projection of the live
+/// `MetricsSnapshot`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeriesStage {
+    /// Forward tasks completed so far.
+    pub forward_tasks: u64,
+    /// Backward tasks completed so far.
+    pub backward_tasks: u64,
+    /// Context-cache hits so far.
+    pub cache_hits: u64,
+    /// Context-cache misses so far.
+    pub cache_misses: u64,
+    /// Microseconds causally stalled so far.
+    pub stall_us: u64,
+    /// Microseconds of pipeline bubble so far.
+    pub bubble_us: u64,
+    /// Microseconds of compute-pool busy time attributed so far.
+    pub pool_busy_us: u64,
+}
+
+/// One sampled point of the live-telemetry time series.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeriesPoint {
+    /// Run time of the sample in microseconds (wall-clock in the
+    /// threaded runtime, simulated in the DES engine).
+    pub at_us: u64,
+    /// Supervisor incarnation when sampled.
+    pub incarnation: u32,
+    /// Global compute-pool busy microseconds at the sample.
+    pub pool_busy_us: u64,
+    /// Per-stage cumulative counters, indexed by stage.
+    pub stages: Vec<SeriesStage>,
+}
 
 /// Utilisation of one compute-pool worker over a run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -157,6 +199,12 @@ pub struct ObsReport {
     /// Compute-pool worker utilisation over the run, when a pool was
     /// used (empty otherwise).
     pub pool: Vec<PoolWorkerObs>,
+    /// Sampled telemetry time series, when live telemetry ran (empty
+    /// otherwise). Oldest first; capped by the ring capacity.
+    pub series: Vec<SeriesPoint>,
+    /// Snapshots evicted from the telemetry ring before this report was
+    /// built — the explicit truncation count for `series`.
+    pub samples_dropped: u64,
 }
 
 impl ObsReport {
@@ -169,6 +217,14 @@ impl ObsReport {
     /// Attaches compute-pool worker utilisation (builder-style).
     pub fn with_pool(mut self, pool: Vec<PoolWorkerObs>) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches the sampled telemetry series with its explicit drop
+    /// count (builder-style).
+    pub fn with_series(mut self, series: Vec<SeriesPoint>, samples_dropped: u64) -> Self {
+        self.series = series;
+        self.samples_dropped = samples_dropped;
         self
     }
 
@@ -295,6 +351,14 @@ impl ObsReport {
                 100.0 * w.busy_us as f64 / denom as f64,
             );
         }
+        if !self.series.is_empty() || self.samples_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "telemetry: {} samples kept, {} dropped",
+                self.series.len(),
+                self.samples_dropped,
+            );
+        }
         out
     }
 
@@ -391,6 +455,40 @@ impl ObsReport {
                 w.worker, w.chunks, w.busy_us, w.idle_us,
             );
         }
+        let _ = write!(
+            out,
+            "],\"samples_dropped\":{},\"series\":[",
+            self.samples_dropped
+        );
+        for (i, p) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at_us\":{},\"incarnation\":{},\"pool_busy_us\":{},\"stages\":[",
+                p.at_us, p.incarnation, p.pool_busy_us,
+            );
+            for (j, s) in p.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"forward_tasks\":{},\"backward_tasks\":{},\"cache_hits\":{},\
+                     \"cache_misses\":{},\"stall_us\":{},\"bubble_us\":{},\
+                     \"pool_busy_us\":{}}}",
+                    s.forward_tasks,
+                    s.backward_tasks,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.stall_us,
+                    s.bubble_us,
+                    s.pool_busy_us,
+                );
+            }
+            out.push_str("]}");
+        }
         out.push_str("]}");
         out
     }
@@ -442,6 +540,8 @@ mod tests {
             wall_us: 1_000_000,
             meta: RunMeta::new("des", 2).seed(7),
             pool: Vec::new(),
+            series: Vec::new(),
+            samples_dropped: 0,
             stages: vec![
                 StageObs {
                     stage: 0,
@@ -502,7 +602,7 @@ mod tests {
     #[test]
     fn json_carries_schema_meta_and_percentiles() {
         let json = two_stage_report().to_json();
-        assert!(json.starts_with("{\"schema\":3,"), "schema first: {json}");
+        assert!(json.starts_with("{\"schema\":4,"), "schema first: {json}");
         assert!(json.contains("\"meta\":{\"engine\":\"des\",\"stages\":2,\"seed\":7}"));
         for key in [
             "\"queue_depth_p50\":",
@@ -588,6 +688,49 @@ mod tests {
         assert!(!text.contains("pool"), "{text}");
         assert_eq!(text.lines().count(), 4);
         assert!(r.to_json().contains("\"pool\":[]"));
+    }
+
+    #[test]
+    fn series_embeds_with_explicit_drop_count() {
+        let mut r = two_stage_report();
+        assert!(r.to_json().contains("\"samples_dropped\":0,\"series\":[]"));
+        r = r.with_series(
+            vec![
+                SeriesPoint {
+                    at_us: 1000,
+                    incarnation: 0,
+                    pool_busy_us: 50,
+                    stages: vec![SeriesStage {
+                        forward_tasks: 4,
+                        cache_hits: 3,
+                        ..SeriesStage::default()
+                    }],
+                },
+                SeriesPoint {
+                    at_us: 2000,
+                    incarnation: 1,
+                    pool_busy_us: 90,
+                    stages: vec![SeriesStage {
+                        forward_tasks: 9,
+                        cache_hits: 7,
+                        stall_us: 120,
+                        ..SeriesStage::default()
+                    }],
+                },
+            ],
+            3,
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"samples_dropped\":3"), "{json}");
+        assert_eq!(json.matches("\"at_us\":").count(), 2);
+        assert!(json.contains("\"at_us\":2000,\"incarnation\":1,\"pool_busy_us\":90"));
+        assert!(json.contains("\"forward_tasks\":9"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let text = r.render_text();
+        assert!(
+            text.contains("telemetry: 2 samples kept, 3 dropped"),
+            "{text}"
+        );
     }
 
     #[test]

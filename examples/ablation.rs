@@ -75,6 +75,7 @@ fn main() {
             jitter: 0.0,
             seed: 5,
             compute_threads: 0,
+            sample_interval_us: 0,
         };
         match run_pipeline_with_subnets(&space, &cfg, subnets.clone()) {
             Ok(out) => {

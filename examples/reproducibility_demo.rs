@@ -67,6 +67,7 @@ fn main() {
                 jitter: 0.0,
                 seed: 3,
                 compute_threads: 0,
+                sample_interval_us: 0,
             };
             let out = run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap();
             let order = layer_access_order(&out, probe);

@@ -12,7 +12,9 @@
 //! * [`core`] — the CSP scheduler, context predictor, context manager,
 //!   pipeline engine, training replay, and threaded runtime;
 //! * [`baselines`] — GPipe, PipeDream, VPipe, and Retiarii's wrapped data
-//!   parallelism.
+//!   parallelism;
+//! * [`obs`] — metrics, CSP invariant checking, causal span tracing,
+//!   and live telemetry (snapshot hub + Prometheus text exposition).
 //!
 //! # Quickstart
 //!
@@ -32,6 +34,7 @@
 
 pub use naspipe_baselines as baselines;
 pub use naspipe_core as core;
+pub use naspipe_obs as obs;
 pub use naspipe_sim as sim;
 pub use naspipe_supernet as supernet;
 pub use naspipe_tensor as tensor;

@@ -5,19 +5,29 @@
 //! naspipe spaces
 //! naspipe train  --space NLP.c2 --gpus 8 --subnets 120 [--system gpipe]
 //!                [--seed 7] [--batch 64] [--threads 4] [--transcript run.nt]
+//!                [--engine des|threaded] [--metrics-addr 127.0.0.1:9464]
+//!                [--sample-interval-ms 200]
 //! naspipe replay --space NLP.c2 --transcript run.nt [--seed 7]
 //! naspipe search --space CV.c2 --gpus 8 --subnets 120 --rounds 96 [--seed 7]
+//!                [--metrics-addr 127.0.0.1:9464]
+//! naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]
 //! ```
+//!
+//! With `--metrics-addr`, the run serves live Prometheus 0.0.4 text on
+//! `GET /metrics` while training (`curl http://ADDR/metrics`).
 
 use naspipe::baselines::SystemKind;
-use naspipe::core::pipeline::run_pipeline_with_subnets;
+use naspipe::core::pipeline::run_pipeline_telemetry;
+use naspipe::core::runtime::{run_threaded_telemetry, RecoveryOptions};
 use naspipe::core::train::{replay_training, search_best_subnet, TrainConfig};
 use naspipe::core::transcript::{replay_transcript, Transcript};
+use naspipe::obs::{MetricsServer, RunMeta, SpanTracer, TelemetryHub, TelemetryOptions};
 use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
 use naspipe::supernet::space::{SearchSpace, SpaceId};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Parsed `--key value` options plus the subcommand.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +81,51 @@ impl Args {
             )),
         }
     }
+
+    fn engine(&self) -> Result<Engine, String> {
+        match self.options.get("engine").map(String::as_str) {
+            None | Some("des") => Ok(Engine::Des),
+            Some("threaded") => Ok(Engine::Threaded),
+            Some(other) => Err(format!("unknown engine '{other}' (des|threaded)")),
+        }
+    }
+
+    /// `--sample-interval-ms` as microseconds (0 = telemetry default).
+    fn sample_interval_us(&self) -> Result<u64, String> {
+        Ok(self.u64_opt("sample-interval-ms", 0)? * 1000)
+    }
+
+    /// When `--metrics-addr` is given: a live hub plus the HTTP server
+    /// scraping it, already bound (port 0 resolves to an ephemeral
+    /// port, printed so it can be curled).
+    fn telemetry(
+        &self,
+        engine: &str,
+        gpus: u32,
+        seed: u64,
+    ) -> Result<Option<(TelemetryOptions, MetricsServer)>, String> {
+        let Some(addr) = self.options.get("metrics-addr") else {
+            return Ok(None);
+        };
+        let hub = Arc::new(TelemetryHub::new(gpus as usize, 0));
+        let meta = RunMeta::new(engine, gpus).seed(seed);
+        let server = MetricsServer::bind(addr, Arc::clone(&hub), meta)
+            .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+        eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+        let opts = TelemetryOptions::new(hub)
+            .with_interval_us(self.sample_interval_us()?)
+            .with_progress(true);
+        Ok(Some((opts, server)))
+    }
+}
+
+/// Which training engine `naspipe train` drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Discrete-event simulation plus numeric replay (the default).
+    Des,
+    /// The supervised threaded runtime (real threads, one per stage).
+    Threaded,
 }
 
 fn train_config(seed: u64, threads: usize) -> TrainConfig {
@@ -106,14 +161,30 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let batch = args.u64_opt("batch", 0)? as u32;
     let threads = args.u64_opt("threads", 0)? as usize;
     let system = args.system()?;
+    let engine = args.engine()?;
 
     let subnets = UniformSampler::new(&space, seed).take_subnets(n as usize);
+    if engine == Engine::Threaded {
+        if system != SystemKind::NasPipe {
+            return Err("--engine threaded only trains the naspipe system (CSP)".into());
+        }
+        return train_threaded(args, &space, subnets, gpus, seed, threads);
+    }
     let mut cfg = system
         .config(gpus, n)
         .with_seed(seed)
-        .with_compute_threads(threads);
+        .with_compute_threads(threads)
+        .with_sample_interval_us(args.sample_interval_us()?);
     cfg.batch = batch;
-    let outcome = run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
+    let telemetry = args.telemetry("des", gpus, seed)?;
+    let outcome = run_pipeline_telemetry(
+        &space,
+        &cfg,
+        subnets,
+        Box::new(SpanTracer::new()),
+        telemetry.as_ref().map(|(opts, _)| opts),
+    )
+    .map_err(|e| e.to_string())?;
     let r = &outcome.report;
     println!(
         "{system} on {} x {gpus} GPUs: {} subnets, batch {}",
@@ -148,6 +219,84 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         println!("  transcript written to {path}");
     }
     Ok(())
+}
+
+/// `naspipe train --engine threaded`: real stage threads under the
+/// supervisor, with live telemetry when `--metrics-addr` is given.
+fn train_threaded(
+    args: &Args,
+    space: &SearchSpace,
+    subnets: Vec<naspipe::supernet::subnet::Subnet>,
+    gpus: u32,
+    seed: u64,
+    threads: usize,
+) -> Result<(), String> {
+    let n = subnets.len();
+    let telemetry = args.telemetry("threaded", gpus, seed)?;
+    let run = run_threaded_telemetry(
+        space,
+        subnets,
+        &train_config(seed, threads),
+        gpus,
+        0,
+        &RecoveryOptions::default(),
+        telemetry.as_ref().map(|(opts, _)| opts),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "threaded CSP on {} x {gpus} stages: {n} subnets trained",
+        args.options["space"],
+    );
+    println!(
+        "  converged loss {:.4}, parameter hash {:016x}",
+        run.result.converged_loss(),
+        run.result.final_hash,
+    );
+    println!(
+        "  wall {:.2}s, {} restart(s), {} telemetry sample(s) kept",
+        run.report.wall_us as f64 / 1e6,
+        run.recovery.restarts,
+        run.report.series.len(),
+    );
+    Ok(())
+}
+
+/// `naspipe bench-check`: re-measures the compute backend and fails on
+/// throughput regressions beyond the threshold against the tracked
+/// `BENCH_compute.json` baseline.
+fn cmd_bench_check(args: &Args) -> Result<(), String> {
+    use naspipe_bench::experiments::compute;
+
+    let path = args
+        .options
+        .get("baseline")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_compute.json".to_string());
+    let threshold = args.u64_opt("threshold-pct", 15)? as f64 / 100.0;
+    let subnets = args.u64_opt("subnets", 24)?;
+    let baseline = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read baseline {path}: {e} (run `repro bench` with BENCH_COMPUTE_JSON={path} to record one)"))?;
+
+    eprintln!("measuring compute backend ({subnets} replay subnets)...");
+    let fresh = compute::run(subnets);
+    if !fresh.all_ok() {
+        return Err(
+            "compute verdicts failed: kernels not bitwise equal or hashes not pool-invariant"
+                .into(),
+        );
+    }
+    let check = compute::check_against(&baseline, &fresh, threshold)?;
+    println!("regression check against {path}:");
+    print!("{}", compute::render_check(&check));
+    if check.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "bench-check failed: {} metric(s) regressed more than {:.0}% below the baseline",
+            check.regressions().len(),
+            threshold * 100.0
+        ))
+    }
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
@@ -189,8 +338,17 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     let subnets = UniformSampler::new(&space, seed).take_subnets(n as usize);
     let cfg = naspipe::core::config::PipelineConfig::naspipe(gpus, n)
         .with_seed(seed)
-        .with_compute_threads(threads);
-    let outcome = run_pipeline_with_subnets(&space, &cfg, subnets).map_err(|e| e.to_string())?;
+        .with_compute_threads(threads)
+        .with_sample_interval_us(args.sample_interval_us()?);
+    let telemetry = args.telemetry("des", gpus, seed)?;
+    let outcome = run_pipeline_telemetry(
+        &space,
+        &cfg,
+        subnets,
+        Box::new(SpanTracer::new()),
+        telemetry.as_ref().map(|(opts, _)| opts),
+    )
+    .map_err(|e| e.to_string())?;
     let tc = train_config(seed, cfg.compute_threads);
     let trained = replay_training(&space, &outcome, &tc);
     let (loss, best) = search_best_subnet(&space, &trained.store, &tc, rounds);
@@ -204,18 +362,26 @@ fn cmd_search(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: naspipe <spaces|train|replay|search> [--option value ..]\n\
+    "usage: naspipe <spaces|train|replay|search|bench-check> [--option value ..]\n\
      \n\
      naspipe spaces\n\
      naspipe train  --space NLP.c2 [--gpus 8] [--subnets 64] [--seed 0]\n\
      \x20              [--batch 0] [--system naspipe|gpipe|pipedream|vpipe]\n\
      \x20              [--threads 0] [--transcript FILE]\n\
+     \x20              [--engine des|threaded] [--metrics-addr HOST:PORT]\n\
+     \x20              [--sample-interval-ms 200]\n\
      naspipe replay --space NLP.c2 --transcript FILE [--seed 0] [--threads 0]\n\
      naspipe search --space CV.c2 [--gpus 8] [--subnets 64] [--rounds 64]\n\
-     \x20              [--threads 0]\n\
+     \x20              [--threads 0] [--metrics-addr HOST:PORT]\n\
+     naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]\n\
+     \x20              [--subnets 24]\n\
      \n\
      --threads sets the compute-pool worker count (0 = NASPIPE_THREADS\n\
-     or the machine's parallelism); it never changes numeric results."
+     or the machine's parallelism); it never changes numeric results.\n\
+     --metrics-addr serves live Prometheus 0.0.4 text on GET /metrics\n\
+     while the run is in flight (port 0 picks an ephemeral port).\n\
+     bench-check exits non-zero when fresh compute throughput falls more\n\
+     than the threshold below the tracked BENCH_compute.json baseline."
 }
 
 fn main() -> ExitCode {
@@ -235,6 +401,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "replay" => cmd_replay(&args),
         "search" => cmd_search(&args),
+        "bench-check" => cmd_bench_check(&args),
         other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
     };
     match result {

@@ -184,6 +184,7 @@ fn baselines_break_reproducibility() {
             jitter: 0.0,
             seed: 31,
             compute_threads: 0,
+            sample_interval_us: 0,
         };
         let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
         let replay = replay_training(&space, &out, &cfg);
