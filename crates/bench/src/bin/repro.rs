@@ -10,7 +10,7 @@
 //! floating-point training for dozens of pipeline schedules.
 
 use naspipe_bench::experiments::{
-    cache_sweep, compute, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute,
+    cache_sweep, compute, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute, replay,
     soundness, table1, table2, table3, table4, table5, telemetry, topology, trace,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
@@ -38,6 +38,7 @@ const EXPERIMENTS: &[&str] = &[
     "trace",
     "bench",
     "telemetry",
+    "replay",
 ];
 
 fn main() {
@@ -299,6 +300,22 @@ fn run_experiment(name: &str, check: bool) {
                 r.all_ok(),
                 "telemetry verdicts failed: the live endpoint and the \
                  post-mortem report must tell one consistent story"
+            );
+        }
+        "replay" => {
+            banner(
+                "Extra: golden-trace replay gate",
+                "The behavioral twin of bench-check: every committed golden trace (CSP DES runs, threaded fault-recovery runs, a multi-engine agreement case) re-executed against the current scheduler and validated — CSP admission order, checkpoint-cut consistency, transcript bitwise equality, critical-path attribution — plus a deliberate-divergence smoke test that must name the first divergent task.",
+            );
+            let r = replay::run(std::path::Path::new(
+                naspipe_core::replay_gate::DEFAULT_CORPUS_DIR,
+            ));
+            println!("{}", replay::render(&r));
+            assert!(
+                r.all_ok(),
+                "replay-gate verdicts failed: the strict gate must pass on the \
+                 corpus and the smoke mutation must be caught naming the first \
+                 divergent task"
             );
         }
         _ => unreachable!("validated in main"),

@@ -454,9 +454,7 @@ fn json_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
 fn json_num(obj: &str, key: &str) -> Option<f64> {
     let start = obj.find(&format!("\"{key}\":"))? + key.len() + 3;
     let rest = &obj[start..];
-    let end = rest
-        .find([',', '}'])
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
 }
 

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod generation;
 pub mod obs;
 pub mod recompute;
+pub mod replay;
 pub mod soundness;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,117 @@
+//! Extra experiment: the golden-trace replay gate, with hard verdicts.
+//!
+//! Runs the strict behavioral gate over the committed corpus (or an
+//! in-memory freshly blessed corpus when run outside the repo root),
+//! then a deliberate-divergence smoke test: one golden is mutated by a
+//! single microsecond-level edit and the gate must catch it, naming the
+//! first divergent task with its golden-file line.
+
+use naspipe_core::replay_gate::{
+    bless_in_memory, default_corpus, load_corpus, parse_golden, render_golden, run_case,
+    Divergence, GateReport, GoldenCase,
+};
+use std::path::Path;
+
+/// Outcome of the replay-gate experiment.
+pub struct ReplayResult {
+    /// Where the corpus came from.
+    pub source: String,
+    /// The strict gate over the (unmutated) corpus.
+    pub report: GateReport,
+    /// The rendered first-divergent-task diff from the smoke mutation.
+    pub smoke_diff: String,
+    /// Whether the smoke mutation produced exactly one divergence that
+    /// names a task (index, golden line, stage, subnet, kind, time).
+    pub smoke_named_task: bool,
+}
+
+impl ReplayResult {
+    /// Every verdict the experiment asserts on.
+    pub fn all_ok(&self) -> bool {
+        self.report.ok() && self.smoke_named_task
+    }
+}
+
+/// Mutates the end time of the last task of a golden case and returns
+/// the re-parsed (still well-formed) case.
+fn mutate_last_task(case: &GoldenCase) -> GoldenCase {
+    let text = render_golden(case);
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let last_task = lines
+        .iter()
+        .rposition(|l| l.starts_with("task "))
+        .expect("golden has tasks");
+    let mut parts: Vec<String> = lines[last_task]
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let end: u64 = parts[2].parse().expect("task end time");
+    parts[2] = (end + 7).to_string();
+    lines[last_task] = parts.join(" ");
+    parse_golden(&(lines.join("\n") + "\n")).expect("mutated golden still parses")
+}
+
+/// Runs the gate over `dir` (the committed corpus) when it exists, or an
+/// in-memory bless of the default corpus otherwise, plus the smoke test.
+pub fn run(dir: &Path) -> ReplayResult {
+    let (source, cases) = match load_corpus(dir, None) {
+        Ok(cases) => (format!("committed corpus {}", dir.display()), cases),
+        Err(_) => (
+            "freshly blessed default corpus (no committed corpus found)".to_string(),
+            bless_in_memory(&default_corpus()).expect("default corpus regenerates"),
+        ),
+    };
+    let report = GateReport {
+        cases: cases.iter().map(run_case).collect(),
+    };
+
+    // Deliberate divergence: the gate must name the first divergent task.
+    let victim = cases
+        .iter()
+        .find(|c| !c.transcript.tasks.is_empty())
+        .expect("corpus has a case with tasks");
+    let smoke_report = run_case(&mutate_last_task(victim));
+    let named = smoke_report.divergences.iter().find_map(|d| match d {
+        Divergence::FirstDivergentTask { .. } => Some(d.to_string()),
+        _ => None,
+    });
+    let smoke_named_task = named.is_some() && smoke_report.divergences.len() == 1;
+    ReplayResult {
+        source,
+        report,
+        smoke_diff: named.unwrap_or_else(|| format!("{:?}", smoke_report.divergences)),
+        smoke_named_task,
+    }
+}
+
+/// Renders the experiment report.
+pub fn render(r: &ReplayResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "corpus: {}", r.source);
+    out.push_str(&r.report.render_text());
+    let _ = writeln!(out, "\ndeliberate-divergence smoke (last task end +7us):");
+    let _ = writeln!(out, "  {}", r.smoke_diff.replace('\n', "\n  "));
+    let _ = writeln!(
+        out,
+        "\nverdicts: strict gate {}, smoke names first divergent task {}",
+        if r.report.ok() { "PASS" } else { "FAIL" },
+        if r.smoke_named_task { "PASS" } else { "FAIL" },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naspipe_core::replay_gate::DEFAULT_CORPUS_DIR;
+
+    #[test]
+    fn replay_gate_experiment_verdicts_hold() {
+        // Resolve the committed corpus whether tests run from the
+        // workspace root or the crate dir; fall back to in-memory.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let r = run(&root.join(DEFAULT_CORPUS_DIR));
+        assert!(r.all_ok(), "{}", render(&r));
+    }
+}

@@ -51,6 +51,7 @@ pub mod memory;
 pub mod partition;
 pub mod pipeline;
 pub mod predictor;
+pub mod replay_gate;
 pub mod report;
 pub mod repro;
 pub mod runtime;

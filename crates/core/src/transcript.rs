@@ -54,6 +54,12 @@ pub struct Transcript {
 /// real pipeline depth, so a huge value can only be corruption.
 const MAX_STAGES: usize = 4096;
 
+/// Upper bound on plausible block indices — the largest search space has
+/// 48 blocks, so anything near integer-width limits is corruption, and
+/// bounding here keeps the later `usize` narrowing lossless on every
+/// target.
+const MAX_BLOCKS: usize = 65_536;
+
 /// Errors from parsing a transcript.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTranscriptError {
@@ -173,6 +179,12 @@ impl Transcript {
                             }
                         })
                         .collect::<Result<_, _>>()?;
+                    if let Some(stray) = parts.next() {
+                        return Err(err(
+                            lineno,
+                            &format!("stray token '{stray}' after subnet record"),
+                        ));
+                    }
                     if let Some(prev) = declared.insert(id, lineno) {
                         return Err(err(
                             lineno,
@@ -202,9 +214,36 @@ impl Transcript {
                             .ok_or_else(|| err(lineno, "bad task field"))
                     };
                     let subnet = next_u64()?;
-                    let stage = next_u64()? as u32;
-                    let lo = next_u64()? as usize;
-                    let hi = next_u64()? as usize;
+                    // Parse into the full width first and range-check
+                    // BEFORE narrowing: `as u32` / `as usize` would let
+                    // e.g. stage 4294967299 truncate to 3 and sail past
+                    // the plausibility bound below.
+                    let stage_raw = next_u64()?;
+                    if stage_raw >= MAX_STAGES as u64 {
+                        return Err(err(
+                            lineno,
+                            &format!("implausible stage id {stage_raw} (limit {MAX_STAGES})"),
+                        ));
+                    }
+                    let stage = u32::try_from(stage_raw).expect("bounded by MAX_STAGES");
+                    let mut next_block = || -> Result<usize, ParseTranscriptError> {
+                        let raw = next_u64()?;
+                        if raw >= MAX_BLOCKS as u64 {
+                            return Err(err(
+                                lineno,
+                                &format!("implausible block bound {raw} (limit {MAX_BLOCKS})"),
+                            ));
+                        }
+                        Ok(usize::try_from(raw).expect("bounded by MAX_BLOCKS"))
+                    };
+                    let lo = next_block()?;
+                    let hi = next_block()?;
+                    if let Some(stray) = parts.next() {
+                        return Err(err(
+                            lineno,
+                            &format!("stray token '{stray}' after task record"),
+                        ));
+                    }
                     if lo > hi {
                         return Err(err(lineno, "block range reversed"));
                     }
@@ -218,12 +257,6 @@ impl Transcript {
                         return Err(err(
                             lineno,
                             &format!("task references undeclared subnet {subnet}"),
-                        ));
-                    }
-                    if stage as usize >= MAX_STAGES {
-                        return Err(err(
-                            lineno,
-                            &format!("implausible stage id {stage} (limit {MAX_STAGES})"),
                         ));
                     }
                     task_lines.push(lineno);
@@ -378,22 +411,94 @@ mod tests {
         assert!(e.to_string().contains("line 1"));
     }
 
+    /// One malformed document per [`ParseTranscriptError`] branch, each
+    /// checked against the exact diagnostic it must produce.
     #[test]
-    fn bad_records_rejected() {
-        let header = "naspipe-transcript v1\n";
-        for bad in [
-            "subnet x 1,2\n",
-            "subnet 0\n",
-            "task 1 2 Q 0 0 0 1\n",
-            "task 1 2 F 0 0 5 1\n",
-            "frobnicate\n",
-        ] {
-            let text = format!("{header}{bad}");
+    fn malformed_corpus_table() {
+        let cases: &[(&str, &str)] = &[
+            // header
+            ("bogus", "missing 'naspipe-transcript v1' header"),
+            ("", "missing 'naspipe-transcript v1' header"),
+            // subnet records
+            ("subnet x 1,2", "bad subnet id"),
+            ("subnet 0", "missing choices"),
+            ("subnet 0 1,zz", "bad choice"),
+            (
+                "subnet 0 1,2 junk",
+                "stray token 'junk' after subnet record",
+            ),
+            ("subnet 0 1,2\nsubnet 0 2,1", "already declared on line 2"),
+            // task records
+            ("subnet 0 1,2\ntask 1", "bad task field"),
+            (
+                "subnet 0 1,2\ntask 1 2 Q 0 0 0 1",
+                "bad task kind (want F|B)",
+            ),
+            ("subnet 0 1,2\ntask 1 2 F", "bad task field"),
+            (
+                "subnet 0 1,2\ntask 1 2 F 0 99999 0 1",
+                "implausible stage id 99999 (limit 4096)",
+            ),
+            // Regression: 4294967299 = 2^32 + 3 used to truncate to
+            // stage 3 via `as u32` and pass the plausibility check.
+            (
+                "subnet 0 1,2\ntask 1 2 F 0 4294967299 0 1",
+                "implausible stage id 4294967299",
+            ),
+            (
+                "subnet 0 1,2\ntask 1 2 F 0 0 18446744073709551615 1",
+                "implausible block bound 18446744073709551615 (limit 65536)",
+            ),
+            (
+                "subnet 0 1,2\ntask 1 2 F 0 0 0 4294967297",
+                "implausible block bound 4294967297",
+            ),
+            ("subnet 0 1,2\ntask 1 2 F 0 0 5 1", "block range reversed"),
+            (
+                "subnet 0 1,2\ntask 9 5 F 0 0 0 1",
+                "ends (5us) before it starts (9us)",
+            ),
+            ("subnet 0 1,2\ntask 1 2 F 7 0 0 1", "undeclared subnet 7"),
+            (
+                "subnet 0 1,2\ntask 1 2 F 0 0 0 1 junk",
+                "stray token 'junk' after task record",
+            ),
+            // other records
+            ("frobnicate", "unknown record 'frobnicate'"),
+            (
+                "subnet 0 1,2\nsubnet 1 2,1\ntask 0 10 F 0 0 0 1\ntask 5 15 F 1 0 0 1",
+                "overlaps the task on line",
+            ),
+        ];
+        for (body, want) in cases {
+            let text = if body.is_empty() {
+                String::new()
+            } else if *body == "bogus" {
+                "bogus\n".to_string()
+            } else {
+                format!("naspipe-transcript v1\n{body}\n")
+            };
+            let e =
+                Transcript::read(&mut text.as_bytes()).expect_err(&format!("accepted {body:?}"));
             assert!(
-                Transcript::read(&mut text.as_bytes()).is_err(),
-                "accepted {bad:?}"
+                e.to_string().contains(want),
+                "for {body:?}: wanted {want:?} in {:?}",
+                e.to_string()
             );
         }
+    }
+
+    /// A stage id that truncates modulo 2^32 into the plausible range
+    /// must still be rejected — the regression the width audit fixed.
+    #[test]
+    fn truncating_stage_id_rejected() {
+        let text = "naspipe-transcript v1\nsubnet 0 1,2\ntask 1 2 F 0 4294967299 0 1\n";
+        let e = Transcript::read(&mut text.as_bytes()).unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("4294967299") && msg.contains("line 3"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //! naspipe search --space CV.c2 --gpus 8 --subnets 120 --rounds 96 [--seed 7]
 //!                [--metrics-addr 127.0.0.1:9464]
 //! naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]
+//! naspipe replay-check [--corpus traces/golden] [--mode strict|lenient]
+//!                [--case SUBSTR] [--bless]
 //! ```
 //!
 //! With `--metrics-addr`, the run serves live Prometheus 0.0.4 text on
 //! `GET /metrics` while training (`curl http://ADDR/metrics`).
+//!
+//! `replay-check` is the behavioral twin of `bench-check`: it re-executes
+//! the committed golden traces against the current scheduler and fails
+//! (strict mode) on any divergence, naming the first divergent task.
 
 use naspipe::baselines::SystemKind;
 use naspipe::core::pipeline::run_pipeline_telemetry;
@@ -24,33 +30,128 @@ use naspipe::core::transcript::{replay_transcript, Transcript};
 use naspipe::obs::{MetricsServer, RunMeta, SpanTracer, TelemetryHub, TelemetryOptions};
 use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
 use naspipe::supernet::space::{SearchSpace, SpaceId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::BufReader;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-/// Parsed `--key value` options plus the subcommand.
+/// Parsed `--key value` options and bare `--flag`s plus the subcommand.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Args {
     command: String,
     options: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
+}
+
+/// Every subcommand with its value-taking options and bare flags. The
+/// parser validates against this table so a typo like `--thread 4` is an
+/// error with a suggestion instead of a silent no-op.
+const COMMANDS: &[(&str, &[&str], &[&str])] = &[
+    ("spaces", &[], &[]),
+    (
+        "train",
+        &[
+            "space",
+            "gpus",
+            "subnets",
+            "seed",
+            "batch",
+            "threads",
+            "system",
+            "transcript",
+            "engine",
+            "metrics-addr",
+            "sample-interval-ms",
+        ],
+        &[],
+    ),
+    ("replay", &["space", "transcript", "seed", "threads"], &[]),
+    (
+        "search",
+        &[
+            "space",
+            "gpus",
+            "subnets",
+            "seed",
+            "rounds",
+            "threads",
+            "metrics-addr",
+            "sample-interval-ms",
+        ],
+        &[],
+    ),
+    (
+        "bench-check",
+        &["baseline", "threshold-pct", "subnets"],
+        &[],
+    ),
+    ("replay-check", &["corpus", "mode", "case"], &["bless"]),
+];
+
+/// Edit distance for the did-you-mean suggestion on unknown options.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+fn suggest<'a>(unknown: &str, known: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    known
+        .map(|k| (levenshtein(unknown, k), k))
+        .filter(|&(d, _)| d <= 3)
+        .min()
+        .map(|(_, k)| k)
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let command = argv.first().cloned().ok_or("missing subcommand")?;
+    let (_, value_opts, flag_opts) = COMMANDS
+        .iter()
+        .find(|(name, _, _)| *name == command)
+        .ok_or_else(|| {
+            let hint = suggest(&command, COMMANDS.iter().map(|(n, _, _)| *n))
+                .map(|s| format!(" (did you mean '{s}'?)"))
+                .unwrap_or_default();
+            format!("unknown subcommand '{command}'{hint}")
+        })?;
     let mut options = BTreeMap::new();
+    let mut flags = BTreeSet::new();
     let mut i = 1;
     while i < argv.len() {
         let key = argv[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got '{}'", argv[i]))?;
+        if flag_opts.contains(&key) {
+            flags.insert(key.to_string());
+            i += 1;
+            continue;
+        }
+        if !value_opts.contains(&key) {
+            let hint = suggest(key, value_opts.iter().chain(flag_opts.iter()).copied())
+                .map(|s| format!(" (did you mean --{s}?)"))
+                .unwrap_or_default();
+            return Err(format!("unknown option --{key} for '{command}'{hint}"));
+        }
         let value = argv
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
         options.insert(key.to_string(), value.clone());
         i += 2;
     }
-    Ok(Args { command, options })
+    Ok(Args {
+        command,
+        options,
+        flags,
+    })
 }
 
 impl Args {
@@ -299,6 +400,51 @@ fn cmd_bench_check(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `naspipe replay-check`: the golden-trace behavioral gate. Re-executes
+/// every committed golden trace against the current scheduler; strict
+/// mode fails on any divergence (the CI gate), lenient mode prints the
+/// same report but always exits zero (audit). `--bless` regenerates the
+/// corpus after an intentional schedule change.
+fn cmd_replay_check(args: &Args) -> Result<(), String> {
+    use naspipe::core::replay_gate::{self, GateMode};
+
+    let corpus = args
+        .options
+        .get("corpus")
+        .cloned()
+        .unwrap_or_else(|| replay_gate::DEFAULT_CORPUS_DIR.to_string());
+    let dir = std::path::Path::new(&corpus);
+    let filter = args.options.get("case").map(String::as_str);
+
+    if args.flags.contains("bless") {
+        eprintln!("blessing golden traces under {corpus}...");
+        let written = replay_gate::bless(dir, filter)?;
+        for path in &written {
+            println!("blessed {path}");
+        }
+        println!("replay-check: {} golden trace(s) recorded", written.len());
+        return Ok(());
+    }
+
+    let mode = match args.options.get("mode").map(String::as_str) {
+        None | Some("strict") => GateMode::Strict,
+        Some("lenient") => GateMode::Lenient,
+        Some(other) => return Err(format!("unknown mode '{other}' (strict|lenient)")),
+    };
+    eprintln!("replaying golden traces under {corpus}...");
+    let report = replay_gate::run_gate(dir, filter)?;
+    print!("{}", report.render_text());
+    if report.ok() || mode == GateMode::Lenient {
+        Ok(())
+    } else {
+        Err(format!(
+            "replay-check failed: {} divergence(s) from the golden corpus \
+             (run with --mode lenient to audit, or --bless after an intentional change)",
+            report.divergences()
+        ))
+    }
+}
+
 fn cmd_replay(args: &Args) -> Result<(), String> {
     let space = args.space()?;
     let seed = args.u64_opt("seed", 0)?;
@@ -362,7 +508,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: naspipe <spaces|train|replay|search|bench-check> [--option value ..]\n\
+    "usage: naspipe <spaces|train|replay|search|bench-check|replay-check> [--option value ..]\n\
      \n\
      naspipe spaces\n\
      naspipe train  --space NLP.c2 [--gpus 8] [--subnets 64] [--seed 0]\n\
@@ -375,13 +521,19 @@ fn usage() -> &'static str {
      \x20              [--threads 0] [--metrics-addr HOST:PORT]\n\
      naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]\n\
      \x20              [--subnets 24]\n\
+     naspipe replay-check [--corpus traces/golden] [--mode strict|lenient]\n\
+     \x20              [--case SUBSTR] [--bless]\n\
      \n\
      --threads sets the compute-pool worker count (0 = NASPIPE_THREADS\n\
      or the machine's parallelism); it never changes numeric results.\n\
      --metrics-addr serves live Prometheus 0.0.4 text on GET /metrics\n\
      while the run is in flight (port 0 picks an ephemeral port).\n\
      bench-check exits non-zero when fresh compute throughput falls more\n\
-     than the threshold below the tracked BENCH_compute.json baseline."
+     than the threshold below the tracked BENCH_compute.json baseline.\n\
+     replay-check re-executes the committed golden traces against the\n\
+     current scheduler; --mode strict (default) fails on any divergence,\n\
+     naming the first divergent task; --mode lenient prints the same\n\
+     report but exits zero; --bless regenerates the corpus."
 }
 
 fn main() -> ExitCode {
@@ -402,6 +554,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&args),
         "search" => cmd_search(&args),
         "bench-check" => cmd_bench_check(&args),
+        "replay-check" => cmd_replay_check(&args),
+        // parse_args already rejects unknown subcommands.
         other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
     };
     match result {
@@ -435,6 +589,44 @@ mod tests {
         assert!(parse_args(&argv("train space NLP.c2")).is_err());
         assert!(parse_args(&argv("train --space")).is_err());
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_options_with_a_suggestion() {
+        // `--thread` used to be silently ignored; now it must error and
+        // point at the real spelling.
+        let err = parse_args(&argv("train --space NLP.c2 --thread 4")).unwrap_err();
+        assert!(err.contains("unknown option --thread for 'train'"), "{err}");
+        assert!(err.contains("did you mean --threads?"), "{err}");
+        // An option valid elsewhere is still unknown here.
+        let err = parse_args(&argv("replay --space NLP.c2 --rounds 9")).unwrap_err();
+        assert!(
+            err.contains("unknown option --rounds for 'replay'"),
+            "{err}"
+        );
+        // No close match: no misleading suggestion.
+        let err = parse_args(&argv("train --space NLP.c2 --zzzzzzzzzz 1")).unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_subcommands_with_a_suggestion() {
+        let err = parse_args(&argv("trian --space NLP.c2")).unwrap_err();
+        assert!(err.contains("unknown subcommand 'trian'"), "{err}");
+        assert!(err.contains("did you mean 'train'?"), "{err}");
+    }
+
+    #[test]
+    fn parses_replay_check_flags() {
+        let a = parse_args(&argv("replay-check --mode lenient --bless --case des")).unwrap();
+        assert_eq!(a.command, "replay-check");
+        assert_eq!(a.options["mode"], "lenient");
+        assert_eq!(a.options["case"], "des");
+        assert!(a.flags.contains("bless"));
+        // --bless is a bare flag: the next token is not swallowed as a value.
+        let a = parse_args(&argv("replay-check --bless --mode strict")).unwrap();
+        assert!(a.flags.contains("bless"));
+        assert_eq!(a.options["mode"], "strict");
     }
 
     #[test]
