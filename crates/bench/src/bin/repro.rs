@@ -10,8 +10,8 @@
 //! floating-point training for dozens of pipeline schedules.
 
 use naspipe_bench::experiments::{
-    cache_sweep, compute, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute, replay,
-    soundness, table1, table2, table3, table4, table5, telemetry, topology, trace,
+    cache_sweep, compute, crash, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute,
+    replay, soundness, table1, table2, table3, table4, table5, telemetry, topology, trace,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
 use naspipe_supernet::space::SpaceId;
@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "recompute",
     "obs",
     "faults",
+    "crash",
     "trace",
     "bench",
     "telemetry",
@@ -231,6 +232,26 @@ fn run_experiment(name: &str, check: bool) {
             assert!(
                 r.bitwise_equal && r.csp_ok && r.schedule_reproducible,
                 "fault-tolerance verdicts failed"
+            );
+        }
+        "crash" => {
+            banner(
+                "Extra: crash-injection and durable resume",
+                "A seed x stages x crash-point matrix of real process deaths: each cell trains NLP.c2 in a child naspipe process with durable checkpointing, aborts it either at a specific forward task or in the middle of a snapshot write, then resumes a fresh process from disk — demanding a final parameter hash and loss digest bitwise equal to an uninterrupted baseline. Set REPRO_CRASH_JSON=1 to also dump JSON. Requires the naspipe binary in the same target directory (or NASPIPE_BIN).",
+            );
+            let r = crash::run(SpaceId::NlpC2, 24, 8, &[5, 13, 21], &[3]);
+            println!("{}", crash::render(&r));
+            let json_on =
+                std::env::var("REPRO_CRASH_JSON").is_ok_and(|v| !v.is_empty() && v != "0");
+            if json_on {
+                println!("{}", crash::render_json(&r));
+            }
+            assert!(
+                r.all_ok(),
+                "crash-matrix verdicts failed: every cell must crash, resume \
+                 from disk, and finish bitwise equal to its uninterrupted \
+                 baseline (failed cells keep their snapshot directories under \
+                 the system temp dir for inspection)"
             );
         }
         "trace" => {

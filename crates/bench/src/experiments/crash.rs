@@ -1,0 +1,494 @@
+//! Crash-injection harness: kill a real training *process* at seeded
+//! points — including in the middle of a durable checkpoint write — then
+//! resume a fresh process from disk and demand bitwise identity.
+//!
+//! This is the cross-process counterpart of [`crate::experiments::faults`]:
+//! there the supervisor recovers threads inside one process; here the
+//! whole process dies (`std::process::abort`, exit by signal) and the
+//! only surviving state is the durable snapshot directory. For every
+//! cell of a seed × stages × crash-point matrix the harness runs three
+//! child `naspipe train --engine threaded` processes:
+//!
+//! 1. **baseline** — uninterrupted, no persistence; records the final
+//!    parameter hash and loss digest from the machine-readable `RESULT`
+//!    line;
+//! 2. **crash** — with `--checkpoint-dir`, killed either at a specific
+//!    `(stage, subnet)` forward task (`--kill-at`) or mid-way through
+//!    the n-th snapshot write (`NASPIPE_CRASH_WRITE=n`), and expected to
+//!    die abnormally;
+//! 3. **resume** — same configuration plus `--resume`, expected to load
+//!    the newest valid snapshot and finish with a `RESULT` line bitwise
+//!    equal to the baseline's.
+
+use naspipe_supernet::space::{SearchSpace, SpaceId};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Where the child process is made to die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Abort when `stage` starts `subnet`'s forward task.
+    KillAt {
+        /// The stage whose worker pulls the trigger.
+        stage: u32,
+        /// The trigger subnet's sequence id.
+        subnet: u64,
+    },
+    /// Abort half-way through writing the n-th durable snapshot,
+    /// leaving a torn temp file behind (the atomic-rename protocol must
+    /// make this invisible to the resume).
+    MidWrite {
+        /// Which persist call (1-based) dies mid-write.
+        persist_call: u64,
+    },
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashPoint::KillAt { stage, subnet } => write!(f, "kill-at {stage}:SN{subnet}"),
+            CrashPoint::MidWrite { persist_call } => write!(f, "mid-write #{persist_call}"),
+        }
+    }
+}
+
+/// The parsed machine-readable `RESULT` line of one child run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildResult {
+    /// Bitwise FNV-1a hash of the final parameter store.
+    pub hash: u64,
+    /// FNV-1a digest over the `(step, loss)` sequence.
+    pub loss_digest: u64,
+    /// Number of per-subnet losses recorded.
+    pub losses: u64,
+}
+
+/// Parses `RESULT hash=<hex> loss_digest=<hex> losses=<n>` from a child's
+/// stdout.
+pub fn parse_result(stdout: &str) -> Option<ChildResult> {
+    let line = stdout.lines().find(|l| l.starts_with("RESULT "))?;
+    let mut hash = None;
+    let mut loss_digest = None;
+    let mut losses = None;
+    for field in line.split_whitespace().skip(1) {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "hash" => hash = u64::from_str_radix(value, 16).ok(),
+            "loss_digest" => loss_digest = u64::from_str_radix(value, 16).ok(),
+            "losses" => losses = value.parse().ok(),
+            _ => {}
+        }
+    }
+    Some(ChildResult {
+        hash: hash?,
+        loss_digest: loss_digest?,
+        losses: losses?,
+    })
+}
+
+/// Parses the resumed watermark from a child's
+/// `naspipe: resuming from watermark W (path)` stderr line.
+pub fn parse_resume_watermark(stderr: &str) -> Option<u64> {
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("naspipe: resuming from watermark "))?;
+    line.trim_start_matches("naspipe: resuming from watermark ")
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// One cell of the crash matrix with its hard verdicts.
+#[derive(Debug, Clone)]
+pub struct CrashCell {
+    /// Sampler/training seed of the cell.
+    pub seed: u64,
+    /// Stage threads in the child runs.
+    pub gpus: u32,
+    /// Where the crash run was made to die.
+    pub point: CrashPoint,
+    /// Whether the crash run died abnormally as demanded.
+    pub crashed: bool,
+    /// Complete snapshots on disk after the crash.
+    pub snapshots_after_crash: usize,
+    /// Watermark the resume run reported loading, if any (a crash
+    /// before the first completed cut legitimately restarts from 0).
+    pub resumed_watermark: Option<u64>,
+    /// The uninterrupted baseline's result.
+    pub baseline: Option<ChildResult>,
+    /// The resumed run's result.
+    pub resumed: Option<ChildResult>,
+}
+
+impl CrashCell {
+    /// Hard verdict: the child crashed, the resume finished, and its
+    /// hash/loss digest are bitwise equal to the uninterrupted baseline.
+    pub fn ok(&self) -> bool {
+        self.crashed
+            && match (self.baseline, self.resumed) {
+                (Some(b), Some(r)) => b == r,
+                _ => false,
+            }
+    }
+}
+
+/// The whole matrix run.
+#[derive(Debug, Clone)]
+pub struct CrashRun {
+    /// Space trained by every cell.
+    pub space: SpaceId,
+    /// Subnets per child run.
+    pub num_subnets: u64,
+    /// Durable checkpoint interval in subnets.
+    pub interval: u64,
+    /// One cell per seed × gpus × crash point.
+    pub cells: Vec<CrashCell>,
+}
+
+impl CrashRun {
+    /// Whether every cell's hard verdict holds.
+    pub fn all_ok(&self) -> bool {
+        !self.cells.is_empty() && self.cells.iter().all(CrashCell::ok)
+    }
+}
+
+/// Locates the `naspipe` CLI binary: `NASPIPE_BIN` when set, else next
+/// to the current executable (cargo puts workspace binaries in the same
+/// `target/<profile>` directory; test binaries one level down in
+/// `deps/`).
+pub fn naspipe_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("NASPIPE_BIN") {
+        return PathBuf::from(p);
+    }
+    let exe = std::env::current_exe().expect("current exe is queryable");
+    let mut dir = exe.parent().expect("exe has a parent").to_path_buf();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join(format!("naspipe{}", std::env::consts::EXE_SUFFIX))
+}
+
+#[derive(Clone, Copy)]
+struct ChildSpec<'a> {
+    space: SpaceId,
+    gpus: u32,
+    subnets: u64,
+    seed: u64,
+    interval: u64,
+    checkpoint_dir: Option<&'a Path>,
+    resume: bool,
+    kill_at: Option<(u32, u64)>,
+    crash_write: Option<u64>,
+}
+
+fn run_child(bin: &Path, spec: &ChildSpec<'_>) -> std::io::Result<Output> {
+    let mut cmd = Command::new(bin);
+    cmd.arg("train")
+        .arg("--space")
+        .arg(spec.space.to_string())
+        .arg("--engine")
+        .arg("threaded")
+        .arg("--gpus")
+        .arg(spec.gpus.to_string())
+        .arg("--subnets")
+        .arg(spec.subnets.to_string())
+        .arg("--seed")
+        .arg(spec.seed.to_string())
+        .arg("--threads")
+        .arg("2");
+    if let Some(dir) = spec.checkpoint_dir {
+        cmd.arg("--checkpoint-dir")
+            .arg(dir)
+            .arg("--checkpoint-interval")
+            .arg(spec.interval.to_string());
+    }
+    if spec.resume {
+        cmd.arg("--resume");
+    }
+    if let Some((stage, subnet)) = spec.kill_at {
+        cmd.arg("--kill-at").arg(format!("{stage}:{subnet}"));
+    }
+    match spec.crash_write {
+        Some(n) => cmd.env("NASPIPE_CRASH_WRITE", n.to_string()),
+        None => cmd.env_remove("NASPIPE_CRASH_WRITE"),
+    };
+    cmd.output()
+}
+
+fn count_snapshots(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    name.starts_with("ckpt-") && name.ends_with(".snap")
+                })
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Runs the crash matrix: for every `seed` × `gpus` × crash point, a
+/// baseline, a crashed, and a resumed child process, with bitwise
+/// verdicts per cell. Snapshot directories live under a fresh
+/// subdirectory of the system temp dir and are removed when the cell's
+/// verdict holds (kept for inspection when it fails).
+///
+/// # Panics
+///
+/// Panics if the `naspipe` binary cannot be spawned (it must be built
+/// into the same target directory, or named via `NASPIPE_BIN`).
+pub fn run(id: SpaceId, n: u64, interval: u64, seeds: &[u64], gpus_list: &[u32]) -> CrashRun {
+    run_with_bin(&naspipe_bin(), id, n, interval, seeds, gpus_list)
+}
+
+/// [`run`] against an explicitly named `naspipe` binary (e.g. the
+/// `CARGO_BIN_EXE_naspipe` path inside integration tests).
+pub fn run_with_bin(
+    bin: &Path,
+    id: SpaceId,
+    n: u64,
+    interval: u64,
+    seeds: &[u64],
+    gpus_list: &[u32],
+) -> CrashRun {
+    let space = SearchSpace::from_id(id);
+    assert!(space.num_blocks() > 0, "space resolves");
+    let mut cells = Vec::new();
+    let scratch = std::env::temp_dir().join(format!("naspipe-crash-{}", std::process::id()));
+
+    for &seed in seeds {
+        for &gpus in gpus_list {
+            let baseline_spec = ChildSpec {
+                space: id,
+                gpus,
+                subnets: n,
+                seed,
+                interval,
+                checkpoint_dir: None,
+                resume: false,
+                kill_at: None,
+                crash_write: None,
+            };
+            let baseline_out = run_child(bin, &baseline_spec)
+                .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", bin.display()));
+            let baseline = parse_result(&String::from_utf8_lossy(&baseline_out.stdout));
+
+            // Kill the last stage mid-stream (after at least one cut can
+            // complete), and die mid-way through the second snapshot.
+            let points = [
+                CrashPoint::KillAt {
+                    stage: gpus - 1,
+                    subnet: interval + n / 2 % interval + 1,
+                },
+                CrashPoint::MidWrite { persist_call: 2 },
+            ];
+            for point in points {
+                let dir = scratch.join(format!("s{seed}-g{gpus}-{point}").replace([' ', ':'], "_"));
+                let _ = std::fs::remove_dir_all(&dir);
+                std::fs::create_dir_all(&dir).expect("scratch dir creatable");
+
+                let (kill_at, crash_write) = match point {
+                    CrashPoint::KillAt { stage, subnet } => (Some((stage, subnet)), None),
+                    CrashPoint::MidWrite { persist_call } => (None, Some(persist_call)),
+                };
+                let crash_spec = ChildSpec {
+                    checkpoint_dir: Some(&dir),
+                    kill_at,
+                    crash_write,
+                    ..baseline_spec
+                };
+                let crash_out = run_child(bin, &crash_spec)
+                    .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", bin.display()));
+                let crashed = !crash_out.status.success();
+                let snapshots_after_crash = count_snapshots(&dir);
+
+                let resume_spec = ChildSpec {
+                    checkpoint_dir: Some(&dir),
+                    resume: true,
+                    ..baseline_spec
+                };
+                let resume_out = run_child(bin, &resume_spec)
+                    .unwrap_or_else(|e| panic!("cannot spawn {}: {e}", bin.display()));
+                let resumed = parse_result(&String::from_utf8_lossy(&resume_out.stdout));
+                let resumed_watermark =
+                    parse_resume_watermark(&String::from_utf8_lossy(&resume_out.stderr));
+
+                let cell = CrashCell {
+                    seed,
+                    gpus,
+                    point,
+                    crashed,
+                    snapshots_after_crash,
+                    resumed_watermark,
+                    baseline,
+                    resumed,
+                };
+                if cell.ok() {
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+                cells.push(cell);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir(&scratch);
+    CrashRun {
+        space: id,
+        num_subnets: n,
+        interval,
+        cells,
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "FAIL"
+    }
+}
+
+/// Renders the matrix as a per-cell table with hard verdicts.
+pub fn render(run: &CrashRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} crash matrix: {} subnets per run, durable interval {}, {} cell(s)",
+        run.space,
+        run.num_subnets,
+        run.interval,
+        run.cells.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<6} {:<18} {:<8} {:<6} {:<8} {:<18} {:<18} verdict",
+        "seed",
+        "stages",
+        "crash point",
+        "crashed",
+        "snaps",
+        "resume@",
+        "baseline hash",
+        "resumed hash"
+    );
+    for c in &run.cells {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<6} {:<18} {:<8} {:<6} {:<8} {:<18} {:<18} {}",
+            c.seed,
+            c.gpus,
+            c.point.to_string(),
+            c.crashed,
+            c.snapshots_after_crash,
+            c.resumed_watermark
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "-".into()),
+            c.baseline
+                .map(|r| format!("{:016x}", r.hash))
+                .unwrap_or_else(|| "-".into()),
+            c.resumed
+                .map(|r| format!("{:016x}", r.hash))
+                .unwrap_or_else(|| "-".into()),
+            verdict(c.ok()),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "all cells bitwise equal after cross-process resume: {}",
+        verdict(run.all_ok())
+    );
+    out
+}
+
+/// Renders the matrix as a JSON object for CI artifacts.
+pub fn render_json(run: &CrashRun) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"space\":\"{}\",\"num_subnets\":{},\"interval\":{},\"all_ok\":{},\"cells\":[",
+        run.space,
+        run.num_subnets,
+        run.interval,
+        run.all_ok()
+    );
+    for (i, c) in run.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seed\":{},\"gpus\":{},\"point\":\"{}\",\"crashed\":{},\
+             \"snapshots_after_crash\":{},\"resumed_watermark\":{},\
+             \"baseline_hash\":{},\"resumed_hash\":{},\"ok\":{}}}",
+            c.seed,
+            c.gpus,
+            c.point,
+            c.crashed,
+            c.snapshots_after_crash,
+            c.resumed_watermark
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "null".into()),
+            c.baseline
+                .map(|r| format!("\"{:016x}\"", r.hash))
+                .unwrap_or_else(|| "null".into()),
+            c.resumed
+                .map(|r| format!("\"{:016x}\"", r.hash))
+                .unwrap_or_else(|| "null".into()),
+            c.ok(),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_line_parses() {
+        let stdout = "threaded CSP on NLP.c2 x 3 stages: 24 subnets trained\n\
+                      RESULT hash=701e0f31c6c01bfc loss_digest=38f5d52f6609eafe losses=24\n";
+        let r = parse_result(stdout).unwrap();
+        assert_eq!(r.hash, 0x701e_0f31_c6c0_1bfc);
+        assert_eq!(r.loss_digest, 0x38f5_d52f_6609_eafe);
+        assert_eq!(r.losses, 24);
+        assert_eq!(parse_result("no result here"), None);
+        assert_eq!(parse_result("RESULT hash=xyz loss_digest=0 losses=1"), None);
+    }
+
+    #[test]
+    fn resume_watermark_parses() {
+        let stderr = "naspipe: resuming from watermark 16 (ck/ckpt-16.snap)\n";
+        assert_eq!(parse_resume_watermark(stderr), Some(16));
+        assert_eq!(parse_resume_watermark("naspipe: starting fresh"), None);
+    }
+
+    #[test]
+    fn crash_points_render_distinctly() {
+        let a = CrashPoint::KillAt {
+            stage: 2,
+            subnet: 13,
+        };
+        let b = CrashPoint::MidWrite { persist_call: 2 };
+        assert_eq!(a.to_string(), "kill-at 2:SN13");
+        assert_eq!(b.to_string(), "mid-write #2");
+    }
+
+    #[test]
+    fn empty_matrix_is_not_ok() {
+        let r = CrashRun {
+            space: SpaceId::NlpC2,
+            num_subnets: 24,
+            interval: 8,
+            cells: Vec::new(),
+        };
+        assert!(!r.all_ok(), "vacuous success must not count");
+    }
+}

@@ -24,14 +24,27 @@ use naspipe_obs::SpanId;
 use naspipe_tensor::layers::DenseParams;
 use naspipe_tensor::model::NumericSupernet;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// Upper bound on *partial* (incomplete) watermark entries retained.
+///
+/// The injection barrier keeps genuine in-flight cuts to a handful (the
+/// in-flight window spans at most `window / interval + 1` boundaries), so
+/// anything beyond this is a stage that died or wedged before reporting —
+/// those entries can never complete (stages cross boundaries
+/// monotonically within an incarnation, and a respawned worker re-records
+/// from its resume cut upward), and without a cap a persistently failing
+/// stage would grow the map without bound on long runs. The lowest
+/// partials are dropped first: recovery only ever resumes from
+/// [`CheckpointStore::latest_complete`], which a partial never is.
+pub const MAX_PARTIAL_CUTS: usize = 8;
 
 /// One stage's frozen state at a watermark.
 ///
 /// Everything a respawned worker needs to continue bitwise-exactly:
 /// its parameter slice, its engine (which embeds per-layer momentum
 /// velocity), and — on the last stage — the losses recorded so far.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageSnapshot {
     /// The stage's owned parameter slice, indexed
     /// `[block - blocks.start][choice]`.
@@ -44,7 +57,7 @@ pub struct StageSnapshot {
 }
 
 /// A complete consistent cut: all stages' snapshots at one watermark.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// The exploration-order watermark: subnets `0..watermark` are fully
     /// trained in this state, nothing beyond has started.
@@ -94,9 +107,16 @@ impl CheckpointStore {
     /// Returns `true` when this call completed the cut — every stage has
     /// now snapshotted `watermark`.
     ///
+    /// A poisoned mutex is recovered, not propagated: a stage worker
+    /// panicking while holding the lock is exactly the failure the
+    /// supervisor recovers from, so amplifying it into a supervisor
+    /// panic would turn one recoverable fault into an abort. The map is
+    /// structurally valid after any partial `record` (entries are
+    /// inserted whole), so the recovered data is safe to keep using.
+    ///
     /// # Panics
     ///
-    /// Panics if `stage` is out of range or the store mutex is poisoned.
+    /// Panics if `stage` is out of range.
     pub fn record(
         &self,
         watermark: u64,
@@ -105,7 +125,7 @@ impl CheckpointStore {
         span: SpanId,
     ) -> bool {
         assert!(stage < self.gpus, "stage {stage} out of range");
-        let mut slots = self.slots.lock().expect("checkpoint store poisoned");
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = slots
             .entry(watermark)
             .or_insert_with(|| vec![None; self.gpus]);
@@ -118,16 +138,33 @@ impl CheckpointStore {
             // Newly (or already) complete: drop everything older.
             slots.retain(|&w, parts| w >= watermark || parts.iter().any(Option::is_none));
         }
+        // Bound partial-cut growth: drop the lowest incomplete entries
+        // once more than MAX_PARTIAL_CUTS accumulate (see the const).
+        let partials = slots
+            .iter()
+            .filter(|(_, parts)| parts.iter().any(Option::is_none))
+            .count();
+        if partials > MAX_PARTIAL_CUTS {
+            let drop: Vec<u64> = slots
+                .iter()
+                .filter(|(_, parts)| parts.iter().any(Option::is_none))
+                .map(|(&w, _)| w)
+                .take(partials - MAX_PARTIAL_CUTS)
+                .collect();
+            for w in drop {
+                slots.remove(&w);
+            }
+        }
         complete && !was_complete
     }
 
     /// The highest watermark every stage has snapshotted, if any.
     ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex is poisoned.
+    /// Recovers from a poisoned mutex (see [`record`](Self::record)) —
+    /// this is the supervisor's resume-point query, the one place where
+    /// poison amplification would abort an otherwise recoverable run.
     pub fn latest_complete(&self) -> Option<Checkpoint> {
-        let slots = self.slots.lock().expect("checkpoint store poisoned");
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         slots
             .iter()
             .rev()
@@ -151,15 +188,11 @@ impl CheckpointStore {
     }
 
     /// Watermarks currently held (complete or partial), ascending — for
-    /// tests and diagnostics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the store mutex is poisoned.
+    /// tests and diagnostics. Recovers from a poisoned mutex.
     pub fn watermarks(&self) -> Vec<u64> {
         self.slots
             .lock()
-            .expect("checkpoint store poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .copied()
             .collect()
@@ -231,5 +264,65 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_stage_panics() {
         CheckpointStore::new(1).record(0, 1, snap(), SpanId::EXTERNAL);
+    }
+
+    #[test]
+    fn poisoned_store_still_records_and_recovers() {
+        use std::sync::Arc;
+
+        let store = Arc::new(CheckpointStore::new(2));
+        store.record(4, 0, snap(), SpanId(1));
+        store.record(4, 1, snap(), SpanId(2));
+
+        // A recorder thread dies mid-`record` while holding the slots
+        // lock — the panic poisons the mutex.
+        let poisoner = Arc::clone(&store);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.slots.lock().unwrap();
+            panic!("stage worker dies holding the checkpoint lock");
+        });
+        assert!(handle.join().is_err(), "poisoner must panic");
+
+        // The supervisor's resume query and later records must recover
+        // the data instead of amplifying the panic.
+        assert_eq!(store.latest_complete().expect("recovered").watermark, 4);
+        assert!(!store.record(8, 0, snap(), SpanId(3)));
+        assert!(store.record(8, 1, snap(), SpanId(4)));
+        assert_eq!(store.latest_complete().expect("recovered").watermark, 8);
+        assert_eq!(store.watermarks(), vec![8]);
+    }
+
+    #[test]
+    fn partial_cut_growth_is_bounded() {
+        // Stage 1 never reports: without the cap, every watermark stage 0
+        // reaches would be retained forever.
+        let store = CheckpointStore::new(2);
+        let rounds = (MAX_PARTIAL_CUTS as u64 + 20) * 4;
+        for w in (4..=rounds).step_by(4) {
+            store.record(w, 0, snap(), SpanId(w));
+        }
+        let held = store.watermarks();
+        assert_eq!(held.len(), MAX_PARTIAL_CUTS, "partials must be capped");
+        // The newest partials survive; the stale low ones are dropped.
+        assert_eq!(held.last().copied(), Some(rounds));
+        assert_eq!(
+            held.first().copied(),
+            Some(rounds - 4 * (MAX_PARTIAL_CUTS as u64 - 1))
+        );
+        assert!(store.latest_complete().is_none());
+    }
+
+    #[test]
+    fn partial_cap_never_drops_complete_cuts() {
+        let store = CheckpointStore::new(2);
+        store.record(4, 0, snap(), SpanId(1));
+        store.record(4, 1, snap(), SpanId(2));
+        for w in (8..(8 + 4 * (MAX_PARTIAL_CUTS as u64 + 6))).step_by(4) {
+            store.record(w, 0, snap(), SpanId(w));
+        }
+        // The complete cut at 4 outlives any amount of partial churn.
+        assert_eq!(store.latest_complete().expect("complete").watermark, 4);
+        assert!(store.watermarks().contains(&4));
+        assert_eq!(store.watermarks().len(), MAX_PARTIAL_CUTS + 1);
     }
 }

@@ -1,0 +1,825 @@
+//! Durable, crash-safe checkpoint snapshots.
+//!
+//! The in-memory [`CheckpointStore`](crate::checkpoint::CheckpointStore)
+//! gives the supervised runtime *in-process* recovery; this module makes
+//! the same CSP-watermark consistent cuts survive a process death. The
+//! contract mirrors the in-memory one: a snapshot at watermark `W` is
+//! exactly the state a sequential run holds after training subnets
+//! `0..W`, so resuming from disk continues to a final parameter hash
+//! bitwise-equal to an uninterrupted run.
+//!
+//! # Durability model
+//!
+//! * **Atomic writes.** A snapshot is encoded into a buffer, written to a
+//!   `*.tmp` sibling, flushed (`sync_all`), and atomically renamed to its
+//!   final `ckpt-<watermark>.snap` name. A crash at any byte of the write
+//!   leaves either the previous snapshot set intact or an orphaned tmp
+//!   file the loader never reads — torn snapshots are impossible by
+//!   construction.
+//! * **Checksums.** Every file ends in a 64-bit FNV-1a checksum of all
+//!   preceding bytes; any single-bit corruption is detected at load.
+//! * **Fingerprints.** Every file carries the [`run_fingerprint`] of the
+//!   training run that wrote it (space shape, subnet stream, training
+//!   config, stage count, checkpoint interval). A snapshot from a
+//!   different run is rejected as
+//!   [`DurableError::FingerprintMismatch`] — resuming it would silently
+//!   break bitwise identity.
+//! * **Manifest + retention.** `MANIFEST` records the retained cuts
+//!   (newest last) and is itself written atomically. Persisting a new cut
+//!   garbage-collects the oldest beyond `keep`; the loader prefers the
+//!   newest valid snapshot and falls back cut by cut, so one corrupt file
+//!   never loses the run.
+//!
+//! The v1 snapshot grammar is documented in `DESIGN.md` §3g.
+
+use crate::checkpoint::{Checkpoint, StageSnapshot};
+use crate::train::TrainConfig;
+use naspipe_obs::SpanId;
+use naspipe_supernet::layer::LayerRef;
+use naspipe_supernet::space::SearchSpace;
+use naspipe_supernet::subnet::Subnet;
+use naspipe_tensor::layers::{DenseGrads, DenseParams};
+use naspipe_tensor::model::{NumericSupernet, Optimizer};
+use naspipe_tensor::optim::{MomentumSgd, Sgd};
+use naspipe_tensor::tensor::Tensor;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic prefix of every snapshot file.
+pub const SNAP_MAGIC: &[u8; 12] = b"NASPIPE-SNAP";
+/// Snapshot format version this build writes and reads.
+pub const SNAP_VERSION: u32 = 1;
+/// Magic first line of the manifest.
+pub const MANIFEST_MAGIC: &str = "naspipe-manifest v1";
+/// Default number of complete cuts retained on disk.
+pub const DEFAULT_KEEP: usize = 3;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Counts [`DurableStore::persist`] calls process-wide, so the
+/// `NASPIPE_CRASH_WRITE=<n>` chaos hook can abort deterministically in
+/// the middle of the n-th write (exercising the atomic-rename path from
+/// outside the process).
+static PERSIST_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// FNV-1a over raw bytes — the file checksum and the run fingerprint both
+/// use it, keeping the whole format dependency-free.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Typed failures of the durable layer. Never panics: a corrupt disk must
+/// degrade into a recoverable error the supervisor (or operator) can act
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// An OS-level I/O failure (`op` names the operation, e.g. `rename`).
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Operation that failed.
+        op: &'static str,
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// No valid snapshot exists in the directory. `skipped` lists files
+    /// that were present but rejected, so an all-corrupt directory is
+    /// distinguishable from an empty one.
+    NoSnapshot {
+        /// The directory searched.
+        dir: PathBuf,
+        /// Rejected candidate files and why, newest first.
+        skipped: Vec<(PathBuf, String)>,
+    },
+    /// Structural parse failure: truncation, bad magic, or malformed
+    /// fields.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to parse.
+        detail: String,
+    },
+    /// The trailing checksum does not match the file contents.
+    ChecksumMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the actual bytes.
+        actual: u64,
+    },
+    /// The snapshot was written by a different run configuration.
+    FingerprintMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Fingerprint of the current run.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        actual: u64,
+    },
+    /// The snapshot format version is newer than this build understands.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// Version recorded in the file.
+        version: u32,
+    },
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io { path, op, detail } => {
+                write!(f, "{op} {} failed: {detail}", path.display())
+            }
+            DurableError::NoSnapshot { dir, skipped } => {
+                if skipped.is_empty() {
+                    write!(f, "no snapshot in {}", dir.display())
+                } else {
+                    write!(
+                        f,
+                        "no valid snapshot in {} ({} file(s) rejected, newest: {})",
+                        dir.display(),
+                        skipped.len(),
+                        skipped[0].1
+                    )
+                }
+            }
+            DurableError::Corrupt { path, detail } => {
+                write!(f, "corrupt snapshot {}: {detail}", path.display())
+            }
+            DurableError::ChecksumMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {}: file says {expected:016x}, contents hash to {actual:016x}",
+                path.display()
+            ),
+            DurableError::FingerprintMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot {} belongs to a different run: fingerprint {actual:016x}, \
+                 this run is {expected:016x}",
+                path.display()
+            ),
+            DurableError::UnsupportedVersion { path, version } => write!(
+                f,
+                "snapshot {} has unsupported format version {version} (this build reads v{SNAP_VERSION})",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+fn io_err(path: &Path, op: &'static str, e: &std::io::Error) -> DurableError {
+    DurableError::Io {
+        path: path.to_path_buf(),
+        op,
+        detail: e.to_string(),
+    }
+}
+
+/// Fingerprint of everything that determines a training run's state
+/// trajectory: the space shape, the exact subnet stream, the numeric
+/// training configuration, the stage count, and the checkpoint interval.
+///
+/// `TrainConfig::threads` is deliberately excluded — the compute pool
+/// never affects results, so snapshots are portable across pool sizes
+/// (just like results are).
+pub fn run_fingerprint(
+    space: &SearchSpace,
+    subnets: &[Subnet],
+    cfg: &TrainConfig,
+    gpus: u32,
+    checkpoint_interval: u64,
+) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, SNAP_MAGIC);
+    let domain_tag: u8 = match space.domain() {
+        naspipe_supernet::layer::Domain::Nlp => 0,
+        naspipe_supernet::layer::Domain::Cv => 1,
+    };
+    h = fnv1a(h, &[domain_tag]);
+    h = fnv1a(h, &(space.num_blocks() as u64).to_le_bytes());
+    for block in space.blocks() {
+        h = fnv1a(h, &block.num_choices().to_le_bytes());
+    }
+    h = fnv1a(h, &gpus.to_le_bytes());
+    h = fnv1a(h, &checkpoint_interval.to_le_bytes());
+    h = fnv1a(h, &(cfg.dim as u64).to_le_bytes());
+    h = fnv1a(h, &(cfg.rows as u64).to_le_bytes());
+    h = fnv1a(h, &cfg.lr.to_bits().to_le_bytes());
+    h = fnv1a(h, &cfg.residual_scale.to_bits().to_le_bytes());
+    h = fnv1a(h, &cfg.momentum.to_bits().to_le_bytes());
+    h = fnv1a(h, &cfg.weight_decay.to_bits().to_le_bytes());
+    h = fnv1a(h, &cfg.seed.to_le_bytes());
+    h = fnv1a(h, &(subnets.len() as u64).to_le_bytes());
+    for s in subnets {
+        h = fnv1a(h, &s.seq_id().0.to_le_bytes());
+        for &c in s.choices() {
+            h = fnv1a(h, &c.to_le_bytes());
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// v1 encoding
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Self {
+            buf: Vec::with_capacity(4096),
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn tensor(&mut self, t: &Tensor) {
+        let shape = t.shape();
+        self.u32(shape.len() as u32);
+        for &d in shape {
+            self.u32(d as u32);
+        }
+        for &x in t.data() {
+            self.f32(x);
+        }
+    }
+    fn dense(&mut self, p: &DenseParams) {
+        self.tensor(&p.weight);
+        self.tensor(&p.bias);
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.pos < n {
+            return Err(format!(
+                "truncated: wanted {n} byte(s) at offset {}, {} left",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn len(&mut self, what: &str, cap: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        // Every element of every collection takes >= 1 encoded byte, so a
+        // length exceeding the remaining bytes is structurally impossible
+        // — reject it before trying to allocate.
+        let cap = cap.min(self.bytes.len() - self.pos);
+        if n > cap {
+            return Err(format!("{what} length {n} exceeds plausible bound {cap}"));
+        }
+        Ok(n)
+    }
+    fn tensor(&mut self) -> Result<Tensor, String> {
+        let ndim = self.len("tensor rank", 8)?;
+        let mut shape = Vec::with_capacity(ndim);
+        let mut numel = 1usize;
+        for _ in 0..ndim {
+            let d = self.u32()? as usize;
+            numel = numel.saturating_mul(d);
+            shape.push(d);
+        }
+        if numel.saturating_mul(4) > self.bytes.len() - self.pos {
+            return Err(format!("tensor of {numel} element(s) exceeds file size"));
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(self.f32()?);
+        }
+        Ok(Tensor::from_vec(data, &shape))
+    }
+    fn dense(&mut self) -> Result<DenseParams, String> {
+        Ok(DenseParams {
+            weight: self.tensor()?,
+            bias: self.tensor()?,
+        })
+    }
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing byte(s) after the snapshot body",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+}
+
+fn encode_engine(enc: &mut Enc, engine: &NumericSupernet) {
+    enc.f32(engine.residual_scale());
+    match engine.optimizer() {
+        Optimizer::Sgd(o) => {
+            enc.u8(0);
+            enc.f32(o.lr);
+        }
+        Optimizer::Momentum(o) => {
+            enc.u8(1);
+            enc.f32(o.lr());
+            enc.f32(o.momentum());
+            enc.f32(o.weight_decay());
+            enc.u32(o.velocity().len() as u32);
+            for (layer, v) in o.velocity() {
+                enc.u32(layer.block);
+                enc.u32(layer.choice);
+                enc.tensor(&v.weight);
+                enc.tensor(&v.bias);
+            }
+        }
+    }
+}
+
+fn decode_engine(dec: &mut Dec<'_>) -> Result<NumericSupernet, String> {
+    let residual_scale = dec.f32()?;
+    if !(residual_scale.is_finite() && residual_scale > 0.0) {
+        return Err(format!("residual scale {residual_scale} is not positive"));
+    }
+    let optimizer = match dec.u8()? {
+        0 => {
+            let lr = dec.f32()?;
+            if !(lr.is_finite() && lr > 0.0) {
+                return Err(format!("sgd learning rate {lr} is not positive"));
+            }
+            Optimizer::Sgd(Sgd::new(lr))
+        }
+        1 => {
+            let lr = dec.f32()?;
+            let mu = dec.f32()?;
+            let wd = dec.f32()?;
+            if !(lr.is_finite() && lr > 0.0) {
+                return Err(format!("momentum learning rate {lr} is not positive"));
+            }
+            if !(0.0..1.0).contains(&mu) || !(0.0..1.0).contains(&wd) {
+                return Err(format!(
+                    "momentum coefficients out of range: mu {mu}, wd {wd}"
+                ));
+            }
+            let n = dec.len("velocity entries", usize::MAX)?;
+            let mut velocity = BTreeMap::new();
+            let mut prev: Option<LayerRef> = None;
+            for _ in 0..n {
+                let layer = LayerRef::new(dec.u32()?, dec.u32()?);
+                if prev.is_some_and(|p| p >= layer) {
+                    return Err("velocity layers out of order".into());
+                }
+                prev = Some(layer);
+                let weight = dec.tensor()?;
+                let bias = dec.tensor()?;
+                velocity.insert(layer, DenseGrads { weight, bias });
+            }
+            Optimizer::Momentum(MomentumSgd::from_state(lr, mu, wd, velocity))
+        }
+        tag => return Err(format!("unknown optimizer tag {tag}")),
+    };
+    Ok(NumericSupernet::from_parts(optimizer, residual_scale))
+}
+
+/// Encodes `ckpt` into the v1 byte format (including trailing checksum).
+/// `fingerprint` stamps the run the snapshot belongs to.
+///
+/// Exposed for tests; use [`DurableStore::persist`] to write files.
+pub fn encode_snapshot(ckpt: &Checkpoint, fingerprint: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.buf.extend_from_slice(SNAP_MAGIC);
+    enc.u32(SNAP_VERSION);
+    enc.u64(fingerprint);
+    enc.u64(ckpt.watermark);
+    enc.u32(ckpt.stages.len() as u32);
+    for stage in &ckpt.stages {
+        enc.u32(stage.params.len() as u32);
+        for block in &stage.params {
+            enc.u32(block.len() as u32);
+            for p in block {
+                enc.dense(p);
+            }
+        }
+        encode_engine(&mut enc, &stage.engine);
+        enc.u32(stage.losses.len() as u32);
+        for (&step, &loss) in &stage.losses {
+            enc.u64(step);
+            enc.f32(loss);
+        }
+    }
+    let checksum = fnv1a(FNV_OFFSET, &enc.buf);
+    enc.u64(checksum);
+    enc.buf
+}
+
+/// Parses a v1 snapshot, validating magic, version, checksum, and (when
+/// `expect_fingerprint` is `Some`) the run fingerprint. The returned
+/// checkpoint's `cut_span` is [`SpanId::EXTERNAL`] — causal spans do not
+/// survive the process boundary.
+///
+/// # Errors
+///
+/// Every malformed input maps to a typed [`DurableError`]; this function
+/// never panics on untrusted bytes.
+pub fn decode_snapshot(
+    bytes: &[u8],
+    path: &Path,
+    expect_fingerprint: Option<u64>,
+) -> Result<(Checkpoint, u64), DurableError> {
+    let corrupt = |detail: String| DurableError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    if bytes.len() < SNAP_MAGIC.len() + 4 + 8 + 8 + 4 + 8 {
+        return Err(corrupt(format!("{} byte(s) is too short", bytes.len())));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let expected = u64::from_le_bytes(tail.try_into().unwrap());
+    let actual = fnv1a(FNV_OFFSET, body);
+    if expected != actual {
+        return Err(DurableError::ChecksumMismatch {
+            path: path.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    let mut dec = Dec::new(body);
+    let magic = dec.take(SNAP_MAGIC.len()).map_err(&corrupt)?;
+    if magic != SNAP_MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    let version = dec.u32().map_err(&corrupt)?;
+    if version != SNAP_VERSION {
+        return Err(DurableError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            version,
+        });
+    }
+    let fingerprint = dec.u64().map_err(&corrupt)?;
+    if let Some(expect) = expect_fingerprint {
+        if fingerprint != expect {
+            return Err(DurableError::FingerprintMismatch {
+                path: path.to_path_buf(),
+                expected: expect,
+                actual: fingerprint,
+            });
+        }
+    }
+    let watermark = dec.u64().map_err(&corrupt)?;
+    let num_stages = dec.len("stage count", 4096).map_err(&corrupt)?;
+    if num_stages == 0 {
+        return Err(corrupt("snapshot has zero stages".into()));
+    }
+    let mut stages = Vec::with_capacity(num_stages);
+    for _ in 0..num_stages {
+        let num_blocks = dec.len("block count", usize::MAX).map_err(&corrupt)?;
+        let mut params = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            let num_choices = dec.len("choice count", usize::MAX).map_err(&corrupt)?;
+            let mut block = Vec::with_capacity(num_choices);
+            for _ in 0..num_choices {
+                block.push(dec.dense().map_err(&corrupt)?);
+            }
+            params.push(block);
+        }
+        let engine = decode_engine(&mut dec).map_err(&corrupt)?;
+        let num_losses = dec.len("loss count", usize::MAX).map_err(&corrupt)?;
+        let mut losses = BTreeMap::new();
+        let mut prev: Option<u64> = None;
+        for _ in 0..num_losses {
+            let step = dec.u64().map_err(&corrupt)?;
+            if prev.is_some_and(|p| p >= step) {
+                return Err(corrupt("loss steps out of order".into()));
+            }
+            prev = Some(step);
+            let loss = dec.f32().map_err(&corrupt)?;
+            losses.insert(step, loss);
+        }
+        stages.push(StageSnapshot {
+            params,
+            engine,
+            losses,
+        });
+    }
+    dec.done().map_err(&corrupt)?;
+    Ok((
+        Checkpoint {
+            watermark,
+            stages,
+            cut_span: SpanId::EXTERNAL,
+        },
+        fingerprint,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Store: atomic persistence, manifest, retention
+// ---------------------------------------------------------------------------
+
+/// File name of the snapshot at `watermark`. Zero-padded so
+/// lexicographic and numeric order agree.
+pub fn snapshot_file_name(watermark: u64) -> String {
+    format!("ckpt-{watermark:020}.snap")
+}
+
+fn parse_snapshot_file_name(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix("ckpt-")?.strip_suffix(".snap")?;
+    stem.parse().ok()
+}
+
+/// A successfully loaded resume point.
+#[derive(Debug, Clone)]
+pub struct LoadedCheckpoint {
+    /// The decoded consistent cut.
+    pub checkpoint: Checkpoint,
+    /// The file it came from.
+    pub path: PathBuf,
+    /// Newer candidate files that were rejected (path, reason), newest
+    /// first — non-empty means the loader *fell back*.
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+/// Handle on a checkpoint directory: persists cuts atomically, maintains
+/// the manifest, garbage-collects old cuts, and loads the newest valid
+/// one.
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    keep: usize,
+    fingerprint: u64,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) the checkpoint directory, keeping the
+    /// last `keep` complete cuts on disk (`0` is treated as `1` — a
+    /// store that retains nothing could never resume).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on directory-creation I/O errors.
+    pub fn open(dir: &Path, keep: usize, fingerprint: u64) -> Result<Self, DurableError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, "create dir", &e))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            keep: keep.max(1),
+            fingerprint,
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The run fingerprint snapshots are stamped with.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Atomically persists `ckpt`, updates the manifest, and prunes cuts
+    /// beyond the retention limit. Returns the final snapshot path.
+    ///
+    /// Honors the `NASPIPE_CRASH_WRITE=<n>` chaos hook: the n-th persist
+    /// call process-wide aborts after writing *half* of the tmp file —
+    /// simulating a power cut mid-write. The tmp file is never renamed,
+    /// so a subsequent load must still see only complete snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces I/O failures as [`DurableError::Io`]; the directory is
+    /// left with the previous snapshot set intact.
+    pub fn persist(&self, ckpt: &Checkpoint) -> Result<PathBuf, DurableError> {
+        let bytes = encode_snapshot(ckpt, self.fingerprint);
+        let final_path = self.dir.join(snapshot_file_name(ckpt.watermark));
+        let tmp_path = self
+            .dir
+            .join(format!(".{}.tmp", snapshot_file_name(ckpt.watermark)));
+
+        let call = PERSIST_CALLS.fetch_add(1, Ordering::SeqCst) + 1;
+        let crash_here = std::env::var("NASPIPE_CRASH_WRITE")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_some_and(|n| n == call);
+
+        {
+            let mut f = File::create(&tmp_path).map_err(|e| io_err(&tmp_path, "create", &e))?;
+            if crash_here {
+                // Torn write: half the bytes hit the disk, then the
+                // process dies without renaming. abort() skips all
+                // destructors and exit handlers, like SIGKILL would.
+                let half = bytes.len() / 2;
+                let _ = f.write_all(&bytes[..half]);
+                let _ = f.sync_all();
+                eprintln!(
+                    "naspipe: NASPIPE_CRASH_WRITE={call} firing: aborting mid-write of {}",
+                    tmp_path.display()
+                );
+                std::process::abort();
+            }
+            f.write_all(&bytes)
+                .map_err(|e| io_err(&tmp_path, "write", &e))?;
+            f.sync_all().map_err(|e| io_err(&tmp_path, "sync", &e))?;
+        }
+        fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, "rename", &e))?;
+        // Make the rename itself durable (best-effort: directory fsync is
+        // Linux-specific and advisory elsewhere).
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.write_manifest_and_gc(ckpt.watermark, &bytes)?;
+        Ok(final_path)
+    }
+
+    /// Rewrites the manifest to the retained set after adding
+    /// `watermark`, then deletes pruned snapshot files and stale tmps.
+    fn write_manifest_and_gc(&self, watermark: u64, bytes: &[u8]) -> Result<(), DurableError> {
+        let mut cuts = self.list_snapshots()?;
+        if !cuts.contains(&watermark) {
+            cuts.push(watermark);
+            cuts.sort_unstable();
+        }
+        let prune: Vec<u64> = if cuts.len() > self.keep {
+            cuts.drain(..cuts.len() - self.keep).collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut manifest = String::new();
+        manifest.push_str(MANIFEST_MAGIC);
+        manifest.push('\n');
+        manifest.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        manifest.push_str(&format!("keep {}\n", self.keep));
+        for &w in &cuts {
+            let (name, len, checksum) = if w == watermark {
+                let checksum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+                (snapshot_file_name(w), bytes.len() as u64, checksum)
+            } else {
+                let path = self.dir.join(snapshot_file_name(w));
+                let data = fs::read(&path).map_err(|e| io_err(&path, "read", &e))?;
+                let checksum = if data.len() >= 8 {
+                    u64::from_le_bytes(data[data.len() - 8..].try_into().unwrap())
+                } else {
+                    0
+                };
+                (snapshot_file_name(w), data.len() as u64, checksum)
+            };
+            manifest.push_str(&format!("snap {w} {name} {checksum:016x} {len}\n"));
+        }
+        let manifest_path = self.dir.join("MANIFEST");
+        let tmp = self.dir.join(".MANIFEST.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, "create", &e))?;
+            f.write_all(manifest.as_bytes())
+                .map_err(|e| io_err(&tmp, "write", &e))?;
+            f.sync_all().map_err(|e| io_err(&tmp, "sync", &e))?;
+        }
+        fs::rename(&tmp, &manifest_path).map_err(|e| io_err(&manifest_path, "rename", &e))?;
+
+        for w in prune {
+            let path = self.dir.join(snapshot_file_name(w));
+            let _ = fs::remove_file(path);
+        }
+        // Orphaned tmp files from previous crashed incarnations.
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.filter_map(Result::ok) {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with('.') && name.ends_with(".tmp") {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Watermarks of the snapshot files currently on disk, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory-read I/O errors.
+    pub fn list_snapshots(&self) -> Result<Vec<u64>, DurableError> {
+        let mut cuts: Vec<u64> = fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&self.dir, "read dir", &e))?
+            .filter_map(Result::ok)
+            .filter_map(|e| parse_snapshot_file_name(&e.file_name().to_string_lossy()))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        Ok(cuts)
+    }
+
+    /// Loads the newest valid snapshot of this run, falling back cut by
+    /// cut past corrupt, truncated, or foreign files.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::NoSnapshot`] (with the rejection list) when no
+    /// valid snapshot exists; I/O errors reading the directory.
+    pub fn load_latest(&self) -> Result<LoadedCheckpoint, DurableError> {
+        load_latest_in(&self.dir, Some(self.fingerprint))
+    }
+}
+
+/// Directory-level loader behind [`DurableStore::load_latest`] — usable
+/// without a store handle (e.g. inspection tools). Tries snapshot files
+/// newest-first; a file is used only if it parses, checksums, and (when
+/// given) fingerprint-matches.
+///
+/// # Errors
+///
+/// [`DurableError::NoSnapshot`] when the directory has no valid snapshot
+/// (including when it does not exist), I/O errors otherwise.
+pub fn load_latest_in(
+    dir: &Path,
+    expect_fingerprint: Option<u64>,
+) -> Result<LoadedCheckpoint, DurableError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => {
+            return Err(DurableError::NoSnapshot {
+                dir: dir.to_path_buf(),
+                skipped: Vec::new(),
+            })
+        }
+    };
+    let mut cuts: Vec<(u64, PathBuf)> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| {
+            parse_snapshot_file_name(&e.file_name().to_string_lossy()).map(|w| (w, e.path()))
+        })
+        .collect();
+    cuts.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
+
+    let mut skipped = Vec::new();
+    for (_, path) in cuts {
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                skipped.push((path, format!("read failed: {e}")));
+                continue;
+            }
+        };
+        match decode_snapshot(&bytes, &path, expect_fingerprint) {
+            Ok((checkpoint, _)) => {
+                return Ok(LoadedCheckpoint {
+                    checkpoint,
+                    path,
+                    skipped,
+                })
+            }
+            Err(e) => skipped.push((path, e.to_string())),
+        }
+    }
+    Err(DurableError::NoSnapshot {
+        dir: dir.to_path_buf(),
+        skipped,
+    })
+}

@@ -47,13 +47,19 @@ pub enum FaultKind {
         /// Consecutive receive failures before the message is accepted.
         failures: u32,
     },
+    /// The whole process aborts at the start of the trigger task —
+    /// modelling a machine crash / OOM-killer / power loss. Unlike
+    /// [`FaultKind::Panic`] the in-process supervisor cannot recover
+    /// from this; it exists to exercise *durable* checkpoint resume
+    /// across process boundaries (see [`crate::durable`]).
+    ProcessKill,
 }
 
 impl FaultKind {
     /// Whether this fault, under `max_retries`, kills its worker.
     pub fn is_fatal(&self, max_retries: u32) -> bool {
         match self {
-            FaultKind::Panic => true,
+            FaultKind::Panic | FaultKind::ProcessKill => true,
             FaultKind::Slow { .. } => false,
             FaultKind::TransientSend { failures } | FaultKind::TransientRecv { failures } => {
                 *failures > max_retries
@@ -69,6 +75,7 @@ impl fmt::Display for FaultKind {
             FaultKind::Slow { delay_ms } => write!(f, "slow({delay_ms}ms)"),
             FaultKind::TransientSend { failures } => write!(f, "send-fault(x{failures})"),
             FaultKind::TransientRecv { failures } => write!(f, "recv-fault(x{failures})"),
+            FaultKind::ProcessKill => f.write_str("process-kill"),
         }
     }
 }
@@ -87,7 +94,9 @@ pub enum FaultSite {
 impl FaultKind {
     fn site(&self) -> FaultSite {
         match self {
-            FaultKind::Panic | FaultKind::Slow { .. } => FaultSite::Execute,
+            FaultKind::Panic | FaultKind::Slow { .. } | FaultKind::ProcessKill => {
+                FaultSite::Execute
+            }
             FaultKind::TransientSend { .. } => FaultSite::Send,
             FaultKind::TransientRecv { .. } => FaultSite::Recv,
         }
@@ -164,6 +173,20 @@ impl FaultPlan {
             subnet,
             task,
             kind: FaultKind::Panic,
+        });
+        self
+    }
+
+    /// Adds a whole-process abort of the run when `stage` reaches the
+    /// given task — only survivable via durable checkpoints and a
+    /// fresh process resuming from disk.
+    #[must_use]
+    pub fn kill_on(mut self, stage: u32, subnet: u64, task: TaskKind) -> Self {
+        self.faults.push(Fault {
+            stage,
+            subnet,
+            task,
+            kind: FaultKind::ProcessKill,
         });
         self
     }

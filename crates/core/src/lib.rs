@@ -45,6 +45,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod context;
+pub mod durable;
 pub mod fault;
 pub mod gantt;
 pub mod memory;
@@ -61,12 +62,13 @@ pub mod train;
 pub mod transcript;
 
 pub use config::{PipelineConfig, SyncPolicy};
+pub use durable::{DurableError, DurableStore};
 pub use fault::{FaultKind, FaultPlan};
 pub use pipeline::{run_pipeline, PipelineOutcome};
 pub use report::PipelineReport;
 pub use runtime::{
-    run_threaded, run_threaded_observed, run_threaded_supervised, RecoveryOptions, SupervisedRun,
-    TrainError,
+    run_threaded, run_threaded_observed, run_threaded_supervised, DurableOptions, RecoveryOptions,
+    SupervisedRun, TrainError,
 };
 pub use scheduler::{CspScheduler, DuplicateSubnet, SubnetTable};
 pub use task::{StageId, Task, TaskKind};

@@ -50,6 +50,7 @@
 //! [`ObsReport`](naspipe_obs::ObsReport).
 
 use crate::checkpoint::{Checkpoint, CheckpointStore, StageSnapshot};
+use crate::durable::{run_fingerprint, DurableError, DurableStore, DEFAULT_KEEP};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultSite, FiredFault};
 use crate::partition::Partition;
 use crate::pipeline::TaskRecord;
@@ -71,6 +72,7 @@ use naspipe_tensor::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Range;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -123,6 +125,14 @@ pub enum TrainError {
         /// [`std::error::Error::source`].
         last: Box<TrainError>,
     },
+    /// The durable checkpoint layer failed at startup (directory not
+    /// creatable, resume explicitly requested on an unusable store).
+    /// Mid-run persist failures never raise this — they are logged and
+    /// training continues on the in-memory checkpoints.
+    Durable {
+        /// The underlying durable-layer failure.
+        cause: DurableError,
+    },
 }
 
 impl TrainError {
@@ -134,6 +144,8 @@ impl TrainError {
             | TrainError::Invariant { stage, .. }
             | TrainError::Timeout { stage, .. }
             | TrainError::RecoveryExhausted { stage, .. } => *stage,
+            // Durable failures happen before any stage spawns.
+            TrainError::Durable { .. } => 0,
         }
     }
 
@@ -178,6 +190,7 @@ impl fmt::Display for TrainError {
                 f,
                 "stage {stage}: recovery exhausted after {attempts} restart(s)"
             ),
+            TrainError::Durable { cause } => write!(f, "durable checkpoints: {cause}"),
         }
     }
 }
@@ -190,6 +203,7 @@ impl std::error::Error for TrainError {
                 cause: Some(cause), ..
             } => Some(&**cause),
             TrainError::RecoveryExhausted { last, .. } => Some(&**last),
+            TrainError::Durable { cause } => Some(cause),
             _ => None,
         }
     }
@@ -289,6 +303,8 @@ struct StageWorker {
     max_retries: u32,
     backoff_us: u64,
     ckpts: Option<Arc<CheckpointStore>>,
+    // Durable persistence of completed cuts (None = in-memory only).
+    durable: Option<Arc<DurableStore>>,
     ckpt_interval: u64,
     next_ckpt: u64,
     recv_timeout: Option<Duration>,
@@ -364,6 +380,18 @@ impl StageWorker {
             ),
             Some(FaultKind::Slow { delay_ms }) => {
                 std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            Some(FaultKind::ProcessKill) => {
+                // A whole-process death (OOM kill, power cut): abort()
+                // skips destructors and exit handlers, so nothing is
+                // flushed — only durably persisted cuts survive. The
+                // in-process supervisor cannot recover from this; the
+                // crash-injection harness resumes from disk instead.
+                eprintln!(
+                    "naspipe: injected process kill at stage {} SN{}.{kind}",
+                    self.stage, y.0
+                );
+                std::process::abort();
             }
             _ => {}
         }
@@ -600,7 +628,29 @@ impl StageWorker {
             ));
             // The store keeps the completing span per cut; a restart
             // resuming from this watermark names it as its cause.
-            store.record(self.next_ckpt, self.stage, snapshot, span);
+            let completed_cut = store.record(self.next_ckpt, self.stage, snapshot, span);
+            // The worker whose record completes the cut persists it to
+            // disk. Persist failures are deliberately non-fatal: the
+            // in-memory checkpoints still cover in-process recovery, so
+            // a full disk degrades durability, not training.
+            if completed_cut {
+                if let Some(durable) = &self.durable {
+                    match store.latest_complete() {
+                        Some(cut) => match durable.persist(&cut) {
+                            Ok(_) => {
+                                self.recorder
+                                    .incr(self.stage as u32, Counter::DurablePersist, 1);
+                            }
+                            Err(e) => eprintln!(
+                                "naspipe: persisting watermark {} failed \
+                                 (training continues on in-memory checkpoints): {e}",
+                                cut.watermark
+                            ),
+                        },
+                        None => debug_assert!(false, "completed cut must be visible"),
+                    }
+                }
+            }
             self.next_ckpt += self.ckpt_interval;
         }
     }
@@ -868,6 +918,22 @@ pub struct RecoveryOptions {
     pub recv_timeout_ms: Option<u64>,
 }
 
+/// Durable-checkpoint knobs for [`run_threaded_durable`]: where to
+/// persist completed CSP-watermark cuts, how many to retain, and whether
+/// to resume from the newest valid one before training starts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DurableOptions {
+    /// Directory snapshots are persisted into (created if missing).
+    pub dir: PathBuf,
+    /// Complete cuts retained on disk (`0` = [`DEFAULT_KEEP`]).
+    pub keep: usize,
+    /// Load the newest valid snapshot from `dir` and continue from its
+    /// watermark. With no (valid) snapshot present the run starts from
+    /// scratch — so a crash-before-first-checkpoint restart is just a
+    /// fresh run, which is already bitwise-correct.
+    pub resume: bool,
+}
+
 /// What the supervisor did to keep a run alive.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
@@ -1052,6 +1118,47 @@ pub fn run_threaded_telemetry(
     opts: &RecoveryOptions,
     telemetry: Option<&TelemetryOptions>,
 ) -> Result<SupervisedRun, TrainError> {
+    run_threaded_durable(space, subnets, cfg, gpus, window, opts, telemetry, None)
+}
+
+/// [`run_threaded_telemetry`] plus durable crash-safe checkpointing:
+/// every completed CSP-watermark cut is additionally persisted to
+/// `durable.dir` (atomic temp-file + rename, checksummed, retention per
+/// `durable.keep` — see [`crate::durable`]), and with `durable.resume`
+/// the run first loads the newest valid on-disk cut and continues from
+/// its watermark. Resuming after a process death produces a final
+/// parameter hash bitwise-equal to the uninterrupted run — the on-disk
+/// snapshot at watermark `W` *is* the sequential state after `W`
+/// subnets, exactly like the in-memory cuts.
+///
+/// Persistence is observably zero-effect on training: results, task
+/// streams, and recovery schedules are identical with or without it
+/// (only the persist/resume counters and wall-clock time differ).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_threaded_supervised`], plus
+/// [`TrainError::Durable`] when the snapshot directory cannot be opened
+/// or an explicit resume hits an I/O failure. A resume finding no valid
+/// snapshot starts from scratch (not an error); corrupt snapshot files
+/// are skipped with a warning, falling back to the newest valid cut.
+///
+/// # Panics
+///
+/// Same contract-violation panics as [`run_threaded`], plus passing
+/// `durable` with `opts.checkpoint_interval == 0` (there would be
+/// nothing to persist).
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_durable(
+    space: &SearchSpace,
+    subnets: Vec<Subnet>,
+    cfg: &TrainConfig,
+    gpus: u32,
+    window: u64,
+    opts: &RecoveryOptions,
+    telemetry: Option<&TelemetryOptions>,
+    durable: Option<&DurableOptions>,
+) -> Result<SupervisedRun, TrainError> {
     assert!(gpus > 0, "need at least one stage thread");
     for (i, s) in subnets.iter().enumerate() {
         assert_eq!(s.seq_id().0, i as u64, "subnets must be numbered from 0");
@@ -1064,6 +1171,71 @@ pub fn run_threaded_telemetry(
     let m = space.num_blocks();
     let partition = Partition::balanced(&vec![1.0; m], gpus);
     let total = subnets.len() as u64;
+
+    // Durable persistence: open the on-disk store (and optionally load
+    // the newest valid cut) before any worker starts, so a bad snapshot
+    // directory fails fast and a resume seeds every incarnation below.
+    let mut initial_resume: Option<Checkpoint> = None;
+    let durable_store: Option<Arc<DurableStore>> = match durable {
+        Some(d) => {
+            assert!(
+                opts.checkpoint_interval > 0,
+                "durable checkpoints need checkpoint_interval > 0"
+            );
+            let fp = run_fingerprint(space, &subnets, cfg, gpus, opts.checkpoint_interval);
+            let keep = if d.keep == 0 { DEFAULT_KEEP } else { d.keep };
+            let store = DurableStore::open(&d.dir, keep, fp)
+                .map_err(|cause| TrainError::Durable { cause })?;
+            if d.resume {
+                match store.load_latest() {
+                    Ok(loaded) => {
+                        for (path, why) in &loaded.skipped {
+                            eprintln!("naspipe: skipping snapshot {}: {why}", path.display());
+                        }
+                        let cut = loaded.checkpoint;
+                        // The fingerprint already pins gpus/interval/
+                        // stream; this is a belt-and-braces shape check.
+                        if cut.stages.len() != gpus as usize
+                            || cut.watermark > total
+                            || !cut.watermark.is_multiple_of(opts.checkpoint_interval)
+                        {
+                            return Err(TrainError::Durable {
+                                cause: DurableError::Corrupt {
+                                    path: loaded.path,
+                                    detail: format!(
+                                        "cut with {} stages at watermark {} does not fit this \
+                                         run ({gpus} stages, {total} subnets, interval {})",
+                                        cut.stages.len(),
+                                        cut.watermark,
+                                        opts.checkpoint_interval
+                                    ),
+                                },
+                            });
+                        }
+                        eprintln!(
+                            "naspipe: resuming from watermark {} ({})",
+                            cut.watermark,
+                            loaded.path.display()
+                        );
+                        initial_resume = Some(cut);
+                    }
+                    Err(DurableError::NoSnapshot { dir, skipped }) => {
+                        for (path, why) in &skipped {
+                            eprintln!("naspipe: skipping snapshot {}: {why}", path.display());
+                        }
+                        eprintln!(
+                            "naspipe: no usable snapshot in {}; starting from scratch",
+                            dir.display()
+                        );
+                    }
+                    Err(cause) => return Err(TrainError::Durable { cause }),
+                }
+            }
+            Some(Arc::new(store))
+        }
+        None => None,
+    };
+
     let subnets = Arc::new(subnets);
     let data = Arc::new(SyntheticDataset::new(cfg.seed, cfg.rows, cfg.dim));
     let init = ParamStore::init(space, cfg.dim, cfg.seed);
@@ -1094,12 +1266,32 @@ pub fn run_threaded_telemetry(
     let mut attributed: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     let mut incarnation: u32 = 0;
 
+    // Seed the in-memory checkpoint store with the durable cut so
+    // in-process restarts after a fault never fall below the resumed
+    // watermark, and account the cross-process resume per stage.
+    if let Some(cut) = &initial_resume {
+        if let Some(store) = &ckpts {
+            for (k, s) in cut.stages.iter().enumerate() {
+                store.record(cut.watermark, k, s.clone(), SpanId::EXTERNAL);
+            }
+        }
+        for k in 0..gpus {
+            master.incr(k, Counter::DurableResume, 1);
+            if let Some(t) = telemetry {
+                t.hub.record(k, Counter::DurableResume, 1);
+            }
+        }
+    }
+
     loop {
         if let Some(t) = telemetry {
             t.hub.set_incarnation(incarnation);
         }
         let resume: Option<Checkpoint> = if incarnation == 0 {
-            None
+            // A durable resume enters incarnation 0 mid-stream: the
+            // workers start exactly as the uninterrupted run's workers
+            // stood after the snapshot's watermark.
+            initial_resume.clone()
         } else {
             ckpts.as_ref().and_then(|s| s.latest_complete())
         };
@@ -1201,6 +1393,7 @@ pub fn run_threaded_telemetry(
                 max_retries: opts.fault_plan.max_retries(),
                 backoff_us: opts.fault_plan.backoff_us(),
                 ckpts: ckpts.clone(),
+                durable: durable_store.clone(),
                 ckpt_interval: opts.checkpoint_interval,
                 next_ckpt: resume_w + opts.checkpoint_interval,
                 recv_timeout,

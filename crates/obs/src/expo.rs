@@ -233,6 +233,15 @@ pub fn render_exposition(hub: &TelemetryHub, meta: &RunMeta) -> String {
     );
     family(
         &mut out,
+        "naspipe_durable_events_total",
+        "Durable checkpoint events per stage.",
+        &labeled(&[
+            (Counter::DurablePersist, "event", "persist"),
+            (Counter::DurableResume, "event", "resume"),
+        ]),
+    );
+    family(
+        &mut out,
         "naspipe_stage_pool_jobs_total",
         "Compute-pool jobs fanned out by each stage's kernels.",
         &stage_counter(Counter::PoolJob),

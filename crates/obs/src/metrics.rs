@@ -58,10 +58,16 @@ pub enum Counter {
     /// Microseconds of compute-pool chunk execution attributed to this
     /// stage's jobs (summed across workers; timing-dependent).
     PoolBusyUs,
+    /// Completed CSP-watermark cut persisted to durable storage by this
+    /// stage (the stage that closed the cut writes the snapshot).
+    DurablePersist,
+    /// Run resumed from a durable on-disk snapshot (counted once per
+    /// stage per cross-process resume).
+    DurableResume,
 }
 
 /// Number of [`Counter`] variants; sizes the per-stage counter array.
-pub const NUM_COUNTERS: usize = Counter::PoolBusyUs as usize + 1;
+pub const NUM_COUNTERS: usize = Counter::DurableResume as usize + 1;
 
 impl Counter {
     /// Every variant in declaration (= index) order, so snapshot and
@@ -85,6 +91,8 @@ impl Counter {
         Counter::PoolJob,
         Counter::PoolChunk,
         Counter::PoolBusyUs,
+        Counter::DurablePersist,
+        Counter::DurableResume,
     ];
 
     /// Stable snake_case name used in the Prometheus exposition and the
@@ -108,6 +116,8 @@ impl Counter {
             Counter::PoolJob => "pool_job",
             Counter::PoolChunk => "pool_chunk",
             Counter::PoolBusyUs => "pool_busy_us",
+            Counter::DurablePersist => "durable_persist",
+            Counter::DurableResume => "durable_resume",
         }
     }
 }
@@ -386,6 +396,8 @@ impl MetricsRecorder {
                     pool_jobs: m.counter(Counter::PoolJob),
                     pool_chunks: m.counter(Counter::PoolChunk),
                     pool_busy_us: m.counter(Counter::PoolBusyUs),
+                    durable_persists: m.counter(Counter::DurablePersist),
+                    durable_resumes: m.counter(Counter::DurableResume),
                     mean_queue_depth: depth.mean(),
                     max_queue_depth: depth.max,
                     queue_depth_p50: depth.percentile(50.0),

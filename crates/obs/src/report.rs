@@ -82,6 +82,10 @@ pub struct StageObs {
     /// Microseconds of pool chunk execution attributed to this stage's
     /// jobs (timing-dependent).
     pub pool_busy_us: u64,
+    /// Completed watermark cuts this stage persisted to durable storage.
+    pub durable_persists: u64,
+    /// Cross-process resumes from a durable snapshot (once per resume).
+    pub durable_resumes: u64,
     /// Mean queue depth at dispatch decisions and enqueues.
     pub mean_queue_depth: f64,
     /// Largest observed queue depth.
@@ -137,6 +141,8 @@ impl StageObs {
 /// points (`at_us`, `incarnation`, `pool_busy_us`, per-stage cumulative
 /// task/cache/idle counters) that rate curves can be derived from.
 /// Every schema-3 field keeps its exact key name and value formatting.
+/// Schema 4 later gained the additive per-stage `durable_persists` /
+/// `durable_resumes` durability counters.
 pub const OBS_SCHEMA_VERSION: u32 = 4;
 
 /// One stage's cumulative counters at a sampled instant (schema-4
@@ -398,6 +404,7 @@ impl ObsReport {
                  \"cache_prefetches\":{},\"cache_hit_rate\":{},\
                  \"retries\":{},\"restarts\":{},\"replayed_tasks\":{},\
                  \"pool_jobs\":{},\"pool_chunks\":{},\"pool_busy_us\":{},\
+                 \"durable_persists\":{},\"durable_resumes\":{},\
                  \"mean_queue_depth\":{},\"max_queue_depth\":{},\
                  \"fwd_latency_mean_us\":{},\"fwd_latency_max_us\":{},\
                  \"bwd_latency_mean_us\":{},\"bwd_latency_max_us\":{},\
@@ -427,6 +434,8 @@ impl ObsReport {
                 s.pool_jobs,
                 s.pool_chunks,
                 s.pool_busy_us,
+                s.durable_persists,
+                s.durable_resumes,
                 json_f64(s.mean_queue_depth),
                 s.max_queue_depth,
                 json_f64(s.fwd_latency_mean_us),

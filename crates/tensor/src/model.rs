@@ -226,6 +226,28 @@ impl NumericSupernet {
         self.residual_scale
     }
 
+    /// The optimizer in effect, including any per-layer state.
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// Reassembles an engine from serialized parts — the inverse of
+    /// [`optimizer`](Self::optimizer) + [`residual_scale`](Self::residual_scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residual_scale` is not finite and positive.
+    pub fn from_parts(optimizer: Optimizer, residual_scale: f32) -> Self {
+        assert!(
+            residual_scale.is_finite() && residual_scale > 0.0,
+            "scale must be positive"
+        );
+        Self {
+            optimizer,
+            residual_scale,
+        }
+    }
+
     /// Applies one optimizer update to a single layer — exposed so
     /// decentralised runtimes owning raw parameter slices update them
     /// with identical arithmetic.

@@ -94,9 +94,44 @@ impl MomentumSgd {
         }
     }
 
+    /// Reassembles an optimizer from serialized state — the inverse of
+    /// reading [`lr`](Self::lr)/[`momentum`](Self::momentum)/
+    /// [`weight_decay`](Self::weight_decay)/[`velocity`](Self::velocity).
+    /// Restoring the exact velocity map is what makes a resumed run
+    /// bitwise-continue where the snapshot left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coefficients are out of range (see [`new`](Self::new)).
+    pub fn from_state(
+        lr: f32,
+        momentum: f32,
+        weight_decay: f32,
+        velocity: BTreeMap<LayerRef, DenseGrads>,
+    ) -> Self {
+        let mut opt = Self::new(lr, momentum, weight_decay);
+        opt.velocity = velocity;
+        opt
+    }
+
+    /// The configured learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
     /// The configured momentum coefficient.
     pub fn momentum(&self) -> f32 {
         self.momentum
+    }
+
+    /// The configured decoupled weight-decay coefficient.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// The per-layer velocity state, in layer order.
+    pub fn velocity(&self) -> &BTreeMap<LayerRef, DenseGrads> {
+        &self.velocity
     }
 
     /// Number of layers with live velocity state.

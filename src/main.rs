@@ -7,6 +7,8 @@
 //!                [--seed 7] [--batch 64] [--threads 4] [--transcript run.nt]
 //!                [--engine des|threaded] [--metrics-addr 127.0.0.1:9464]
 //!                [--sample-interval-ms 200]
+//!                [--checkpoint-dir DIR] [--checkpoint-keep 3]
+//!                [--checkpoint-interval 8] [--resume] [--kill-at 1:13]
 //! naspipe replay --space NLP.c2 --transcript run.nt [--seed 7]
 //! naspipe search --space CV.c2 --gpus 8 --subnets 120 --rounds 96 [--seed 7]
 //!                [--metrics-addr 127.0.0.1:9464]
@@ -23,8 +25,11 @@
 //! (strict mode) on any divergence, naming the first divergent task.
 
 use naspipe::baselines::SystemKind;
+use naspipe::core::fault::FaultPlan;
 use naspipe::core::pipeline::run_pipeline_telemetry;
-use naspipe::core::runtime::{run_threaded_telemetry, RecoveryOptions};
+use naspipe::core::replay_gate::loss_digest;
+use naspipe::core::runtime::{run_threaded_durable, DurableOptions, RecoveryOptions};
+use naspipe::core::task::TaskKind;
 use naspipe::core::train::{replay_training, search_best_subnet, TrainConfig};
 use naspipe::core::transcript::{replay_transcript, Transcript};
 use naspipe::obs::{MetricsServer, RunMeta, SpanTracer, TelemetryHub, TelemetryOptions};
@@ -62,8 +67,12 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "engine",
             "metrics-addr",
             "sample-interval-ms",
+            "checkpoint-dir",
+            "checkpoint-keep",
+            "checkpoint-interval",
+            "kill-at",
         ],
-        &[],
+        &["resume"],
     ),
     ("replay", &["space", "transcript", "seed", "threads"], &[]),
     (
@@ -196,6 +205,37 @@ impl Args {
         Ok(self.u64_opt("sample-interval-ms", 0)? * 1000)
     }
 
+    /// `--kill-at STAGE:SUBNET`: abort the whole process when that stage
+    /// starts that subnet's forward (crash-injection for durable-resume
+    /// testing).
+    fn kill_at(&self) -> Result<Option<(u32, u64)>, String> {
+        let Some(v) = self.options.get("kill-at") else {
+            return Ok(None);
+        };
+        let parsed = v
+            .split_once(':')
+            .and_then(|(s, y)| Some((s.parse::<u32>().ok()?, y.parse::<u64>().ok()?)));
+        parsed
+            .map(Some)
+            .ok_or_else(|| format!("--kill-at wants STAGE:SUBNET, got '{v}'"))
+    }
+
+    /// Durable-checkpoint options when `--checkpoint-dir` is given.
+    fn durable(&self) -> Result<Option<DurableOptions>, String> {
+        let resume = self.flags.contains("resume");
+        let Some(dir) = self.options.get("checkpoint-dir") else {
+            if resume || self.options.contains_key("checkpoint-keep") {
+                return Err("--resume/--checkpoint-keep need --checkpoint-dir".into());
+            }
+            return Ok(None);
+        };
+        Ok(Some(DurableOptions {
+            dir: std::path::PathBuf::from(dir),
+            keep: self.u64_opt("checkpoint-keep", 0)? as usize,
+            resume,
+        }))
+    }
+
     /// When `--metrics-addr` is given: a live hub plus the HTTP server
     /// scraping it, already bound (port 0 resolves to an ephemeral
     /// port, printed so it can be curled).
@@ -271,6 +311,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         }
         return train_threaded(args, &space, subnets, gpus, seed, threads);
     }
+    if args.options.contains_key("checkpoint-dir")
+        || args.options.contains_key("kill-at")
+        || args.flags.contains("resume")
+    {
+        return Err("--checkpoint-dir/--resume/--kill-at need --engine threaded".into());
+    }
     let mut cfg = system
         .config(gpus, n)
         .with_seed(seed)
@@ -334,14 +380,29 @@ fn train_threaded(
 ) -> Result<(), String> {
     let n = subnets.len();
     let telemetry = args.telemetry("threaded", gpus, seed)?;
-    let run = run_threaded_telemetry(
+    let durable = args.durable()?;
+    // Durable persistence needs cuts to persist: default the interval on
+    // when a checkpoint directory is given.
+    let default_interval = if durable.is_some() { 8 } else { 0 };
+    let mut opts = RecoveryOptions {
+        checkpoint_interval: args.u64_opt("checkpoint-interval", default_interval)?,
+        ..RecoveryOptions::default()
+    };
+    if durable.is_some() && opts.checkpoint_interval == 0 {
+        return Err("--checkpoint-dir needs --checkpoint-interval > 0".into());
+    }
+    if let Some((stage, subnet)) = args.kill_at()? {
+        opts.fault_plan = FaultPlan::new().kill_on(stage, subnet, TaskKind::Forward);
+    }
+    let run = run_threaded_durable(
         space,
         subnets,
         &train_config(seed, threads),
         gpus,
         0,
-        &RecoveryOptions::default(),
-        telemetry.as_ref().map(|(opts, _)| opts),
+        &opts,
+        telemetry.as_ref().map(|(topts, _)| topts),
+        durable.as_ref(),
     )
     .map_err(|e| e.to_string())?;
     println!(
@@ -358,6 +419,14 @@ fn train_threaded(
         run.report.wall_us as f64 / 1e6,
         run.recovery.restarts,
         run.report.series.len(),
+    );
+    // Machine-readable line for the crash-recovery harness: two runs
+    // trained the same iff these digests match bitwise.
+    println!(
+        "RESULT hash={:016x} loss_digest={:016x} losses={}",
+        run.result.final_hash,
+        loss_digest(&run.result.losses),
+        run.result.losses.len(),
     );
     Ok(())
 }
@@ -516,6 +585,9 @@ fn usage() -> &'static str {
      \x20              [--threads 0] [--transcript FILE]\n\
      \x20              [--engine des|threaded] [--metrics-addr HOST:PORT]\n\
      \x20              [--sample-interval-ms 200]\n\
+     \x20              [--checkpoint-dir DIR] [--checkpoint-keep 3]\n\
+     \x20              [--checkpoint-interval 8] [--resume]\n\
+     \x20              [--kill-at STAGE:SUBNET]\n\
      naspipe replay --space NLP.c2 --transcript FILE [--seed 0] [--threads 0]\n\
      naspipe search --space CV.c2 [--gpus 8] [--subnets 64] [--rounds 64]\n\
      \x20              [--threads 0] [--metrics-addr HOST:PORT]\n\
@@ -526,6 +598,11 @@ fn usage() -> &'static str {
      \n\
      --threads sets the compute-pool worker count (0 = NASPIPE_THREADS\n\
      or the machine's parallelism); it never changes numeric results.\n\
+     --checkpoint-dir (threaded engine) persists every completed CSP\n\
+     watermark cut durably; --resume continues from the newest valid\n\
+     snapshot there, bitwise-identical to an uninterrupted run.\n\
+     --kill-at STAGE:SUBNET aborts the whole process at that forward\n\
+     task (crash injection; recover with --resume).\n\
      --metrics-addr serves live Prometheus 0.0.4 text on GET /metrics\n\
      while the run is in flight (port 0 picks an ephemeral port).\n\
      bench-check exits non-zero when fresh compute throughput falls more\n\
@@ -627,6 +704,32 @@ mod tests {
         let a = parse_args(&argv("replay-check --bless --mode strict")).unwrap();
         assert!(a.flags.contains("bless"));
         assert_eq!(a.options["mode"], "strict");
+    }
+
+    #[test]
+    fn parses_durable_checkpoint_options() {
+        let a = parse_args(&argv(
+            "train --space NLP.c2 --engine threaded --checkpoint-dir /tmp/ck \
+             --checkpoint-keep 5 --checkpoint-interval 4 --resume --kill-at 1:13",
+        ))
+        .unwrap();
+        let d = a.durable().unwrap().unwrap();
+        assert_eq!(d.dir, std::path::PathBuf::from("/tmp/ck"));
+        assert_eq!(d.keep, 5);
+        assert!(d.resume);
+        assert_eq!(a.kill_at().unwrap(), Some((1, 13)));
+
+        // --resume without --checkpoint-dir is a usage error.
+        let a = parse_args(&argv("train --space NLP.c2 --resume")).unwrap();
+        assert!(a.durable().is_err());
+        // Malformed --kill-at is rejected, not silently ignored.
+        let a = parse_args(&argv("train --space NLP.c2 --kill-at 13")).unwrap();
+        assert!(a.kill_at().is_err());
+        let a = parse_args(&argv("train --space NLP.c2 --kill-at a:b")).unwrap();
+        assert!(a.kill_at().is_err());
+        // No durable options at all: None, no error.
+        let a = parse_args(&argv("train --space NLP.c2")).unwrap();
+        assert_eq!(a.durable().unwrap(), None);
     }
 
     #[test]
