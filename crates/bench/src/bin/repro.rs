@@ -10,8 +10,9 @@
 //! floating-point training for dozens of pipeline schedules.
 
 use naspipe_bench::experiments::{
-    cache_sweep, compute, crash, faults, fig1, fig4, fig5, fig6, fig7, generation, obs, recompute,
-    replay, soundness, table1, table2, table3, table4, table5, telemetry, topology, trace,
+    cache_sweep, compute, crash, doctor, faults, fig1, fig4, fig5, fig6, fig7, generation, obs,
+    recompute, replay, soundness, table1, table2, table3, table4, table5, telemetry, topology,
+    trace,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
 use naspipe_supernet::space::SpaceId;
@@ -40,7 +41,25 @@ const EXPERIMENTS: &[&str] = &[
     "bench",
     "telemetry",
     "replay",
+    "doctor",
 ];
+
+/// Resolves an artifact env var: unset/empty/`"0"` = off, `"1"` = the
+/// default path under the gitignored `artifacts/` directory, anything
+/// else = an explicit path. Parent directories are created.
+fn artifact_path(var: &str, default: &str) -> Option<String> {
+    let v = std::env::var(var).ok()?;
+    if v.is_empty() || v == "0" {
+        return None;
+    }
+    let path = if v == "1" { default.to_string() } else { v };
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("artifact directory creatable");
+        }
+    }
+    Some(path)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -261,12 +280,10 @@ fn run_experiment(name: &str, check: bool) {
             );
             let r = trace::run(SpaceId::NlpC2, 4, 24);
             println!("{}", trace::render(&r));
-            if let Ok(dir) = std::env::var("REPRO_TRACE_JSON") {
-                if !dir.is_empty() && dir != "0" {
-                    let paths = trace::write_artifacts(&r, &dir).expect("trace artifacts written");
-                    for p in paths {
-                        println!("wrote {}", p.display());
-                    }
+            if let Some(dir) = artifact_path("REPRO_TRACE_JSON", "artifacts/trace") {
+                let paths = trace::write_artifacts(&r, &dir).expect("trace artifacts written");
+                for p in paths {
+                    println!("wrote {}", p.display());
                 }
             }
             assert!(
@@ -281,12 +298,11 @@ fn run_experiment(name: &str, check: bool) {
             );
             let r = compute::run(24);
             println!("{}", compute::render(&r));
-            if let Ok(path) = std::env::var("BENCH_COMPUTE_JSON") {
-                if !path.is_empty() && path != "0" {
-                    std::fs::write(&path, compute::render_json(&r))
-                        .expect("compute bench artifact written");
-                    println!("wrote {path}");
-                }
+            if let Some(path) = artifact_path("BENCH_COMPUTE_JSON", "artifacts/BENCH_compute.json")
+            {
+                std::fs::write(&path, compute::render_json(&r))
+                    .expect("compute bench artifact written");
+                println!("wrote {path}");
             }
             assert!(
                 r.all_ok(),
@@ -337,6 +353,24 @@ fn run_experiment(name: &str, check: bool) {
                 "replay-gate verdicts failed: the strict gate must pass on the \
                  corpus and the smoke mutation must be caught naming the first \
                  divergent task"
+            );
+        }
+        "doctor" => {
+            banner(
+                "Extra: automated regression diagnosis",
+                "Two regressions planted into the deterministic DES engine (an all-stage compute throttle and a single slow stage) and diagnosed against the same clean baseline by the `naspipe doctor` critical-path differ. Hard verdicts: the throttle is attributed to compute with the kernel verdict, the slow stage ranks as the top straggler with its exported causal-stall time growing, and per-class deltas sum exactly to each makespan delta. Set REPRO_DOCTOR_JSON=<path> (or =1 for artifacts/REPRO_doctor.json) to write the machine-readable artifact.",
+            );
+            let r = doctor::run(SpaceId::NlpC2, 4, 24);
+            println!("{}", doctor::render(&r));
+            if let Some(path) = artifact_path("REPRO_DOCTOR_JSON", "artifacts/REPRO_doctor.json") {
+                std::fs::write(&path, doctor::render_json(&r)).expect("doctor artifact written");
+                println!("wrote {path}");
+            }
+            assert!(
+                r.all_ok(),
+                "doctor verdicts failed: every planted regression must be \
+                 diagnosed to its cause with attribution summing to the \
+                 makespan delta"
             );
         }
         _ => unreachable!("validated in main"),

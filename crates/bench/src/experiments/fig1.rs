@@ -105,6 +105,7 @@ pub fn run() -> Fig1 {
                 seed: crate::SEED,
                 compute_threads: 0,
                 sample_interval_us: 0,
+                diagnostics: Default::default(),
             };
             let out = run_pipeline_with_subnets(&space, &cfg, subnets.clone())
                 .expect("figure space fits everywhere");

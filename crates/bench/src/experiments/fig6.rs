@@ -92,6 +92,7 @@ pub fn group_for(id: SpaceId, num_gpus: u32, n: u64) -> Fig6Group {
             seed: crate::SEED,
             compute_threads: 0,
             sample_interval_us: 0,
+            diagnostics: Default::default(),
         };
         match run_pipeline_with_subnets(&space, &cfg, subnets.clone()) {
             Ok(out) => Some((

@@ -3,6 +3,7 @@
 pub mod cache_sweep;
 pub mod compute;
 pub mod crash;
+pub mod doctor;
 pub mod faults;
 pub mod fig1;
 pub mod fig4;

@@ -1,6 +1,80 @@
 //! Pipeline configuration: synchronisation policy and tunables.
 
+use naspipe_obs::WatchdogConfig;
 use naspipe_supernet::space::SearchSpace;
+
+/// Diagnosis-layer knobs shared by both engines: the always-on flight
+/// recorder, the progress watchdog, and deterministic slowdown hooks
+/// the `repro doctor` experiment uses to manufacture known regressions.
+///
+/// None of these may ever change training results. The recorder and
+/// watchdog only observe (proven by the bitwise-equal run tests); the
+/// `slow_stage` / `compute_scale` multipliers change *simulated
+/// durations* in the DES — the schedule shifts, the training arithmetic
+/// does not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosticsOptions {
+    /// Master switch for the flight recorder + watchdog. On by default
+    /// (the subsystems are designed to be always-on and lock-light).
+    pub enabled: bool,
+    /// Flight-recorder ring capacity per stage (`0` = the default 256).
+    pub flight_capacity: usize,
+    /// Write a `.flight.json` dump to this path at end of run (dumps on
+    /// faults and watchdog trips also use it). `None` disables dumping;
+    /// recording still happens.
+    pub flight_dump: Option<String>,
+    /// DES-only: multiply the named stage's task durations by the given
+    /// factor — a deterministic injected straggler.
+    pub slow_stage: Option<(u32, f64)>,
+    /// DES-only: multiply every stage's task durations — a deterministic
+    /// "slower kernel" twin of the `NASPIPE_MATMUL_THROTTLE_US` hook.
+    pub compute_scale: f64,
+    /// Watchdog detector thresholds.
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for DiagnosticsOptions {
+    fn default() -> Self {
+        DiagnosticsOptions {
+            enabled: true,
+            flight_capacity: 0,
+            flight_dump: None,
+            slow_stage: None,
+            compute_scale: 1.0,
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+impl DiagnosticsOptions {
+    /// Disables the flight recorder and watchdog entirely (the
+    /// bitwise-equal tests compare against this).
+    pub fn disabled() -> Self {
+        DiagnosticsOptions {
+            enabled: false,
+            ..DiagnosticsOptions::default()
+        }
+    }
+
+    /// Sets the end-of-run / on-trip flight-dump path (builder-style).
+    pub fn with_flight_dump(mut self, path: impl Into<String>) -> Self {
+        self.flight_dump = Some(path.into());
+        self
+    }
+
+    /// Injects a deterministic straggler: `stage`'s DES task durations
+    /// are multiplied by `factor` (builder-style).
+    pub fn with_slow_stage(mut self, stage: u32, factor: f64) -> Self {
+        self.slow_stage = Some((stage, factor));
+        self
+    }
+
+    /// Scales every DES task duration by `factor` (builder-style).
+    pub fn with_compute_scale(mut self, factor: f64) -> Self {
+        self.compute_scale = factor;
+        self
+    }
+}
 
 /// The synchronisation discipline a pipeline run enforces (Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +192,10 @@ pub struct PipelineConfig {
     /// default, 200 ms). Ignored when no hub is attached; never affects
     /// the schedule or training results.
     pub sample_interval_us: u64,
+    /// Diagnosis layer: flight recorder, watchdog, and deterministic
+    /// slowdown hooks. The recorder/watchdog never affect results; the
+    /// slowdown hooks shift the simulated schedule only.
+    pub diagnostics: DiagnosticsOptions,
 }
 
 impl PipelineConfig {
@@ -138,6 +216,7 @@ impl PipelineConfig {
             seed: 0,
             compute_threads: 0,
             sample_interval_us: 0,
+            diagnostics: DiagnosticsOptions::default(),
         }
     }
 
@@ -191,6 +270,12 @@ impl PipelineConfig {
         self
     }
 
+    /// Replaces the diagnosis-layer options (builder-style).
+    pub fn with_diagnostics(mut self, diagnostics: DiagnosticsOptions) -> Self {
+        self.diagnostics = diagnostics;
+        self
+    }
+
     /// Validates the configuration against a search space.
     ///
     /// # Errors
@@ -217,6 +302,16 @@ impl PipelineConfig {
         }
         if self.gpus_per_host == 0 {
             return Err("gpus_per_host must be positive".into());
+        }
+        if !self.diagnostics.compute_scale.is_finite() || self.diagnostics.compute_scale <= 0.0 {
+            return Err("diagnostics.compute_scale must be a positive finite factor".into());
+        }
+        if let Some((_, factor)) = self.diagnostics.slow_stage {
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(
+                    "diagnostics.slow_stage factor must be a positive finite factor".into(),
+                );
+            }
         }
         if space.num_blocks() == 0 {
             return Err("search space has no blocks".into());

@@ -61,14 +61,14 @@ pub mod task;
 pub mod train;
 pub mod transcript;
 
-pub use config::{PipelineConfig, SyncPolicy};
+pub use config::{DiagnosticsOptions, PipelineConfig, SyncPolicy};
 pub use durable::{DurableError, DurableStore};
 pub use fault::{FaultKind, FaultPlan};
 pub use pipeline::{run_pipeline, PipelineOutcome};
 pub use report::PipelineReport;
 pub use runtime::{
-    run_threaded, run_threaded_observed, run_threaded_supervised, DurableOptions, RecoveryOptions,
-    SupervisedRun, TrainError,
+    run_threaded, run_threaded_diagnosed, run_threaded_observed, run_threaded_supervised,
+    DurableOptions, RecoveryOptions, SupervisedRun, TrainError,
 };
 pub use scheduler::{CspScheduler, DuplicateSubnet, SubnetTable};
 pub use task::{StageId, Task, TaskKind};

@@ -27,9 +27,9 @@ use crate::scheduler::{CspScheduler, SubnetTable};
 use crate::task::{FinishedSet, StageId, TaskKind};
 use naspipe_obs::telemetry::DEFAULT_SAMPLE_INTERVAL_US;
 use naspipe_obs::{
-    CausalEdge, CauseKind, Counter, CspChecker, MetricsRecorder, MetricsSnapshot, ObsReport,
-    Recorder, RunMeta, Sample, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, TelemetryHub,
-    TelemetryOptions, Tracer,
+    CausalEdge, CauseKind, Counter, CspChecker, FlightEventKind, FlightRecorder, MetricsRecorder,
+    MetricsSnapshot, ObsReport, Recorder, RunMeta, Sample, SpanDraft, SpanId, SpanKind, SpanTrace,
+    SpanTracer, TelemetryHub, TelemetryOptions, Tracer, Watchdog, WatchdogVerdict,
 };
 use naspipe_sim::cluster::Cluster;
 use naspipe_sim::event::EventQueue;
@@ -292,6 +292,17 @@ struct DesTelemetry {
     next_us: u64,
 }
 
+/// SimTime-driven watchdog twin: the detectors observe recorder
+/// snapshots taken when the simulation clock crosses `next_us`, so every
+/// verdict — including its trip time — is a pure function of the run's
+/// inputs (bitwise reproducible across hosts and `NASPIPE_THREADS`).
+struct DesWatchdog {
+    wd: Watchdog,
+    interval_us: u64,
+    next_us: u64,
+    verdicts: Vec<WatchdogVerdict>,
+}
+
 /// Reference pipeline batch of a space's domain when the space is unnamed.
 fn domain_reference_batch(domain: Domain) -> u32 {
     match domain {
@@ -337,6 +348,11 @@ struct Engine<'a> {
     tracer: Box<dyn Tracer>,
     // SimTime-paced live-telemetry publisher (None = off).
     telemetry: Option<DesTelemetry>,
+    // Always-on bounded flight recorder (None only when diagnostics are
+    // explicitly disabled).
+    flight: Option<FlightRecorder>,
+    // SimTime-paced deterministic watchdog twin (same gating).
+    watchdog: Option<DesWatchdog>,
 }
 
 impl<'a> Engine<'a> {
@@ -467,6 +483,23 @@ impl<'a> Engine<'a> {
             checker: (cfg!(debug_assertions) && use_csp).then(CspChecker::new),
             tracer,
             telemetry: None,
+            flight: config
+                .diagnostics
+                .enabled
+                .then(|| FlightRecorder::new(d as usize, config.diagnostics.flight_capacity)),
+            watchdog: config.diagnostics.enabled.then(|| {
+                let interval_us = if config.sample_interval_us != 0 {
+                    config.sample_interval_us
+                } else {
+                    DEFAULT_SAMPLE_INTERVAL_US
+                };
+                DesWatchdog {
+                    wd: Watchdog::new(d as usize, config.diagnostics.watchdog.clone()),
+                    interval_us,
+                    next_us: interval_us,
+                    verdicts: Vec::new(),
+                }
+            }),
         })
     }
 
@@ -587,6 +620,9 @@ impl<'a> Engine<'a> {
             }
         }
         if missing_bytes > 0 {
+            if let Some(f) = &self.flight {
+                f.record(k, now.as_us(), FlightEventKind::FetchWait, missing_bytes);
+            }
             let (_, end) = self.cluster.pcie_mut(GpuId(k)).transfer(now, missing_bytes);
             let fetch_span = if traced {
                 self.tracer.emit(
@@ -761,17 +797,28 @@ impl<'a> Engine<'a> {
         }
         // Then a forward, policy dependent.
         let picked = if self.use_csp {
-            self.scheduler
-                .schedule(
-                    &self.stages[k as usize].fwd_ready,
-                    &self.finished,
-                    &self.table,
-                    StageId(k),
-                )
-                .map(|(qidx, qval)| {
-                    self.stages[k as usize].fwd_ready.remove(qidx);
-                    qval
-                })
+            let choice = self.scheduler.schedule(
+                &self.stages[k as usize].fwd_ready,
+                &self.finished,
+                &self.table,
+                StageId(k),
+            );
+            if choice.is_none() && !self.stages[k as usize].fwd_ready.is_empty() {
+                // Candidates queued but none admissible: every one still
+                // waits on an unfinished earlier sharer (a CSP stall).
+                if let Some(f) = &self.flight {
+                    f.record(
+                        k,
+                        now.as_us(),
+                        FlightEventKind::CspStall,
+                        self.stages[k as usize].fwd_ready.len() as u64,
+                    );
+                }
+            }
+            choice.map(|(qidx, qval)| {
+                self.stages[k as usize].fwd_ready.remove(qidx);
+                qval
+            })
         } else if self.stages[k as usize].fwd_ready.is_empty() {
             None
         } else {
@@ -798,6 +845,9 @@ impl<'a> Engine<'a> {
                 checker
                     .on_admit_forward(subnet, k)
                     .unwrap_or_else(|v| panic!("{v}"));
+            }
+            if let Some(f) = &self.flight {
+                f.record(k, now.as_us(), FlightEventKind::Admission, subnet.0);
             }
         }
         // Predictor hooks (Algorithm 1 lines 6 and 21).
@@ -930,6 +980,20 @@ impl<'a> Engine<'a> {
         if kind == TaskKind::Backward && self.recompute_ahead() && k > 0 {
             self.reserve_recompute(subnet, k - 1, now);
         }
+        // Diagnosis slowdowns (`repro doctor` scenarios): deterministic
+        // multiplicative scaling of the simulated duration. Guarded so a
+        // factor of exactly 1.0 leaves the arithmetic — and therefore the
+        // run — bitwise untouched.
+        let diag = &self.config.diagnostics;
+        let ms = if diag.compute_scale != 1.0 {
+            ms * diag.compute_scale
+        } else {
+            ms
+        };
+        let ms = match diag.slow_stage {
+            Some((stage, factor)) if stage == k && factor != 1.0 => ms * factor,
+            _ => ms,
+        };
         let ms = if self.config.jitter > 0.0 {
             // Deterministic per-task jitter in [1 - j, 1 + j].
             let tag = (subnet.0 << 9)
@@ -962,6 +1026,10 @@ impl<'a> Engine<'a> {
                     SpanDraft::new(k, SpanKind::Replay, w_start.as_us(), w_end.as_us())
                         .subnet(subnet.0),
                 );
+            }
+            if let Some(f) = &self.flight {
+                f.record(k, w_start.as_us(), FlightEventKind::Fault, subnet.0);
+                f.record(k, w_end.as_us(), FlightEventKind::Recovery, subnet.0);
             }
             w_end
         } else {
@@ -1192,6 +1260,31 @@ impl<'a> Engine<'a> {
                     tel.next_us = now_us - now_us % tel.interval_us + tel.interval_us;
                 }
             }
+            // Watchdog twin: observe at the same simulated-time cadence
+            // (its own cursor, so it runs with telemetry off). Verdicts —
+            // including their trip times — are pure functions of the run.
+            if let Some(dog) = self.watchdog.as_mut() {
+                let now_us = now.as_us();
+                if now_us >= dog.next_us {
+                    let snap = MetricsSnapshot::from_recorder(&self.recorder, now_us, 0);
+                    let fresh = dog.wd.observe(&snap);
+                    for v in &fresh {
+                        if let Some(f) = &self.flight {
+                            f.record(
+                                v.stage,
+                                v.at_us,
+                                FlightEventKind::WatchdogTrip,
+                                v.kind as u64,
+                            );
+                        }
+                        if let Some(tel) = self.telemetry.as_ref() {
+                            tel.hub.record_watchdog_trip(v.kind);
+                        }
+                    }
+                    dog.verdicts.extend(fresh);
+                    dog.next_us = now_us - now_us % dog.interval_us + dog.interval_us;
+                }
+            }
             match ev {
                 Ev::FwdArrive { subnet, stage, src } => {
                     self.stages[stage as usize].fwd_ready.push(subnet);
@@ -1254,6 +1347,30 @@ impl<'a> Engine<'a> {
         for k in 0..self.d {
             self.sync_cache_metrics(k, makespan); // final deltas (e.g. releases)
         }
+        // One last watchdog observation at the makespan boundary, so a
+        // straggler that only becomes visible in the closing window is
+        // still caught deterministically.
+        let verdicts = if let Some(dog) = self.watchdog.as_mut() {
+            let snap = MetricsSnapshot::from_recorder(&self.recorder, makespan.as_us(), 0);
+            let fresh = dog.wd.observe(&snap);
+            for v in &fresh {
+                if let Some(f) = &self.flight {
+                    f.record(
+                        v.stage,
+                        v.at_us,
+                        FlightEventKind::WatchdogTrip,
+                        v.kind as u64,
+                    );
+                }
+                if let Some(tel) = self.telemetry.as_ref() {
+                    tel.hub.record_watchdog_trip(v.kind);
+                }
+            }
+            dog.verdicts.extend(fresh);
+            std::mem::take(&mut dog.verdicts)
+        } else {
+            Vec::new()
+        };
         let mut obs = self
             .recorder
             .report(makespan.as_us())
@@ -1268,6 +1385,16 @@ impl<'a> Engine<'a> {
             ));
             let (series, dropped) = tel.hub.series_points();
             obs = obs.with_series(series, dropped);
+        }
+        obs = obs.with_watchdog(verdicts);
+        if let Some(f) = &self.flight {
+            let log = f.snapshot();
+            if let Some(path) = &self.config.diagnostics.flight_dump {
+                if let Err(e) = log.write_dump(path, "end-of-run") {
+                    eprintln!("naspipe: flight dump to {path} failed: {e}");
+                }
+            }
+            obs = obs.with_flight(log.summary());
         }
         let eff = alu_efficiency(self.batch, self.reference_batch);
         let busy: Vec<f64> = self
@@ -1387,6 +1514,7 @@ mod tests {
             seed: 42,
             compute_threads: 0,
             sample_interval_us: 0,
+            diagnostics: Default::default(),
         };
         run_pipeline(&small_space(), &cfg).expect("run succeeds")
     }
@@ -1829,6 +1957,7 @@ mod tests {
             seed: 0,
             compute_threads: 0,
             sample_interval_us: 0,
+            diagnostics: Default::default(),
         };
         match run_pipeline(&space, &cfg) {
             Err(PipelineError::OutOfMemory { .. }) => {}

@@ -50,6 +50,7 @@
 //! [`ObsReport`](naspipe_obs::ObsReport).
 
 use crate::checkpoint::{Checkpoint, CheckpointStore, StageSnapshot};
+use crate::config::DiagnosticsOptions;
 use crate::durable::{run_fingerprint, DurableError, DurableStore, DEFAULT_KEEP};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultSite, FiredFault};
 use crate::partition::Partition;
@@ -58,9 +59,10 @@ use crate::task::{FinishedSet, StageId, TaskKind};
 use crate::train::{TrainConfig, TrainResult};
 use naspipe_obs::telemetry::progress_line;
 use naspipe_obs::{
-    CauseKind, Counter, CspChecker, MetricsRecorder, MetricsSnapshot, ObsReport, PoolWorkerObs,
-    Recorder, RunMeta, Sample, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, TeeRecorder,
-    TelemetryOptions, Tracer, Violation,
+    CauseKind, Counter, CspChecker, FlightEventKind, FlightRecorder, MetricsRecorder,
+    MetricsSnapshot, ObsReport, PoolWorkerObs, Recorder, RunMeta, Sample, SpanDraft, SpanId,
+    SpanKind, SpanTrace, SpanTracer, TeeRecorder, TelemetryHub, TelemetryOptions, Tracer,
+    Violation, Watchdog, WatchdogVerdict,
 };
 use naspipe_sim::time::SimTime;
 use naspipe_supernet::space::SearchSpace;
@@ -262,6 +264,70 @@ impl Drop for ExitGuard {
     }
 }
 
+/// The wall-clock watchdog shared between the sampler thread (which
+/// feeds it snapshots) and the supervisor (which folds the verdicts into
+/// the final report). Unlike the DES twin, its trip *times* are
+/// wall-clock and therefore advisory — but the detectors and thresholds
+/// are the same, and verdicts are latched identically.
+struct WatchdogDuty {
+    state: Mutex<(Watchdog, Vec<WatchdogVerdict>)>,
+    flight: Option<Arc<FlightRecorder>>,
+    dump: Option<String>,
+    hub: Option<Arc<TelemetryHub>>,
+}
+
+impl WatchdogDuty {
+    fn observe(&self, snap: &MetricsSnapshot) {
+        let mut guard = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let (wd, verdicts) = &mut *guard;
+        let fresh = wd.observe(snap);
+        for v in &fresh {
+            if let Some(f) = &self.flight {
+                f.record(
+                    v.stage,
+                    v.at_us,
+                    FlightEventKind::WatchdogTrip,
+                    v.kind as u64,
+                );
+            }
+            if let Some(h) = &self.hub {
+                h.record_watchdog_trip(v.kind);
+            }
+            naspipe_obs::status::alert(&v.render());
+            // A trip is exactly the moment the ring's recent history is
+            // worth keeping: dump before anything else goes wrong.
+            if let (Some(f), Some(path)) = (&self.flight, &self.dump) {
+                if let Err(e) = f.snapshot().write_dump(path, "watchdog-trip") {
+                    eprintln!("naspipe: flight dump to {path} failed: {e}");
+                }
+            }
+        }
+        verdicts.extend(fresh);
+    }
+
+    fn take_verdicts(&self) -> Vec<WatchdogVerdict> {
+        let mut guard = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        std::mem::take(&mut guard.1)
+    }
+}
+
+/// Dumps the flight ring to `path` (when both are configured), tagging
+/// the dump with why it was taken. Failures are non-fatal: diagnosis
+/// must never take a run down.
+fn dump_flight(flight: &Option<Arc<FlightRecorder>>, path: &Option<String>, reason: &str) {
+    if let (Some(f), Some(p)) = (flight, path) {
+        if let Err(e) = f.snapshot().write_dump(p, reason) {
+            eprintln!("naspipe: flight dump to {p} failed: {e}");
+        }
+    }
+}
+
 struct StageWorker {
     stage: usize,
     blocks: Range<usize>,
@@ -310,6 +376,8 @@ struct StageWorker {
     recv_timeout: Option<Duration>,
     epoch: Instant,
     tasks: Vec<TaskRecord>,
+    // Shared bounded flight ring (None when diagnostics are disabled).
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl StageWorker {
@@ -357,6 +425,9 @@ impl StageWorker {
             self.recorder.incr(stage, Counter::PoolJob, pool.jobs);
             self.recorder.incr(stage, Counter::PoolChunk, pool.chunks);
             self.recorder.incr(stage, Counter::PoolBusyUs, pool.busy_us);
+            if let Some(f) = &self.flight {
+                f.record(stage, self.now_us(), FlightEventKind::PoolJob, pool.jobs);
+            }
         }
         StageOutput {
             params: self.params,
@@ -370,10 +441,20 @@ impl StageWorker {
     /// Fires any execute-site fault scheduled for this task: a panic
     /// models a hard worker crash, a slow fault stalls the stage.
     fn fire_execute_fault(&self, y: SubnetId, kind: TaskKind) {
-        match self
+        let fired = self
             .injector
-            .fire(self.stage as u32, y.0, kind, FaultSite::Execute)
-        {
+            .fire(self.stage as u32, y.0, kind, FaultSite::Execute);
+        if fired.is_some() {
+            if let Some(f) = &self.flight {
+                f.record(
+                    self.stage as u32,
+                    self.now_us(),
+                    FlightEventKind::Fault,
+                    y.0,
+                );
+            }
+        }
+        match fired {
             Some(FaultKind::Panic) => panic!(
                 "injected fault: stage {} panic at SN{}.{kind}",
                 self.stage, y.0
@@ -615,6 +696,14 @@ impl StageWorker {
             debug_assert!(self.bwd_queue.is_empty(), "queued backward at watermark");
             debug_assert!(self.fwd_queue.is_empty(), "queued forward at watermark");
             let snap_start = self.now_us();
+            if let Some(f) = &self.flight {
+                f.record(
+                    self.stage as u32,
+                    snap_start,
+                    FlightEventKind::CheckpointCut,
+                    self.next_ckpt,
+                );
+            }
             let snapshot = StageSnapshot {
                 params: self.params.clone(),
                 engine: self.engine.clone(),
@@ -662,9 +751,20 @@ impl StageWorker {
         src: SpanId,
         arrival_us: u64,
     ) -> Result<Flow, TrainError> {
-        self.fire_execute_fault(y, TaskKind::Forward);
         self.check(|c| c.on_admit_forward(y, self.stage as u32))?;
+        if let Some(f) = &self.flight {
+            f.record(
+                self.stage as u32,
+                self.now_us(),
+                FlightEventKind::Admission,
+                y.0,
+            );
+        }
+        // Faults fire after `started` so an injected slowdown lands in
+        // this task's latency sample — exactly what the straggler
+        // detector watches.
         let started = Instant::now();
+        self.fire_execute_fault(y, TaskKind::Forward);
         let subnet = self.subnets[y.0 as usize].clone();
         let ctx = self.forward_slice(&subnet, &input);
         // Causal edge: the activation's arrival released this forward —
@@ -743,8 +843,8 @@ impl StageWorker {
         grad_out: Tensor,
         src: SpanId,
     ) -> Result<Flow, TrainError> {
-        self.fire_execute_fault(y, TaskKind::Backward);
         let started = Instant::now();
+        self.fire_execute_fault(y, TaskKind::Backward);
         let ctx = self.ctxs.remove(&y.0).expect("forward context present");
         // Backward + apply on the owned slice.
         let mut grad = grad_out;
@@ -876,6 +976,17 @@ impl StageWorker {
             // queued is a causal stall; with an empty queue it is a
             // pipeline bubble.
             let blocked = !self.fwd_queue.is_empty();
+            if blocked {
+                // Forwards queued but none admissible: a CSP stall.
+                if let Some(f) = &self.flight {
+                    f.record(
+                        stage,
+                        self.now_us(),
+                        FlightEventKind::CspStall,
+                        self.fwd_queue.len() as u64,
+                    );
+                }
+            }
             let waiting = Instant::now();
             let Some(msg) = self.recv_blocking()? else {
                 return Ok(WorkerExit::Stopped(self.into_output()));
@@ -1159,6 +1270,48 @@ pub fn run_threaded_durable(
     telemetry: Option<&TelemetryOptions>,
     durable: Option<&DurableOptions>,
 ) -> Result<SupervisedRun, TrainError> {
+    run_threaded_diagnosed(
+        space,
+        subnets,
+        cfg,
+        gpus,
+        window,
+        opts,
+        telemetry,
+        durable,
+        &DiagnosticsOptions::default(),
+    )
+}
+
+/// [`run_threaded_durable`] with explicit diagnostics control: an
+/// always-on bounded per-stage flight recorder (admissions, CSP stalls,
+/// checkpoint cuts, faults, recoveries, pool fan-out), a wall-clock
+/// watchdog running the same detectors as the DES twin (verdicts folded
+/// into the report, trips counted on the telemetry hub and dumped to the
+/// flight path when one is configured), and the deterministic
+/// slow-stage/compute-scale knobs used by `repro doctor`. All of it is
+/// observably zero-effect on training results; `diag.enabled = false`
+/// turns every piece off.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_threaded_durable`].
+///
+/// # Panics
+///
+/// Same contract-violation panics as [`run_threaded_durable`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_diagnosed(
+    space: &SearchSpace,
+    subnets: Vec<Subnet>,
+    cfg: &TrainConfig,
+    gpus: u32,
+    window: u64,
+    opts: &RecoveryOptions,
+    telemetry: Option<&TelemetryOptions>,
+    durable: Option<&DurableOptions>,
+    diag: &DiagnosticsOptions,
+) -> Result<SupervisedRun, TrainError> {
     assert!(gpus > 0, "need at least one stage thread");
     for (i, s) in subnets.iter().enumerate() {
         assert_eq!(s.seq_id().0, i as u64, "subnets must be numbered from 0");
@@ -1248,11 +1401,40 @@ pub fn run_threaded_durable(
     // attributes only this run's fan-out work.
     let compute_threads = cfg.threads;
     let pool_base = naspipe_tensor::pool::shared(compute_threads).stats();
+    // Diagnostics plumbing: the flight ring is shared by every stage
+    // worker and the supervisor; the wall-clock watchdog needs periodic
+    // hub snapshots, so when no external telemetry is attached an
+    // internal hub (never exported — its series is not embedded in the
+    // report) drives the sampler instead.
+    let flight: Option<Arc<FlightRecorder>> = diag
+        .enabled
+        .then(|| Arc::new(FlightRecorder::new(gpus as usize, diag.flight_capacity)));
+    let internal_hub: Option<TelemetryOptions> = (telemetry.is_none() && diag.enabled)
+        .then(|| TelemetryOptions::new(Arc::new(TelemetryHub::new(gpus as usize, 0))));
+    let sampler_opts: Option<&TelemetryOptions> = telemetry.or(internal_hub.as_ref());
+    let watchdog: Option<Arc<WatchdogDuty>> = diag.enabled.then(|| {
+        Arc::new(WatchdogDuty {
+            state: Mutex::new((
+                Watchdog::new(gpus as usize, diag.watchdog.clone()),
+                Vec::new(),
+            )),
+            flight: flight.clone(),
+            dump: diag.flight_dump.clone(),
+            hub: sampler_opts.map(|t| Arc::clone(&t.hub)),
+        })
+    });
     // The sampler owns snapshot publication for the whole run (all
     // incarnations); its drop guard publishes a final snapshot on every
     // exit path, after the workers have joined.
-    let mut sampler =
-        telemetry.map(|t| TelemetrySampler::start(t, epoch, compute_threads, pool_base.clone()));
+    let mut sampler = sampler_opts.map(|t| {
+        TelemetrySampler::start(
+            t,
+            epoch,
+            compute_threads,
+            pool_base.clone(),
+            watchdog.clone(),
+        )
+    });
 
     let mut master = MetricsRecorder::new();
     let mut spans = SpanTrace::default();
@@ -1277,14 +1459,14 @@ pub fn run_threaded_durable(
         }
         for k in 0..gpus {
             master.incr(k, Counter::DurableResume, 1);
-            if let Some(t) = telemetry {
+            if let Some(t) = sampler_opts {
                 t.hub.record(k, Counter::DurableResume, 1);
             }
         }
     }
 
     loop {
-        if let Some(t) = telemetry {
+        if let Some(t) = sampler_opts {
             t.hub.set_incarnation(incarnation);
         }
         let resume: Option<Checkpoint> = if incarnation == 0 {
@@ -1378,7 +1560,7 @@ pub fn run_threaded_durable(
                 finished_count: resume_w,
                 injected: resume_w,
                 losses,
-                recorder: TeeRecorder::new(telemetry.map(|t| Arc::clone(&t.hub))),
+                recorder: TeeRecorder::new(sampler_opts.map(|t| Arc::clone(&t.hub))),
                 // Distinct id namespace per (incarnation, stage) so the
                 // merged trace never collides.
                 tracer: SpanTracer::with_namespace(
@@ -1399,6 +1581,7 @@ pub fn run_threaded_durable(
                 recv_timeout,
                 epoch,
                 tasks: Vec::new(),
+                flight: flight.clone(),
             };
             let notify = notify_tx.clone();
             handles.push((
@@ -1510,6 +1693,21 @@ pub fn run_threaded_durable(
                 let (series, dropped) = t.hub.series_points();
                 report = report.with_series(series, dropped);
             }
+            report = report.with_watchdog(
+                watchdog
+                    .as_ref()
+                    .map(|w| w.take_verdicts())
+                    .unwrap_or_default(),
+            );
+            if let Some(f) = &flight {
+                let log = f.snapshot();
+                if let Some(path) = &diag.flight_dump {
+                    if let Err(e) = log.write_dump(path, "end-of-run") {
+                        eprintln!("naspipe: flight dump to {path} failed: {e}");
+                    }
+                }
+                report = report.with_flight(log.summary());
+            }
             let subnets = Arc::try_unwrap(subnets).unwrap_or_else(|a| (*a).clone());
             return Ok(SupervisedRun {
                 result: TrainResult {
@@ -1526,9 +1724,11 @@ pub fn run_threaded_durable(
         };
 
         if !err.is_recoverable() {
+            dump_flight(&flight, &diag.flight_dump, "fault-escalation");
             return Err(err);
         }
         if recovery.restarts >= opts.max_restarts {
+            dump_flight(&flight, &diag.flight_dump, "fault-escalation");
             return Err(if opts.max_restarts == 0 {
                 err // recovery disabled: surface the root cause directly
             } else {
@@ -1559,17 +1759,27 @@ pub fn run_threaded_durable(
                 .count() as u64;
             recovery.replayed_tasks += replayed;
             master.incr(k as u32, Counter::ReplayedTask, replayed);
-            if let Some(t) = telemetry {
+            if let Some(t) = sampler_opts {
                 t.hub.record(k as u32, Counter::ReplayedTask, replayed);
             }
         }
         recovery.restarts += 1;
         for k in 0..gpus {
             master.incr(k, Counter::Restart, 1);
-            if let Some(t) = telemetry {
+            if let Some(t) = sampler_opts {
                 t.hub.record(k, Counter::Restart, 1);
             }
         }
+        // Mark the pipeline-wide recovery in the flight ring (one event
+        // per stage, tagged with the incarnation it ends), then dump:
+        // the ring right now holds the lead-up to the failure.
+        if let Some(f) = &flight {
+            let at = elapsed_us(epoch);
+            for k in 0..gpus {
+                f.record(k, at, FlightEventKind::Recovery, u64::from(incarnation));
+            }
+        }
+        dump_flight(&flight, &diag.flight_dump, "fault");
         if let Some(at) = failure_detected {
             recovery.recovery_latency_us += elapsed_us(at);
         }
@@ -1590,6 +1800,7 @@ struct TelemetrySampler {
     pool: Arc<naspipe_tensor::pool::ComputePool>,
     pool_base: naspipe_tensor::pool::PoolStats,
     progress: bool,
+    watchdog: Option<Arc<WatchdogDuty>>,
 }
 
 impl TelemetrySampler {
@@ -1598,6 +1809,7 @@ impl TelemetrySampler {
         epoch: Instant,
         compute_threads: usize,
         pool_base: naspipe_tensor::pool::PoolStats,
+        watchdog: Option<Arc<WatchdogDuty>>,
     ) -> Self {
         let (stop, stop_rx) = channel::<()>();
         let interval = Duration::from_micros(opts.interval_us());
@@ -1607,6 +1819,7 @@ impl TelemetrySampler {
             let pool = Arc::clone(&pool);
             let base = pool_base.clone();
             let progress = opts.progress;
+            let watchdog = watchdog.clone();
             std::thread::Builder::new()
                 .name("naspipe-sampler".to_string())
                 .spawn(move || {
@@ -1618,7 +1831,13 @@ impl TelemetrySampler {
                         hub.set_pool(stats.jobs, stats.chunks, stats.busy_us);
                         let snap = hub.publish(elapsed_us(epoch));
                         if progress {
-                            eprint!("\r{}", progress_line(&snap, prev.as_ref()));
+                            naspipe_obs::status::progress(&progress_line(&snap, prev.as_ref()));
+                        }
+                        // Feed the wall-clock watchdog the same snapshot
+                        // the hub just published (alerts interleave
+                        // cleanly with the progress line above).
+                        if let Some(w) = &watchdog {
+                            w.observe(&snap);
                         }
                         prev = Some(snap);
                     }
@@ -1633,6 +1852,7 @@ impl TelemetrySampler {
             pool,
             pool_base,
             progress: opts.progress,
+            watchdog,
         }
     }
 
@@ -1646,9 +1866,14 @@ impl TelemetrySampler {
         let _ = handle.join();
         let stats = self.pool.stats().since(&self.pool_base);
         self.hub.set_pool(stats.jobs, stats.chunks, stats.busy_us);
-        self.hub.publish(elapsed_us(self.epoch));
+        let snap = self.hub.publish(elapsed_us(self.epoch));
+        // One last watchdog pass over the complete totals, so a
+        // straggler only visible in the closing window is still caught.
+        if let Some(w) = &self.watchdog {
+            w.observe(&snap);
+        }
         if self.progress {
-            eprintln!();
+            naspipe_obs::status::newline();
         }
     }
 }

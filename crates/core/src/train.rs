@@ -308,6 +308,7 @@ mod tests {
             seed: 0,
             compute_threads: 0,
             sample_interval_us: 0,
+            diagnostics: Default::default(),
         };
         run_pipeline_with_subnets(space, &cfg, subnets).unwrap()
     }

@@ -276,6 +276,21 @@ pub fn render_exposition(hub: &TelemetryHub, meta: &RunMeta) -> String {
         "Compute-pool busy time summed over workers (whole run).",
         &[(String::new(), snap.pool.busy_us as f64)],
     );
+    let trips = hub.watchdog_trips();
+    if trips.iter().any(|&t| t > 0) {
+        let samples: Vec<(String, f64)> = crate::watchdog::WatchdogVerdictKind::ALL
+            .iter()
+            .zip(trips.iter())
+            .filter(|(_, &t)| t > 0)
+            .map(|(kind, &t)| (format!("kind=\"{}\"", kind.name()), t as f64))
+            .collect();
+        family(
+            &mut out,
+            "naspipe_watchdog_trips_total",
+            "Watchdog detector trips by kind (latched; at most one per stage per kind).",
+            &samples,
+        );
+    }
 
     render_histograms(&mut out, &snap);
     render_rates(&mut out, prev.as_ref(), &snap);
@@ -906,6 +921,22 @@ mod tests {
         hub.record(0, Counter::ForwardTask, 7);
         hub.publish(200_000);
         hub
+    }
+
+    #[test]
+    fn watchdog_trips_family_appears_only_after_a_trip() {
+        let hub = busy_hub();
+        let meta = RunMeta::new("threaded", 2).seed(7);
+        let clean = render_exposition(&hub, &meta);
+        assert!(!clean.contains("naspipe_watchdog_trips_total"));
+        hub.record_watchdog_trip(crate::watchdog::WatchdogVerdictKind::Straggler);
+        hub.record_watchdog_trip(crate::watchdog::WatchdogVerdictKind::Straggler);
+        hub.record_watchdog_trip(crate::watchdog::WatchdogVerdictKind::CspConvoy);
+        let tripped = render_exposition(&hub, &meta);
+        validate_exposition(&tripped).expect(&tripped);
+        assert!(tripped.contains("naspipe_watchdog_trips_total{kind=\"straggler\"} 2"));
+        assert!(tripped.contains("naspipe_watchdog_trips_total{kind=\"csp-convoy\"} 1"));
+        assert!(!tripped.contains("kind=\"stage-stall\""));
     }
 
     #[test]

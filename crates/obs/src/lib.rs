@@ -37,6 +37,16 @@
 //!    thing as hand-rolled Prometheus 0.0.4 text over a
 //!    `std::net::TcpListener` ([`MetricsServer`]) — plus the parser /
 //!    validator the `repro telemetry` hard verdicts are built on.
+//! 6. **Diagnosis** ([`flight`] + [`watchdog`] + [`doctor`]): an
+//!    always-on bounded [`FlightRecorder`] of compact per-stage events
+//!    (dumped to `.flight.json` on faults, watchdog trips, or request),
+//!    a [`Watchdog`] running stall / straggler / CSP-convoy detectors
+//!    over the telemetry snapshot stream (deterministic in the DES,
+//!    advisory under wall clock), and [`doctor::diagnose`] which diffs
+//!    two runs' critical paths into ranked attribution deltas and a
+//!    kernel-vs-scheduling verdict. [`status`] serializes the sampler's
+//!    progress line and watchdog alerts onto stderr without mid-line
+//!    interleaving.
 //!
 //! The crate deliberately has no dependency on `naspipe-core`: the
 //! runtimes resolve their own partition/stage types into plain
@@ -46,18 +56,29 @@
 
 pub mod chrome;
 pub mod critical_path;
+pub mod doctor;
 pub mod expo;
+pub mod flight;
 pub mod invariant;
 pub mod metrics;
 pub mod report;
+pub mod status;
 pub mod telemetry;
 pub mod trace;
+pub mod watchdog;
 
 pub use chrome::{export_chrome, parse_chrome, ChromeParseError};
 pub use critical_path::{critical_path, AttrClass, CriticalPath, PathSegment};
+pub use doctor::{
+    bench_deltas, diagnose, explain_bench_check, explain_replay, flight_kind_counts, BenchDelta,
+    Diagnosis, SpanShift, StageDelta, StallExport, StragglerRank,
+};
 pub use expo::{
     counter_values, monotonicity_violations, render_exposition, scrape, validate_exposition,
     MetricsServer,
+};
+pub use flight::{
+    FlightEvent, FlightEventKind, FlightLog, FlightRecorder, FlightSummary, DEFAULT_FLIGHT_CAPACITY,
 };
 pub use invariant::{CspChecker, Violation};
 pub use metrics::{Counter, Histogram, MetricsRecorder, NullRecorder, Recorder, Sample};
@@ -71,4 +92,7 @@ pub use telemetry::{
 pub use trace::{
     CausalEdge, CauseKind, NullTracer, Span, SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer,
     Tracer,
+};
+pub use watchdog::{
+    Watchdog, WatchdogConfig, WatchdogVerdict, WatchdogVerdictKind, NUM_WATCHDOG_KINDS,
 };

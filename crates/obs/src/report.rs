@@ -143,7 +143,15 @@ impl StageObs {
 /// Every schema-3 field keeps its exact key name and value formatting.
 /// Schema 4 later gained the additive per-stage `durable_persists` /
 /// `durable_resumes` durability counters.
-pub const OBS_SCHEMA_VERSION: u32 = 4;
+///
+/// Schema 5 = schema 4 plus the diagnosis layer: top-level `"watchdog"`
+/// (array of latched detector verdicts — `at_us`, `kind`, `stage`,
+/// `detail`) and `"flight"` (flight-recorder totals — `events`,
+/// `dropped`, `capacity`). Both are additive; when neither subsystem
+/// recorded anything the compact text rendering is byte-identical to
+/// schema 4's. Every schema-4 field keeps its exact key name and value
+/// formatting.
+pub const OBS_SCHEMA_VERSION: u32 = 5;
 
 /// One stage's cumulative counters at a sampled instant (schema-4
 /// `"series"` entries; a compressed projection of the live
@@ -211,6 +219,11 @@ pub struct ObsReport {
     /// Snapshots evicted from the telemetry ring before this report was
     /// built — the explicit truncation count for `series`.
     pub samples_dropped: u64,
+    /// Latched watchdog verdicts, in trip order (empty when no detector
+    /// fired or the watchdog was off).
+    pub watchdog: Vec<crate::watchdog::WatchdogVerdict>,
+    /// Flight-recorder totals (all-zero default when no recorder ran).
+    pub flight: crate::flight::FlightSummary,
 }
 
 impl ObsReport {
@@ -231,6 +244,18 @@ impl ObsReport {
     pub fn with_series(mut self, series: Vec<SeriesPoint>, samples_dropped: u64) -> Self {
         self.series = series;
         self.samples_dropped = samples_dropped;
+        self
+    }
+
+    /// Attaches the latched watchdog verdicts (builder-style).
+    pub fn with_watchdog(mut self, watchdog: Vec<crate::watchdog::WatchdogVerdict>) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Attaches the flight-recorder totals (builder-style).
+    pub fn with_flight(mut self, flight: crate::flight::FlightSummary) -> Self {
+        self.flight = flight;
         self
     }
 
@@ -365,6 +390,16 @@ impl ObsReport {
                 self.samples_dropped,
             );
         }
+        for v in &self.watchdog {
+            let _ = writeln!(out, "{}", v.render());
+        }
+        if !self.flight.is_empty() {
+            let _ = writeln!(
+                out,
+                "flight: {} events kept, {} dropped (ring capacity {})",
+                self.flight.events, self.flight.dropped, self.flight.capacity,
+            );
+        }
         out
     }
 
@@ -464,9 +499,28 @@ impl ObsReport {
                 w.worker, w.chunks, w.busy_us, w.idle_us,
             );
         }
+        out.push_str("],\"watchdog\":[");
+        for (i, v) in self.watchdog.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at_us\":{},\"kind\":{},\"stage\":{},\"detail\":{}}}",
+                v.at_us,
+                json_str(v.kind.name()),
+                v.stage,
+                json_str(&v.detail),
+            );
+        }
         let _ = write!(
             out,
-            "],\"samples_dropped\":{},\"series\":[",
+            "],\"flight\":{{\"events\":{},\"dropped\":{},\"capacity\":{}}}",
+            self.flight.events, self.flight.dropped, self.flight.capacity,
+        );
+        let _ = write!(
+            out,
+            ",\"samples_dropped\":{},\"series\":[",
             self.samples_dropped
         );
         for (i, p) in self.series.iter().enumerate() {
@@ -551,6 +605,8 @@ mod tests {
             pool: Vec::new(),
             series: Vec::new(),
             samples_dropped: 0,
+            watchdog: Vec::new(),
+            flight: crate::flight::FlightSummary::default(),
             stages: vec![
                 StageObs {
                     stage: 0,
@@ -611,7 +667,7 @@ mod tests {
     #[test]
     fn json_carries_schema_meta_and_percentiles() {
         let json = two_stage_report().to_json();
-        assert!(json.starts_with("{\"schema\":4,"), "schema first: {json}");
+        assert!(json.starts_with("{\"schema\":5,"), "schema first: {json}");
         assert!(json.contains("\"meta\":{\"engine\":\"des\",\"stages\":2,\"seed\":7}"));
         for key in [
             "\"queue_depth_p50\":",
@@ -740,6 +796,52 @@ mod tests {
             text.contains("telemetry: 2 samples kept, 3 dropped"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn empty_watchdog_flight_keeps_compact_rendering() {
+        // Like the schema-2/3 pool regression: runs where neither the
+        // watchdog nor the flight recorder observed anything keep the
+        // schema-4 compact text shape, byte for byte.
+        let r = two_stage_report();
+        let text = r.render_text();
+        assert!(!text.contains("watchdog"), "{text}");
+        assert!(!text.contains("flight"), "{text}");
+        assert_eq!(text.lines().count(), 4); // header + 2 stages + totals
+        let json = r.to_json();
+        assert!(
+            json.contains("\"watchdog\":[],\"flight\":{\"events\":0,\"dropped\":0,\"capacity\":0}")
+        );
+    }
+
+    #[test]
+    fn watchdog_and_flight_sections_render() {
+        let r = two_stage_report()
+            .with_watchdog(vec![crate::watchdog::WatchdogVerdict {
+                at_us: 1_200_000,
+                kind: crate::watchdog::WatchdogVerdictKind::Straggler,
+                stage: 1,
+                detail: "busy 900000us vs peer median \"100000us\"".into(),
+            }])
+            .with_flight(crate::flight::FlightSummary {
+                events: 42,
+                dropped: 3,
+                capacity: 256,
+            });
+        let text = r.render_text();
+        assert!(
+            text.contains("watchdog: straggler on stage 1 at 1200000us"),
+            "{text}"
+        );
+        assert!(text.contains("flight: 42 events kept, 3 dropped (ring capacity 256)"));
+        let json = r.to_json();
+        assert!(
+            json.contains("\"watchdog\":[{\"at_us\":1200000,\"kind\":\"straggler\",\"stage\":1,")
+        );
+        assert!(json.contains("\"flight\":{\"events\":42,\"dropped\":3,\"capacity\":256}"));
+        // The free-text detail is escaped as a JSON string.
+        assert!(json.contains("\\\"100000us\\\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

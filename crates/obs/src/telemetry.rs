@@ -238,6 +238,7 @@ pub struct TelemetryHub {
     pool_jobs: AtomicU64,
     pool_chunks: AtomicU64,
     pool_busy_us: AtomicU64,
+    watchdog_trips: [AtomicU64; crate::watchdog::NUM_WATCHDOG_KINDS],
     ring: Mutex<Ring>,
 }
 
@@ -265,6 +266,7 @@ impl TelemetryHub {
             pool_jobs: AtomicU64::new(0),
             pool_chunks: AtomicU64::new(0),
             pool_busy_us: AtomicU64::new(0),
+            watchdog_trips: std::array::from_fn(|_| AtomicU64::new(0)),
             ring: Mutex::new(Ring {
                 buf: VecDeque::with_capacity(capacity.min(4096)),
                 capacity,
@@ -312,6 +314,18 @@ impl TelemetryHub {
     /// Current incarnation.
     pub fn incarnation(&self) -> u32 {
         self.incarnation.load(Ordering::Relaxed)
+    }
+
+    /// Counts one watchdog detector trip (feeds the
+    /// `naspipe_watchdog_trips_total` Prometheus family).
+    pub fn record_watchdog_trip(&self, kind: crate::watchdog::WatchdogVerdictKind) {
+        self.watchdog_trips[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative trips per [`WatchdogVerdictKind`](crate::watchdog::WatchdogVerdictKind),
+    /// index order.
+    pub fn watchdog_trips(&self) -> [u64; crate::watchdog::NUM_WATCHDOG_KINDS] {
+        std::array::from_fn(|i| self.watchdog_trips[i].load(Ordering::Relaxed))
     }
 
     /// Publishes the global compute-pool counters (run-delta values; the

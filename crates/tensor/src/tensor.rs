@@ -62,6 +62,21 @@ impl OutPtr {
     }
 }
 
+/// Test/CI hook: `NASPIPE_MATMUL_THROTTLE_US=<µs>` sleeps that long at
+/// the start of every matmul, simulating a degraded kernel (e.g. a lost
+/// SIMD path) without touching any arithmetic — results stay bitwise
+/// identical, only wall time and the compute share of the critical path
+/// change. Unset or unparsable means zero cost (read once per process).
+fn matmul_throttle_us() -> u64 {
+    static THROTTLE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *THROTTLE.get_or_init(|| {
+        std::env::var("NASPIPE_MATMUL_THROTTLE_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
+}
+
 #[cfg(target_arch = "x86_64")]
 fn avx_available() -> bool {
     static AVX: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
@@ -252,6 +267,10 @@ fn mm_exec(
     belem: impl Fn(usize, usize) -> f32 + Sync,
     out: &mut [f32],
 ) {
+    let throttle = matmul_throttle_us();
+    if throttle > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(throttle));
+    }
     if m * k * n < PAR_MIN_FLOPS || m <= MM_ROW_BAND {
         mm_rows(a, 0, ars, aks, k, n, m, bslice, &bpanel, bs, &belem, out);
         return;

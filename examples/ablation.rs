@@ -76,6 +76,7 @@ fn main() {
             seed: 5,
             compute_threads: 0,
             sample_interval_us: 0,
+            diagnostics: Default::default(),
         };
         match run_pipeline_with_subnets(&space, &cfg, subnets.clone()) {
             Ok(out) => {

@@ -68,6 +68,7 @@ fn main() {
                 seed: 3,
                 compute_threads: 0,
                 sample_interval_us: 0,
+                diagnostics: Default::default(),
             };
             let out = run_pipeline_with_subnets(&space, &cfg, subnets.clone()).unwrap();
             let order = layer_access_order(&out, probe);

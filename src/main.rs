@@ -13,8 +13,13 @@
 //! naspipe search --space CV.c2 --gpus 8 --subnets 120 --rounds 96 [--seed 7]
 //!                [--metrics-addr 127.0.0.1:9464]
 //! naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]
+//!                [--explain]
 //! naspipe replay-check [--corpus traces/golden] [--mode strict|lenient]
-//!                [--case SUBSTR] [--bless]
+//!                [--case SUBSTR] [--bless] [--explain]
+//! naspipe doctor --base base_trace.json --cand cand_trace.json [--top 5]
+//!                [--base-bench A.json --cand-bench B.json]
+//!                [--base-flight A.flight.json] [--cand-flight B.flight.json]
+//!                [--threshold-pct 15] [--json]
 //! ```
 //!
 //! With `--metrics-addr`, the run serves live Prometheus 0.0.4 text on
@@ -23,12 +28,21 @@
 //! `replay-check` is the behavioral twin of `bench-check`: it re-executes
 //! the committed golden traces against the current scheduler and fails
 //! (strict mode) on any divergence, naming the first divergent task.
+//!
+//! `doctor` diagnoses a regression between two runs from their artifacts:
+//! chrome traces (see `REPRO_TRACE_JSON` / `repro trace`) are required and
+//! yield the ranked critical-path attribution; bench and flight artifacts
+//! are folded in when given. `--explain` on a failing gate runs the same
+//! analysis inline. `train --flight-dump PATH` writes the always-on
+//! flight recorder's ring to PATH at end of run (and on faults/watchdog
+//! trips) for `doctor` to ingest.
 
 use naspipe::baselines::SystemKind;
+use naspipe::core::config::DiagnosticsOptions;
 use naspipe::core::fault::FaultPlan;
 use naspipe::core::pipeline::run_pipeline_telemetry;
 use naspipe::core::replay_gate::loss_digest;
-use naspipe::core::runtime::{run_threaded_durable, DurableOptions, RecoveryOptions};
+use naspipe::core::runtime::{run_threaded_diagnosed, DurableOptions, RecoveryOptions};
 use naspipe::core::task::TaskKind;
 use naspipe::core::train::{replay_training, search_best_subnet, TrainConfig};
 use naspipe::core::transcript::{replay_transcript, Transcript};
@@ -71,6 +85,7 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "checkpoint-keep",
             "checkpoint-interval",
             "kill-at",
+            "flight-dump",
         ],
         &["resume"],
     ),
@@ -92,9 +107,27 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
     (
         "bench-check",
         &["baseline", "threshold-pct", "subnets"],
-        &[],
+        &["explain"],
     ),
-    ("replay-check", &["corpus", "mode", "case"], &["bless"]),
+    (
+        "replay-check",
+        &["corpus", "mode", "case"],
+        &["bless", "explain"],
+    ),
+    (
+        "doctor",
+        &[
+            "base",
+            "cand",
+            "top",
+            "base-bench",
+            "cand-bench",
+            "base-flight",
+            "cand-flight",
+            "threshold-pct",
+        ],
+        &["json"],
+    ),
 ];
 
 /// Edit distance for the did-you-mean suggestion on unknown options.
@@ -323,6 +356,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         .with_compute_threads(threads)
         .with_sample_interval_us(args.sample_interval_us()?);
     cfg.batch = batch;
+    cfg.diagnostics.flight_dump = args.options.get("flight-dump").cloned();
     let telemetry = args.telemetry("des", gpus, seed)?;
     let outcome = run_pipeline_telemetry(
         &space,
@@ -394,7 +428,11 @@ fn train_threaded(
     if let Some((stage, subnet)) = args.kill_at()? {
         opts.fault_plan = FaultPlan::new().kill_on(stage, subnet, TaskKind::Forward);
     }
-    let run = run_threaded_durable(
+    let diag = DiagnosticsOptions {
+        flight_dump: args.options.get("flight-dump").cloned(),
+        ..DiagnosticsOptions::default()
+    };
+    let run = run_threaded_diagnosed(
         space,
         subnets,
         &train_config(seed, threads),
@@ -403,6 +441,7 @@ fn train_threaded(
         &opts,
         telemetry.as_ref().map(|(topts, _)| topts),
         durable.as_ref(),
+        &diag,
     )
     .map_err(|e| e.to_string())?;
     println!(
@@ -461,6 +500,18 @@ fn cmd_bench_check(args: &Args) -> Result<(), String> {
     if check.ok() {
         Ok(())
     } else {
+        if args.flags.contains("explain") {
+            let rows: Vec<naspipe::obs::BenchDelta> = check
+                .rows
+                .iter()
+                .map(|r| naspipe::obs::BenchDelta {
+                    metric: r.metric.clone(),
+                    baseline: r.baseline,
+                    fresh: r.fresh,
+                })
+                .collect();
+            print!("{}", naspipe::obs::explain_bench_check(&rows, threshold));
+        }
         Err(format!(
             "bench-check failed: {} metric(s) regressed more than {:.0}% below the baseline",
             check.regressions().len(),
@@ -506,12 +557,61 @@ fn cmd_replay_check(args: &Args) -> Result<(), String> {
     if report.ok() || mode == GateMode::Lenient {
         Ok(())
     } else {
+        if args.flags.contains("explain") {
+            print!("{}", naspipe::obs::explain_replay(&report.render_text()));
+        }
         Err(format!(
             "replay-check failed: {} divergence(s) from the golden corpus \
              (run with --mode lenient to audit, or --bless after an intentional change)",
             report.divergences()
         ))
     }
+}
+
+/// `naspipe doctor`: offline regression diagnosis from two runs'
+/// artifacts. The chrome traces are required (write them with
+/// `REPRO_TRACE_JSON=1 repro trace` or any span-trace export); bench
+/// and flight-recorder artifacts are folded into the report when given.
+/// The command is read-only and always exits zero on a successful
+/// diagnosis — the verdict is the output, not the exit code.
+fn cmd_doctor(args: &Args) -> Result<(), String> {
+    use naspipe::obs::{bench_deltas, diagnose, flight_kind_counts, parse_chrome};
+
+    let base_path = args
+        .options
+        .get("base")
+        .ok_or("--base is required (the baseline run's chrome trace JSON)")?;
+    let cand_path = args
+        .options
+        .get("cand")
+        .ok_or("--cand is required (the candidate run's chrome trace JSON)")?;
+    let top = args.u64_opt("top", 5)? as usize;
+    let threshold = args.u64_opt("threshold-pct", 15)? as f64 / 100.0;
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let (base, _) = parse_chrome(&read(base_path)?).map_err(|e| format!("{base_path}: {e}"))?;
+    let (cand, _) = parse_chrome(&read(cand_path)?).map_err(|e| format!("{cand_path}: {e}"))?;
+    let d = diagnose(&base, &cand, top);
+    if args.flags.contains("json") {
+        println!("{}", d.to_json());
+        return Ok(());
+    }
+    print!("{}", d.render_text());
+    if let (Some(bb), Some(cb)) = (
+        args.options.get("base-bench"),
+        args.options.get("cand-bench"),
+    ) {
+        let rows = bench_deltas(&read(bb)?, &read(cb)?);
+        print!("{}", naspipe::obs::explain_bench_check(&rows, threshold));
+    }
+    for (label, key) in [("base", "base-flight"), ("cand", "cand-flight")] {
+        if let Some(path) = args.options.get(key) {
+            println!("flight event mix, {label} ({path}):");
+            for (kind, count) in flight_kind_counts(&read(path)?) {
+                println!("  {kind:<18} {count}");
+            }
+        }
+    }
+    Ok(())
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
@@ -577,7 +677,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: naspipe <spaces|train|replay|search|bench-check|replay-check> [--option value ..]\n\
+    "usage: naspipe <spaces|train|replay|search|bench-check|replay-check|doctor> [--option value ..]\n\
      \n\
      naspipe spaces\n\
      naspipe train  --space NLP.c2 [--gpus 8] [--subnets 64] [--seed 0]\n\
@@ -587,14 +687,18 @@ fn usage() -> &'static str {
      \x20              [--sample-interval-ms 200]\n\
      \x20              [--checkpoint-dir DIR] [--checkpoint-keep 3]\n\
      \x20              [--checkpoint-interval 8] [--resume]\n\
-     \x20              [--kill-at STAGE:SUBNET]\n\
+     \x20              [--kill-at STAGE:SUBNET] [--flight-dump PATH]\n\
      naspipe replay --space NLP.c2 --transcript FILE [--seed 0] [--threads 0]\n\
      naspipe search --space CV.c2 [--gpus 8] [--subnets 64] [--rounds 64]\n\
      \x20              [--threads 0] [--metrics-addr HOST:PORT]\n\
      naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]\n\
-     \x20              [--subnets 24]\n\
+     \x20              [--subnets 24] [--explain]\n\
      naspipe replay-check [--corpus traces/golden] [--mode strict|lenient]\n\
-     \x20              [--case SUBSTR] [--bless]\n\
+     \x20              [--case SUBSTR] [--bless] [--explain]\n\
+     naspipe doctor --base TRACE.json --cand TRACE.json [--top 5]\n\
+     \x20              [--base-bench A.json --cand-bench B.json]\n\
+     \x20              [--base-flight A.flight.json] [--cand-flight B.flight.json]\n\
+     \x20              [--threshold-pct 15] [--json]\n\
      \n\
      --threads sets the compute-pool worker count (0 = NASPIPE_THREADS\n\
      or the machine's parallelism); it never changes numeric results.\n\
@@ -610,7 +714,14 @@ fn usage() -> &'static str {
      replay-check re-executes the committed golden traces against the\n\
      current scheduler; --mode strict (default) fails on any divergence,\n\
      naming the first divergent task; --mode lenient prints the same\n\
-     report but exits zero; --bless regenerates the corpus."
+     report but exits zero; --bless regenerates the corpus.\n\
+     --flight-dump writes the always-on flight recorder's per-stage ring\n\
+     to PATH at end of run and on faults/watchdog trips.\n\
+     --explain appends an automated doctor analysis to a failing gate.\n\
+     doctor diagnoses a regression between two runs offline: ranked\n\
+     critical-path attribution deltas, straggler and exported-stall\n\
+     rankings, and a kernel-vs-scheduling verdict from their trace\n\
+     (and optionally bench / flight) artifacts."
 }
 
 fn main() -> ExitCode {
@@ -632,6 +743,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&args),
         "bench-check" => cmd_bench_check(&args),
         "replay-check" => cmd_replay_check(&args),
+        "doctor" => cmd_doctor(&args),
         // parse_args already rejects unknown subcommands.
         other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
     };
@@ -730,6 +842,34 @@ mod tests {
         // No durable options at all: None, no error.
         let a = parse_args(&argv("train --space NLP.c2")).unwrap();
         assert_eq!(a.durable().unwrap(), None);
+    }
+
+    #[test]
+    fn parses_doctor_and_explain_options() {
+        let a = parse_args(&argv(
+            "doctor --base a.json --cand b.json --top 3 --base-flight a.flight.json --json",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "doctor");
+        assert_eq!(a.options["base"], "a.json");
+        assert_eq!(a.options["cand"], "b.json");
+        assert_eq!(a.u64_opt("top", 5).unwrap(), 3);
+        assert_eq!(a.options["base-flight"], "a.flight.json");
+        assert!(a.flags.contains("json"));
+
+        // --explain is a bare flag on both gates.
+        let a = parse_args(&argv("bench-check --explain --threshold-pct 10")).unwrap();
+        assert!(a.flags.contains("explain"));
+        assert_eq!(a.options["threshold-pct"], "10");
+        let a = parse_args(&argv("replay-check --explain --mode strict")).unwrap();
+        assert!(a.flags.contains("explain"));
+
+        // --flight-dump takes a path on train, for either engine.
+        let a = parse_args(&argv("train --space NLP.c2 --flight-dump run.flight.json")).unwrap();
+        assert_eq!(a.options["flight-dump"], "run.flight.json");
+
+        // doctor rejects options it does not take.
+        assert!(parse_args(&argv("doctor --base a.json --bless")).is_err());
     }
 
     #[test]

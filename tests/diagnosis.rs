@@ -1,0 +1,165 @@
+//! The always-on diagnosis layer must never change results: flight
+//! recorder + watchdog enabled vs. disabled produce bitwise-identical
+//! schedules, reports, and trained parameters on both engines; clean
+//! runs trip no detector; and the DES watchdog's verdicts are a pure
+//! function of the configuration (identical across repeated runs and,
+//! via the CI `NASPIPE_THREADS` matrix, across compute-pool sizes).
+
+use naspipe::core::config::{DiagnosticsOptions, PipelineConfig};
+use naspipe::core::fault::FaultPlan;
+use naspipe::core::pipeline::run_pipeline;
+use naspipe::core::replay_gate::loss_digest;
+use naspipe::core::runtime::{run_threaded_diagnosed, RecoveryOptions};
+use naspipe::core::task::TaskKind;
+use naspipe::core::train::TrainConfig;
+use naspipe::obs::WatchdogVerdictKind;
+use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
+use naspipe::supernet::space::{SearchSpace, SpaceId};
+
+fn train_cfg(seed: u64) -> TrainConfig {
+    TrainConfig {
+        seed,
+        residual_scale: 0.2,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn des_flight_and_watchdog_are_bitwise_inert() {
+    let space = SearchSpace::from_id(SpaceId::NlpC2);
+    let on_cfg = PipelineConfig::naspipe(4, 24).with_seed(7);
+    assert!(on_cfg.diagnostics.enabled, "diagnosis layer is always-on");
+    let off_cfg = on_cfg
+        .clone()
+        .with_diagnostics(DiagnosticsOptions::disabled());
+
+    let on = run_pipeline(&space, &on_cfg).unwrap();
+    let off = run_pipeline(&space, &off_cfg).unwrap();
+
+    assert_eq!(on.tasks, off.tasks, "schedule must not depend on recording");
+    assert_eq!(
+        on.report, off.report,
+        "metrics must not depend on recording"
+    );
+    assert_eq!(on.spans, off.spans, "spans must not depend on recording");
+    assert_eq!(on.obs.stages, off.obs.stages);
+
+    // The recorder did observe the run — it is inert, not absent.
+    assert!(!on.obs.flight.is_empty(), "flight ring must have recorded");
+    assert!(
+        off.obs.flight.is_empty(),
+        "disabled run must record nothing"
+    );
+    assert!(
+        on.obs.watchdog.is_empty(),
+        "clean run must trip no detector"
+    );
+}
+
+#[test]
+fn threaded_flight_and_watchdog_are_bitwise_inert() {
+    let space = SearchSpace::from_id(SpaceId::NlpC2);
+    let subnets = UniformSampler::new(&space, 7).take_subnets(16);
+    let run = |diag: &DiagnosticsOptions| {
+        run_threaded_diagnosed(
+            &space,
+            subnets.clone(),
+            &train_cfg(7),
+            4,
+            0,
+            &RecoveryOptions::default(),
+            None,
+            None,
+            diag,
+        )
+        .unwrap()
+    };
+    let on = run(&DiagnosticsOptions::default());
+    let off = run(&DiagnosticsOptions::disabled());
+
+    assert_eq!(on.result.final_hash, off.result.final_hash);
+    assert_eq!(on.result.losses, off.result.losses);
+    assert_eq!(
+        loss_digest(&on.result.losses),
+        loss_digest(&off.result.losses)
+    );
+    assert!(
+        !on.report.flight.is_empty(),
+        "flight ring must have recorded"
+    );
+    assert!(off.report.flight.is_empty());
+    assert!(on.report.watchdog.is_empty(), "clean run must trip nothing");
+}
+
+#[test]
+fn clean_runs_trip_no_watchdog_across_seeds() {
+    for seed in [0, 7, 42, 123] {
+        for gpus in [2, 4] {
+            let space = SearchSpace::from_id(SpaceId::NlpC2);
+            let cfg = PipelineConfig::naspipe(gpus, 12).with_seed(seed);
+            let outcome = run_pipeline(&space, &cfg).unwrap();
+            assert!(
+                outcome.obs.watchdog.is_empty(),
+                "seed {seed} x {gpus} GPUs tripped: {:?}",
+                outcome.obs.watchdog
+            );
+        }
+    }
+}
+
+#[test]
+fn des_straggler_verdict_is_deterministic() {
+    let space = SearchSpace::from_id(SpaceId::NlpC2);
+    let cfg = PipelineConfig::naspipe(4, 24)
+        .with_seed(7)
+        .with_diagnostics(DiagnosticsOptions::default().with_slow_stage(1, 8.0));
+
+    let a = run_pipeline(&space, &cfg).unwrap();
+    let b = run_pipeline(&space, &cfg).unwrap();
+
+    let straggler = a
+        .obs
+        .watchdog
+        .iter()
+        .find(|v| v.kind == WatchdogVerdictKind::Straggler)
+        .expect("an 8x slow stage must trip the straggler detector");
+    assert_eq!(straggler.stage, 1, "the planted stage is charged");
+    // Verdicts are simulated-time observations: bitwise identical across
+    // runs (and across NASPIPE_THREADS — the CI matrix reruns this).
+    assert_eq!(a.obs.watchdog, b.obs.watchdog);
+    assert!(!a.obs.watchdog.is_empty());
+}
+
+#[test]
+fn threaded_seeded_slow_stage_trips_straggler() {
+    let space = SearchSpace::from_id(SpaceId::NlpC2);
+    let subnets = UniformSampler::new(&space, 7).take_subnets(12);
+    let opts = RecoveryOptions {
+        fault_plan: FaultPlan::new().slow(1, 3, TaskKind::Forward, 400).slow(
+            1,
+            6,
+            TaskKind::Forward,
+            400,
+        ),
+        ..RecoveryOptions::default()
+    };
+    let run = run_threaded_diagnosed(
+        &space,
+        subnets,
+        &train_cfg(7),
+        4,
+        0,
+        &opts,
+        None,
+        None,
+        &DiagnosticsOptions::default(),
+    )
+    .unwrap();
+    let straggler = run
+        .report
+        .watchdog
+        .iter()
+        .find(|v| v.kind == WatchdogVerdictKind::Straggler)
+        .expect("an injected 800ms delay must trip the straggler detector");
+    assert_eq!(straggler.stage, 1, "the delayed stage is charged");
+}

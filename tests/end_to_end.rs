@@ -185,6 +185,7 @@ fn baselines_break_reproducibility() {
             seed: 31,
             compute_threads: 0,
             sample_interval_us: 0,
+            diagnostics: Default::default(),
         };
         let out = run_pipeline_with_subnets(&space, &pc, subnets.clone()).unwrap();
         let replay = replay_training(&space, &out, &cfg);
