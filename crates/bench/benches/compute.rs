@@ -1,11 +1,12 @@
 //! Compute-backend micro-benchmarks: tiled vs naive matmul across
-//! shapes, the transposed multiplies, and a pool-engaging dense layer
-//! step. `repro bench` produces the tracked `BENCH_compute.json`; this
-//! harness is for quick interactive comparisons (`cargo bench -p
-//! naspipe-bench --bench compute`).
+//! shapes and pool sizes {1, 4, 8}, the transposed multiplies, and the
+//! batched small-matmul path. `repro bench` produces the tracked
+//! `BENCH_compute.json`; this harness is for quick interactive
+//! comparisons (`cargo bench -p naspipe-bench --bench compute`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use naspipe_tensor::tensor::Tensor;
+use naspipe_tensor::pool;
+use naspipe_tensor::tensor::{MmOp, Tensor};
 use std::hint::black_box;
 
 fn operand(rows: usize, cols: usize, phase: f32) -> Tensor {
@@ -25,9 +26,15 @@ fn bench_matmul_shapes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", side), &side, |bch, _| {
             bch.iter(|| black_box(a.matmul_naive(black_box(&b))))
         });
-        group.bench_with_input(BenchmarkId::new("tiled", side), &side, |bch, _| {
-            bch.iter(|| black_box(a.matmul(black_box(&b))))
-        });
+        for threads in [1usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("tiled_{threads}t"), side),
+                &side,
+                |bch, _| {
+                    pool::with_threads(threads, || bch.iter(|| black_box(a.matmul(black_box(&b)))))
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -46,5 +53,35 @@ fn bench_transposed(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul_shapes, bench_transposed);
+fn bench_batched(c: &mut Criterion) {
+    let pairs: Vec<(Tensor, Tensor)> = (0..16)
+        .map(|i| {
+            let phase = i as f32 * 0.13;
+            (operand(64, 128, phase), operand(128, 128, phase + 1.0))
+        })
+        .collect();
+    let items: Vec<(MmOp, &Tensor, &Tensor)> =
+        pairs.iter().map(|(a, b)| (MmOp::Nn, a, b)).collect();
+    for threads in [1usize, 4, 8] {
+        c.bench_function(&format!("matmul_batch_16x64x128x128_{threads}t"), |bch| {
+            pool::with_threads(threads, || {
+                bch.iter(|| black_box(Tensor::matmul_batch(black_box(&items))))
+            })
+        });
+    }
+    c.bench_function("matmul_loop_16x64x128x128", |bch| {
+        bch.iter(|| {
+            for (a, b) in &pairs {
+                black_box(a.matmul(black_box(b)));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_shapes,
+    bench_transposed,
+    bench_batched
+);
 criterion_main!(benches);

@@ -293,10 +293,10 @@ fn run_experiment(name: &str, check: bool) {
         }
         "bench" => {
             banner(
-                "Extra: compute-backend benchmark",
-                "The deterministic tiled kernels vs the pre-optimisation naive matmul (GFLOP/s per shape), transposed multiplies vs explicit transposition, numeric replay throughput and threaded-runtime makespan — with bitwise-equality and pool-size hash-invariance verdicts asserted. Set BENCH_COMPUTE_JSON=<path> to write the machine-readable artifact (BENCH_compute.json).",
+                "Extra: compute-backend benchmark matrix",
+                "The deterministic packed kernels vs the naive reference matmul (GFLOP/s per shape), transposed multiplies vs explicit transposition, the batched small-matmul path, numeric replay throughput and threaded-runtime makespan — each at pool sizes {1, 4, 8}, with bitwise-equality and cross-pool-size invariance verdicts asserted. Set BENCH_COMPUTE_JSON=<path> to write the machine-readable artifact (BENCH_compute.json, schema 2).",
             );
-            let r = compute::run(24);
+            let r = compute::run_matrix(24, compute::DEFAULT_THREAD_COUNTS);
             println!("{}", compute::render(&r));
             if let Some(path) = artifact_path("BENCH_COMPUTE_JSON", "artifacts/BENCH_compute.json")
             {
@@ -307,22 +307,23 @@ fn run_experiment(name: &str, check: bool) {
             assert!(
                 r.all_ok(),
                 "compute verdicts failed: every kernel must match the naive \
-                 reference bitwise and both end-to-end hashes must be \
-                 invariant across pool sizes"
+                 reference bitwise and every output and end-to-end hash must \
+                 be invariant across pool sizes {{1, 4, 8}}"
             );
             if check {
                 let path = std::env::var("BENCH_COMPUTE_BASELINE")
                     .unwrap_or_else(|_| "BENCH_compute.json".to_string());
                 let baseline = std::fs::read_to_string(&path)
                     .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-                let verdicts =
-                    compute::check_against(&baseline, &r, 0.15).expect("baseline artifact parses");
+                let verdicts = compute::check_against(&baseline, &r, 0.15, 0.35)
+                    .expect("baseline artifact parses");
                 println!("\nregression check against {path}:");
                 println!("{}", compute::render_check(&verdicts));
                 assert!(
                     verdicts.ok(),
-                    "bench-check failed: fresh throughput regressed more than \
-                     15% below the tracked baseline"
+                    "bench-check failed: fresh throughput regressed past the \
+                     tolerance band (15% kernels, 35% end-to-end) below the \
+                     tracked baseline"
                 );
             }
         }

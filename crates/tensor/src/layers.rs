@@ -5,7 +5,7 @@
 //! step after backward), because the interleaving of those accesses across
 //! subnets is what CSP/BSP/ASP differ on.
 
-use crate::tensor::Tensor;
+use crate::tensor::{MmOp, Tensor};
 use naspipe_supernet::rng::DetRng;
 
 /// Parameters of one residual dense layer: `y = x + tanh(x W + b)`.
@@ -87,13 +87,19 @@ pub fn dense_backward(
     scale: f32,
 ) -> (Tensor, DenseGrads) {
     // Through the scaled tanh branch; the residual passes grad_output
-    // through untouched. The fused transposed multiplies are bitwise
-    // identical to the transpose()+matmul forms they replace, without
-    // materialising either transpose.
+    // through untouched. The two transposed products are independent, so
+    // they go to the pool as one batch (one fan-out instead of two); each
+    // is bitwise identical to the transpose()+matmul form it replaces,
+    // without materialising either transpose.
     let dz = Tensor::tanh_backward(&cache.tanh_out, &grad_output.scale(scale));
-    let grad_weight = cache.input.t_matmul(&dz);
+    let mut products = Tensor::matmul_batch(&[
+        (MmOp::Tn, &cache.input, &dz),
+        (MmOp::Nt, &dz, &params.weight),
+    ]);
+    let dx_branch = products.pop().expect("dz x Wᵀ");
+    let grad_weight = products.pop().expect("xᵀ x dz");
     let grad_bias = dz.sum_rows();
-    let grad_input = grad_output.add(&dz.matmul_t(&params.weight));
+    let grad_input = grad_output.add(&dx_branch);
     (
         grad_input,
         DenseGrads {
@@ -266,5 +272,29 @@ mod tests {
     #[test]
     fn numel_counts_weight_and_bias() {
         assert_eq!(params().numel(), 16 + 4);
+    }
+
+    #[test]
+    fn batched_backward_matches_individual_products() {
+        // dense_backward fuses its two gradient matmuls into one batch;
+        // the batch must be bitwise identical to issuing them separately.
+        let mut rng = DetRng::new(11);
+        let p = DenseParams::init(32, &mut rng);
+        let x = Tensor::from_vec(
+            (0..8 * 32).map(|_| rng.next_f32() - 0.5).collect(),
+            &[8, 32],
+        );
+        let (y, cache) = dense_forward(&p, &x, 0.5);
+        let grad_out =
+            Tensor::from_vec((0..y.numel()).map(|_| rng.next_f32()).collect(), y.shape());
+        let (grad_in, grads) = dense_backward(&p, &cache, &grad_out, 0.5);
+        let dz = Tensor::tanh_backward(&cache.tanh_out, &grad_out.scale(0.5));
+        let want_w = cache.input.t_matmul(&dz);
+        let want_in = grad_out.add(&dz.matmul_t(&p.weight));
+        for (got, want, what) in [(&grads.weight, &want_w, "dW"), (&grad_in, &want_in, "dx")] {
+            for (a, b) in got.data().iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{what}");
+            }
+        }
     }
 }

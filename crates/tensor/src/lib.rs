@@ -42,4 +42,4 @@ pub mod pool;
 pub mod tensor;
 
 pub use model::{NumericSupernet, ParamStore};
-pub use tensor::Tensor;
+pub use tensor::{MmOp, Tensor};

@@ -60,10 +60,14 @@ impl TaskRef {
 }
 
 /// One in-flight fan-out: `chunks` closure invocations claimed through
-/// `next`, completion tracked by `remaining`.
+/// `next` in batches of `grab`, completion tracked by `remaining`.
 struct Job {
     task: TaskRef,
     chunks: usize,
+    /// Consecutive chunks claimed per `next` increment (>= 1). Purely a
+    /// contention knob: which worker executes a batch varies, what each
+    /// chunk computes does not, so `grab` never affects results.
+    grab: usize,
     next: AtomicUsize,
     remaining: Mutex<usize>,
     done: Condvar,
@@ -222,9 +226,25 @@ impl ComputePool {
     ///
     /// Re-raises (as a fresh panic) if any chunk panicked on any worker.
     pub fn run(&self, chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.run_chunked(chunks, 1, task);
+    }
+
+    /// [`Self::run`] with batched claiming: workers take `grab`
+    /// consecutive chunks per claim instead of one, cutting per-chunk
+    /// synchronisation when the chunk grid is fine-grained. `grab` is a
+    /// contention knob only — every chunk still runs exactly once and
+    /// writes where its index says, so results are identical for any
+    /// `grab` (callers should still derive it from the shape, not the
+    /// worker count, to keep the determinism argument trivial).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a fresh panic) if any chunk panicked on any worker.
+    pub fn run_chunked(&self, chunks: usize, grab: usize, task: &(dyn Fn(usize) + Sync)) {
         if chunks == 0 {
             return;
         }
+        let grab = grab.max(1);
         self.shared.jobs.fetch_add(1, Ordering::Relaxed);
         self.shared
             .chunks
@@ -248,6 +268,7 @@ impl ComputePool {
                 // so the borrow outlives all uses (see TaskRef::erase).
                 task: unsafe { TaskRef::erase(task) },
                 chunks,
+                grab,
                 next: AtomicUsize::new(0),
                 remaining: Mutex::new(chunks),
                 done: Condvar::new(),
@@ -365,28 +386,35 @@ fn run_chunks_inline(task: &(dyn Fn(usize) + Sync), chunks: usize) -> bool {
     panicked
 }
 
-/// Claims and executes chunks of `job` until none remain; used by both
-/// the submitter and helpers.
+/// Claims and executes chunk batches of `job` until none remain; used by
+/// both the submitter and helpers. Each claim takes `job.grab`
+/// consecutive chunk indices; completion is accounted once per batch.
 fn execute_chunks(shared: &Shared, job: &Job, widx: usize) {
     let task = job.task;
     let was = IN_CHUNK.with(|cell| cell.replace(true));
     loop {
-        let chunk = job.next.fetch_add(1, Ordering::Relaxed);
-        if chunk >= job.chunks {
+        let start = job.next.fetch_add(job.grab, Ordering::Relaxed);
+        if start >= job.chunks {
             break;
         }
+        let end = (start + job.grab).min(job.chunks);
         let started = Instant::now();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (task.0)(chunk)));
+        let mut panicked = false;
+        for chunk in start..end {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (task.0)(chunk))).is_err() {
+                panicked = true;
+            }
+        }
         let us = started.elapsed().as_micros() as u64;
         job.busy_us.fetch_add(us, Ordering::Relaxed);
         let (c, b) = &shared.worker_stats[widx];
-        c.fetch_add(1, Ordering::Relaxed);
+        c.fetch_add((end - start) as u64, Ordering::Relaxed);
         b.fetch_add(us, Ordering::Relaxed);
-        if outcome.is_err() {
+        if panicked {
             job.panicked.store(true, Ordering::Relaxed);
         }
         let mut remaining = lock(&job.remaining);
-        *remaining -= 1;
+        *remaining -= end - start;
         if *remaining == 0 {
             job.done.notify_all();
         }
@@ -508,6 +536,33 @@ mod tests {
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i}");
         }
+    }
+
+    #[test]
+    fn run_chunked_executes_every_chunk_once_for_any_grab() {
+        let pool = ComputePool::new(4);
+        for grab in [1, 3, 7, 100] {
+            let hits: Vec<AtomicU64> = (0..53).map(|_| AtomicU64::new(0)).collect();
+            pool.run_chunked(hits.len(), grab, &|c| {
+                hits[c].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "grab {grab}, chunk {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunked_propagates_panics_and_counts_chunks() {
+        let pool = ComputePool::new(2);
+        let before = pool.stats();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_chunked(12, 4, &|c| assert_ne!(c, 7, "boom"));
+        }));
+        assert!(caught.is_err(), "panic must reach the submitter");
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta.chunks, 12, "all chunks must still be accounted");
+        pool.run_chunked(4, 2, &|_| {});
     }
 
     #[test]

@@ -9,15 +9,50 @@
 //! at fixed chunk boundaries that never depend on the worker count, so
 //! results are bitwise identical at 1, 2, 4, or 8 workers.
 //!
-//! Matrix-multiply contract, shared by [`Tensor::matmul`],
-//! [`Tensor::matmul_t`] and [`Tensor::t_matmul`]: every output element is
-//! a dot product accumulated in ascending inner-index order from `+0.0`.
-//! The register-tiled kernels (4x16 accumulator tiles, AVX when the CPU
-//! has it, an identically-ordered scalar tile otherwise) only reorder
-//! *across* output elements, never within one, so the tiled, tailed,
-//! packed and parallel paths all agree bitwise — with each other and with
-//! the naive reference kernel [`Tensor::matmul_naive`]. FMA is never
-//! used: its fused rounding would diverge from the scalar mul-then-add.
+//! # Matrix-multiply contract (v2: fixed-split compensated FMA)
+//!
+//! Shared by [`Tensor::matmul`], [`Tensor::matmul_t`], [`Tensor::t_matmul`]
+//! and [`Tensor::matmul_batch`]. Every output element is the dot product
+//! of a length-`k` row/column pair, computed as:
+//!
+//! 1. **Fixed split**: the inner index range `0..k` is cut into segments
+//!    of [`K_SEG`] (= 256) elements at boundaries `256, 512, ..` — a pure
+//!    function of `k`, never of the vector width or worker count.
+//! 2. **Fused accumulation within a segment**: each segment partial is an
+//!    ascending-`kk` chain of IEEE-754 `fusedMultiplyAdd` from `+0.0`
+//!    (`acc = a.mul_add(b, acc)`). `fusedMultiplyAdd` is *correctly
+//!    rounded* and fully specified, so the hardware `vfmadd` issued by the
+//!    AVX2+FMA tile, the scalar `vfmadd` the tail dots compile to, and the
+//!    soft-float `fmaf` of the portable twin all produce the same bits.
+//!    This is what makes FMA admissible where the v1 contract had to ban
+//!    it: mul-then-add rounds twice and disagrees with fused rounding, but
+//!    *every* path here fuses.
+//! 3. **Compensated combine across segments**: segment partials are folded
+//!    in ascending segment order through a branchless TwoSum error
+//!    accumulation — `t = sum + p; z = t - sum;
+//!    e = (sum - (t - z)) + (p - z); comp += e; sum = t` — and the element
+//!    is `sum + comp`. Only adds and subtracts, so the scalar and vector
+//!    forms are identical lane-for-lane. For `k <= 256` this degenerates
+//!    to the single segment partial unchanged (the combine of one finite
+//!    partial is exact and the fused chain never produces `-0.0` from a
+//!    `+0.0` seed).
+//!
+//! The register-tiled kernels (4x16 accumulator tiles, AVX2+FMA when the
+//! CPU has both, an identically-ordered portable scalar twin otherwise —
+//! see [`set_force_portable`]) treat lanes as independent output elements
+//! and only reorder *across* elements, never within one. Operand packing
+//! ([`pack_b`] column panels, [`pack_a`] row tiles) is pure data movement.
+//! So the tiled, tailed, packed, batched and parallel paths all agree
+//! bitwise — with each other and with the reference kernel
+//! [`Tensor::matmul_naive`], at any pool size.
+//!
+//! Non-finite values propagate per IEEE-754 (there is no zero-skip:
+//! `0.0 * NaN` surfaces as NaN). One contract-defined wrinkle: a dot
+//! whose *segment partial* overflows to `±inf` can surface as NaN, because
+//! `inf - inf` appears inside the TwoSum combine. That outcome is itself
+//! deterministic and identical on every path.
+//!
+//! # Reductions
 //!
 //! Reductions ([`Tensor::mean`], [`Tensor::sum_sq`], [`Tensor::sum_rows`])
 //! keep the historical single-pass order below a fixed size threshold and
@@ -32,11 +67,26 @@ use std::fmt;
 const MR: usize = 4;
 /// Columns per register tile: two 8-lane AVX vectors.
 const NR: usize = 16;
+/// Inner-loop segment length of the fixed-split accumulation (see the
+/// module docs). 256 is a multiple of every SIMD width we would ever
+/// vectorise over, long enough that the 6-op TwoSum combine is amortised
+/// to noise, and short enough to bound worst-case cancellation within a
+/// segment for the `k` values real layers use.
+pub const K_SEG: usize = 256;
 /// Output rows per parallel matmul chunk (fixed: chunk boundaries must
 /// derive from the shape, not the worker count).
 const MM_ROW_BAND: usize = 32;
-/// Minimum `m * k * n` before a matmul fans out to the pool.
+/// Minimum per-item `m * k * n` before one matmul splits into row bands.
 const PAR_MIN_FLOPS: usize = 1 << 20;
+/// Minimum *combined* `m * k * n` before a [`Tensor::matmul_batch`] call
+/// fans out to the pool at all; below it the whole batch runs inline.
+const BATCH_PAR_MIN: usize = 1 << 18;
+/// Minimum `m * k * n` (with `m >= MR`) before a matmul packs operands
+/// and runs the register-tiled kernel; below it the per-element strided
+/// dot path wins.
+const TILE_MIN_FLOPS: usize = 1 << 12;
+/// Minimum packed-buffer element count before packing itself fans out.
+const PACK_PAR_MIN: usize = 1 << 15;
 /// Elements per parallel elementwise chunk.
 const ELEM_CHUNK: usize = 16 * 1024;
 /// Minimum element count before elementwise ops fan out.
@@ -63,10 +113,11 @@ impl OutPtr {
 }
 
 /// Test/CI hook: `NASPIPE_MATMUL_THROTTLE_US=<µs>` sleeps that long at
-/// the start of every matmul, simulating a degraded kernel (e.g. a lost
-/// SIMD path) without touching any arithmetic — results stay bitwise
-/// identical, only wall time and the compute share of the critical path
-/// change. Unset or unparsable means zero cost (read once per process).
+/// the start of every matmul (once per item of a batched call),
+/// simulating a degraded kernel (e.g. a lost SIMD path) without touching
+/// any arithmetic — results stay bitwise identical, only wall time and
+/// the compute share of the critical path change. Unset or unparsable
+/// means zero cost (read once per process).
 fn matmul_throttle_us() -> u64 {
     static THROTTLE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
     *THROTTLE.get_or_init(|| {
@@ -77,28 +128,119 @@ fn matmul_throttle_us() -> u64 {
     })
 }
 
+static FORCE_PORTABLE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Test hook: routes every matmul through the portable scalar twin
+/// (software-fused `mul_add`) instead of the AVX2+FMA tile. The two paths
+/// are bitwise identical by contract — this switch exists so tests can
+/// *prove* that on FMA hardware — so toggling it concurrently with other
+/// work is harmless.
+pub fn set_force_portable(on: bool) {
+    FORCE_PORTABLE.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether [`set_force_portable`] is currently engaged.
+pub fn force_portable() -> bool {
+    FORCE_PORTABLE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// True when the vectorised AVX2+FMA kernels may run: the CPU has both
+/// features and the portable override is off.
 #[cfg(target_arch = "x86_64")]
-fn avx_available() -> bool {
-    static AVX: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+fn fma_available() -> bool {
+    static OK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *OK.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx") && std::arch::is_x86_feature_detected!("fma")
+    }) && !force_portable()
 }
 
 #[cfg(not(target_arch = "x86_64"))]
-fn avx_available() -> bool {
+fn fma_available() -> bool {
     false
 }
 
-/// Computes one `MR x NR` output tile: `out[r][j] += sum_kk a(r, kk) *
-/// b(kk, j)` with `a(r, kk) = a[r * ars + kk * aks]`, `b(kk, j) =
-/// b[kk * bs + j]`, accumulated in ascending `kk` and stored over `out`
-/// (rows `on` apart). Identical per-element order to [`tile_avx`].
+/// True when the AVX-512F kernels may run (wider vectors change nothing
+/// about per-element order — lanes are independent output elements — so
+/// this is purely a throughput gate).
+#[cfg(target_arch = "x86_64")]
+fn avx512_available() -> bool {
+    static OK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *OK.get_or_init(|| std::arch::is_x86_feature_detected!("avx512f")) && !force_portable()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx512_available() -> bool {
+    false
+}
+
+/// The strided contract dot product (module docs steps 1–3): segments of
+/// [`K_SEG`] fused multiply-adds from `+0.0`, partials TwoSum-combined in
+/// ascending order. `a(kk) = a[kk * aks]`, `b(kk) = b[kk * bks]`.
+///
+/// Inlined into both the portable wrapper (where `mul_add` lowers to the
+/// correctly-rounded `fmaf`) and the `#[target_feature(fma)]` wrapper
+/// (where it lowers to scalar `vfmadd`); both produce identical bits.
+///
+/// # Safety
+///
+/// `a + kk * aks` and `b + kk * bks` must be in bounds for all `kk < k`.
+#[inline(always)]
+unsafe fn dot_stride_body(a: *const f32, aks: usize, b: *const f32, bks: usize, k: usize) -> f32 {
+    let mut sum = 0.0f32;
+    let mut comp = 0.0f32;
+    let mut s0 = 0usize;
+    while s0 < k {
+        let s1 = (s0 + K_SEG).min(k);
+        let mut acc = 0.0f32;
+        for kk in s0..s1 {
+            acc = (*a.add(kk * aks)).mul_add(*b.add(kk * bks), acc);
+        }
+        let t = sum + acc;
+        let z = t - sum;
+        comp += (sum - (t - z)) + (acc - z);
+        sum = t;
+        s0 = s1;
+    }
+    sum + comp
+}
+
+/// [`dot_stride_body`] compiled with scalar hardware FMA.
+///
+/// # Safety
+///
+/// As [`dot_stride_body`], plus the CPU must support FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx", enable = "fma")]
+unsafe fn dot_stride_fma(a: *const f32, aks: usize, b: *const f32, bks: usize, k: usize) -> f32 {
+    dot_stride_body(a, aks, b, bks, k)
+}
+
+/// Dispatching contract dot: hardware-FMA build when available, portable
+/// (libm `fmaf`) body otherwise — bitwise identical either way.
+///
+/// # Safety
+///
+/// As [`dot_stride_body`].
+unsafe fn dot_stride(a: *const f32, aks: usize, b: *const f32, bks: usize, k: usize) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        return dot_stride_fma(a, aks, b, bks, k);
+    }
+    dot_stride_body(a, aks, b, bks, k)
+}
+
+/// Portable scalar twin of [`tile_fma`]: one `MR x NR` output tile,
+/// `out[r][j] = contract-dot(a(r, ..), b(.., j))` with
+/// `a(r, kk) = a[r * ars + kk * aks]`, `b(kk, j) = b[kk * bs + j]`, stored
+/// over `out` (rows `on` apart). Per-element operation order identical to
+/// the vector tile: segment fused chains, ascending TwoSum combine.
 ///
 /// # Safety
 ///
 /// All strided accesses for `r < MR`, `j < NR`, `kk < k` must be in
 /// bounds of the underlying allocations.
 #[allow(clippy::too_many_arguments)]
-unsafe fn tile_scalar(
+unsafe fn tile_portable(
     a: *const f32,
     ars: usize,
     aks: usize,
@@ -108,35 +250,55 @@ unsafe fn tile_scalar(
     out: *mut f32,
     on: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for kk in 0..k {
-        let brow = b.add(kk * bs);
-        for (r, accr) in acc.iter_mut().enumerate() {
-            let av = *a.add(r * ars + kk * aks);
-            for (j, slot) in accr.iter_mut().enumerate() {
-                *slot += av * *brow.add(j);
+    let mut sum = [[0.0f32; NR]; MR];
+    let mut comp = [[0.0f32; NR]; MR];
+    let mut s0 = 0usize;
+    while s0 < k {
+        let s1 = (s0 + K_SEG).min(k);
+        let mut acc = [[0.0f32; NR]; MR];
+        for kk in s0..s1 {
+            let brow = b.add(kk * bs);
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = *a.add(r * ars + kk * aks);
+                for (j, slot) in accr.iter_mut().enumerate() {
+                    *slot = av.mul_add(*brow.add(j), *slot);
+                }
             }
         }
+        for r in 0..MR {
+            for j in 0..NR {
+                let p = acc[r][j];
+                let s = sum[r][j];
+                let t = s + p;
+                let z = t - s;
+                comp[r][j] += (s - (t - z)) + (p - z);
+                sum[r][j] = t;
+            }
+        }
+        s0 = s1;
     }
-    for (r, accr) in acc.iter().enumerate() {
+    for r in 0..MR {
         let orow = out.add(r * on);
-        for (j, &v) in accr.iter().enumerate() {
-            *orow.add(j) = v;
+        for j in 0..NR {
+            *orow.add(j) = sum[r][j] + comp[r][j];
         }
     }
 }
 
-/// AVX twin of [`tile_scalar`]: same per-element operation order (the
-/// lanes are independent elements; `mul` + `add` are elementwise IEEE
-/// ops, bitwise equal to the scalar mul-then-add — FMA would not be).
+/// AVX2+FMA tile: same per-element operation order as [`tile_portable`]
+/// (the lanes are independent elements; `vfmaddps` is the lanewise
+/// correctly-rounded `fusedMultiplyAdd`, and the TwoSum combine is pure
+/// add/sub, also lanewise). The hot segment loop keeps only the `MR x 2`
+/// segment accumulators plus the two `b` vectors live; the running
+/// sum/compensation pairs are touched once per [`K_SEG`] iterations.
 ///
 /// # Safety
 ///
-/// As [`tile_scalar`], plus the CPU must support AVX.
+/// As [`tile_portable`], plus the CPU must support AVX and FMA.
 #[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx")]
+#[target_feature(enable = "avx", enable = "fma")]
 #[allow(clippy::too_many_arguments)]
-unsafe fn tile_avx(
+unsafe fn tile_fma(
     a: *const f32,
     ars: usize,
     aks: usize,
@@ -147,31 +309,64 @@ unsafe fn tile_avx(
     on: usize,
 ) {
     use std::arch::x86_64::{
-        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
-        _mm256_storeu_ps,
+        _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps, _mm256_sub_ps,
     };
-    let mut acc = [[_mm256_setzero_ps(); 2]; MR];
-    for kk in 0..k {
-        let brow = b.add(kk * bs);
-        let b0 = _mm256_loadu_ps(brow);
-        let b1 = _mm256_loadu_ps(brow.add(8));
-        for (r, accr) in acc.iter_mut().enumerate() {
-            let av = _mm256_set1_ps(*a.add(r * ars + kk * aks));
-            accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(av, b0));
-            accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(av, b1));
+    let mut sum = [[_mm256_setzero_ps(); 2]; MR];
+    let mut comp = [[_mm256_setzero_ps(); 2]; MR];
+    let mut s0 = 0usize;
+    while s0 < k {
+        let s1 = (s0 + K_SEG).min(k);
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for kk in s0..s1 {
+            let brow = b.add(kk * bs);
+            let b0 = _mm256_loadu_ps(brow);
+            let b1 = _mm256_loadu_ps(brow.add(8));
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*a.add(r * ars + kk * aks));
+                accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+            }
         }
+        for r in 0..MR {
+            for h in 0..2 {
+                let p = acc[r][h];
+                let s = sum[r][h];
+                let t = _mm256_add_ps(s, p);
+                let z = _mm256_sub_ps(t, s);
+                let e = _mm256_add_ps(_mm256_sub_ps(s, _mm256_sub_ps(t, z)), _mm256_sub_ps(p, z));
+                comp[r][h] = _mm256_add_ps(comp[r][h], e);
+                sum[r][h] = t;
+            }
+        }
+        s0 = s1;
     }
-    for (r, accr) in acc.iter().enumerate() {
+    for r in 0..MR {
         let orow = out.add(r * on);
-        _mm256_storeu_ps(orow, accr[0]);
-        _mm256_storeu_ps(orow.add(8), accr[1]);
+        _mm256_storeu_ps(orow, _mm256_add_ps(sum[r][0], comp[r][0]));
+        _mm256_storeu_ps(orow.add(8), _mm256_add_ps(sum[r][1], comp[r][1]));
     }
 }
 
-#[cfg(not(target_arch = "x86_64"))]
+/// AVX-512 twin covering **two** vertically adjacent `MR x NR` tiles
+/// (8 rows x one 16-lane zmm): rows `0..MR` read from `a0`, rows
+/// `MR..2*MR` from `a1`, both through the same strides. Identical
+/// per-element operation order to [`tile_fma`]/[`tile_portable`] —
+/// `vfmadd` and the TwoSum add/subs are lanewise correctly-rounded IEEE
+/// ops at any width; the wider tile only changes how many independent
+/// elements fly at once (8 accumulator chains cover the FMA latency of
+/// two 512-bit ports).
+///
+/// # Safety
+///
+/// As [`tile_portable`] for both row groups, plus the CPU must support
+/// AVX-512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
 #[allow(clippy::too_many_arguments)]
-unsafe fn tile_avx(
-    a: *const f32,
+unsafe fn tile_fma512(
+    a0: *const f32,
+    a1: *const f32,
     ars: usize,
     aks: usize,
     k: usize,
@@ -180,124 +375,432 @@ unsafe fn tile_avx(
     out: *mut f32,
     on: usize,
 ) {
-    tile_scalar(a, ars, aks, k, b, bs, out, on);
+    use std::arch::x86_64::{
+        _mm512_add_ps, _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_set1_ps, _mm512_setzero_ps,
+        _mm512_storeu_ps, _mm512_sub_ps,
+    };
+    let mut sum = [_mm512_setzero_ps(); 2 * MR];
+    let mut comp = [_mm512_setzero_ps(); 2 * MR];
+    let mut s0 = 0usize;
+    while s0 < k {
+        let s1 = (s0 + K_SEG).min(k);
+        let mut acc = [_mm512_setzero_ps(); 2 * MR];
+        for kk in s0..s1 {
+            let bv = _mm512_loadu_ps(b.add(kk * bs));
+            for (r, accr) in acc.iter_mut().enumerate().take(MR) {
+                let av = _mm512_set1_ps(*a0.add(r * ars + kk * aks));
+                *accr = _mm512_fmadd_ps(av, bv, *accr);
+            }
+            for r in 0..MR {
+                let av = _mm512_set1_ps(*a1.add(r * ars + kk * aks));
+                acc[MR + r] = _mm512_fmadd_ps(av, bv, acc[MR + r]);
+            }
+        }
+        for r in 0..2 * MR {
+            let p = acc[r];
+            let s = sum[r];
+            let t = _mm512_add_ps(s, p);
+            let z = _mm512_sub_ps(t, s);
+            let e = _mm512_add_ps(_mm512_sub_ps(s, _mm512_sub_ps(t, z)), _mm512_sub_ps(p, z));
+            comp[r] = _mm512_add_ps(comp[r], e);
+            sum[r] = t;
+        }
+        s0 = s1;
+    }
+    for r in 0..2 * MR {
+        _mm512_storeu_ps(out.add(r * on), _mm512_add_ps(sum[r], comp[r]));
+    }
 }
 
-/// Computes `rows` output rows of width `n` into `out` (row-major,
-/// tightly packed): `out[r][j] = sum_kk a[a0 + r*ars + kk*aks] *
-/// b(kk, j)`, ascending `kk`, from `+0.0`.
-///
-/// The main `MR x NR` tiles read `b` through
-/// `bslice[bpanel(j0) + kk*bs + (j - j0)]` (a column panel that is
-/// contiguous in `j`); tail elements read through the scalar accessor
-/// `belem(kk, j)`. Both views must expose the same values — only the
-/// access pattern differs.
+/// Non-x86 stand-in (never dispatched: [`avx512_available`] is false).
+#[cfg(not(target_arch = "x86_64"))]
 #[allow(clippy::too_many_arguments)]
-fn mm_rows(
-    a: &[f32],
-    a0: usize,
+unsafe fn tile_fma512(
+    a0: *const f32,
+    a1: *const f32,
     ars: usize,
     aks: usize,
     k: usize,
-    n: usize,
-    rows: usize,
-    bslice: &[f32],
-    bpanel: &(impl Fn(usize) -> usize + Sync),
+    b: *const f32,
     bs: usize,
-    belem: &(impl Fn(usize, usize) -> f32 + Sync),
-    out: &mut [f32],
+    out: *mut f32,
+    on: usize,
 ) {
-    debug_assert_eq!(out.len(), rows * n);
-    let m_main = rows - rows % MR;
-    let n_main = n - n % NR;
-    let avx = avx_available();
-    for i0 in (0..m_main).step_by(MR) {
-        for j0 in (0..n_main).step_by(NR) {
-            // SAFETY: i0 + MR <= rows, j0 + NR <= n, and the panel
-            // contract guarantees kk*bs + NR-1 stays inside bslice.
-            unsafe {
-                let ap = a.as_ptr().add(a0 + i0 * ars);
-                let bp = bslice.as_ptr().add(bpanel(j0));
-                let op = out.as_mut_ptr().add(i0 * n + j0);
-                if avx {
-                    tile_avx(ap, ars, aks, k, bp, bs, op, n);
-                } else {
-                    tile_scalar(ap, ars, aks, k, bp, bs, op, n);
-                }
-            }
-        }
-        for j in n_main..n {
-            for r in 0..MR {
-                let row = i0 + r;
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += a[a0 + row * ars + kk * aks] * belem(kk, j);
-                }
-                out[row * n + j] = acc;
-            }
-        }
-    }
-    for row in m_main..rows {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                acc += a[a0 + row * ars + kk * aks] * belem(kk, j);
-            }
-            out[row * n + j] = acc;
-        }
-    }
+    tile_portable(a0, ars, aks, k, b, bs, out, on);
+    tile_portable(a1, ars, aks, k, b, bs, out.add(MR * on), on);
 }
 
-/// Shared matmul driver: runs [`mm_rows`] over the whole output, fanned
-/// out in fixed [`MM_ROW_BAND`]-row chunks when `m * k * n` crosses
-/// [`PAR_MIN_FLOPS`]. The band grid depends only on the shape, and bands
-/// write disjoint row ranges, so the output is bitwise identical for any
-/// worker count.
-#[allow(clippy::too_many_arguments)]
-fn mm_exec(
-    a: &[f32],
-    ars: usize,
-    aks: usize,
+/// Packs the logical `[k, n]` operand `b(kk, j) = b[b0 + j * bjs +
+/// kk * bks]` into `ceil(n / NR)` column panels: panel `p` holds element
+/// `(kk, j)` at `[p * k * NR + kk * NR + (j - p * NR)]`. The last panel
+/// is zero-padded past column `n` (padded lanes are computed by the tile
+/// and discarded). Packing is pure data movement, fanned out per panel
+/// over the pool above [`PACK_PAR_MIN`] elements (panels are disjoint
+/// destination regions and the grid depends only on the shape).
+fn pack_b(b: &[f32], b0: usize, bjs: usize, bks: usize, k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    let pack_panel = |p: usize, dst: &mut [f32]| {
+        let jbase = p * NR;
+        let w = NR.min(n - jbase);
+        if bjs == 1 {
+            // Row-major source: copy `w` consecutive columns per kk.
+            for kk in 0..k {
+                let src = b0 + jbase + kk * bks;
+                for (c, slot) in dst[kk * NR..kk * NR + w].iter_mut().enumerate() {
+                    *slot = b[src + c];
+                }
+            }
+        } else {
+            // Column-strided source (e.g. matmul_t): walk each logical
+            // column contiguously instead.
+            for c in 0..w {
+                let src = b0 + (jbase + c) * bjs;
+                for kk in 0..k {
+                    dst[kk * NR + c] = b[src + kk * bks];
+                }
+            }
+        }
+    };
+    if packed.len() >= PACK_PAR_MIN && panels > 1 {
+        let pptr = OutPtr(packed.as_mut_ptr());
+        pool::current().run(panels, &|p| {
+            // SAFETY: panel p owns packed[p*k*NR .. (p+1)*k*NR].
+            let dst = unsafe { std::slice::from_raw_parts_mut(pptr.ptr().add(p * k * NR), k * NR) };
+            pack_panel(p, dst);
+        });
+    } else {
+        for p in 0..panels {
+            pack_panel(p, &mut packed[p * k * NR..(p + 1) * k * NR]);
+        }
+    }
+    packed
+}
+
+/// Rows-per-chunk when A-packing fans out (8 tiles = one matmul row band).
+const PACK_A_TILE_CHUNK: usize = MM_ROW_BAND / MR;
+
+/// Packs the full `MR`-row tiles of the logical `[m, k]` operand
+/// `a(i, kk) = a[i * ars + kk * aks]`: tile `t` holds element `(r, kk)`
+/// at `[t * k * MR + kk * MR + r]`, i.e. stride-1 rows / stride-`MR`
+/// inner index, which is what the register tile streams. Only the
+/// `m - m % MR` full tiles are packed; tail rows read the raw operand.
+fn pack_a(a: &[f32], ars: usize, aks: usize, m: usize, k: usize) -> Vec<f32> {
+    let tiles = m / MR;
+    let mut packed = vec![0.0f32; tiles * k * MR];
+    let pack_tile = |t: usize, dst: &mut [f32]| {
+        let ibase = t * MR;
+        if aks == 1 {
+            for r in 0..MR {
+                let src = (ibase + r) * ars;
+                for kk in 0..k {
+                    dst[kk * MR + r] = a[src + kk];
+                }
+            }
+        } else {
+            // Inner-stride source (t_matmul reads its lhs column-wise);
+            // walk kk outer so the `ars`-strided reads stay local.
+            for kk in 0..k {
+                let src = ibase * ars + kk * aks;
+                for r in 0..MR {
+                    dst[kk * MR + r] = a[src + r * ars];
+                }
+            }
+        }
+    };
+    if packed.len() >= PACK_PAR_MIN && tiles > PACK_A_TILE_CHUNK {
+        let pptr = OutPtr(packed.as_mut_ptr());
+        pool::current().run(tiles.div_ceil(PACK_A_TILE_CHUNK), &|c| {
+            let lo = c * PACK_A_TILE_CHUNK;
+            let hi = (lo + PACK_A_TILE_CHUNK).min(tiles);
+            // SAFETY: chunks own disjoint tile ranges of `packed`.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(pptr.ptr().add(lo * k * MR), (hi - lo) * k * MR)
+            };
+            for t in lo..hi {
+                pack_tile(t, &mut dst[(t - lo) * k * MR..(t - lo + 1) * k * MR]);
+            }
+        });
+    } else {
+        for t in 0..tiles {
+            pack_tile(t, &mut packed[t * k * MR..(t + 1) * k * MR]);
+        }
+    }
+    packed
+}
+
+/// One matmul of a [`Tensor::matmul_batch`] call: which operand (if any)
+/// is transposed. The contract result is identical to materialising the
+/// transpose and calling the plain product — these variants exist so the
+/// kernels can read through strides / packed panels instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmOp {
+    /// `a[m, k] x b[k, n]` — plain product.
+    Nn,
+    /// `a[m, k] x b[n, k]ᵀ` — [`Tensor::matmul_t`].
+    Nt,
+    /// `a[r, m]ᵀ x b[r, n]` — [`Tensor::t_matmul`].
+    Tn,
+}
+
+/// Prepared execution plan for one matmul item: logical shape, raw
+/// operand strides (`a(i, kk) = a[i*ars + kk*aks]`,
+/// `b(kk, j) = b[j*bjs + kk*bks]`), and — on the tiled path — packed
+/// operands. `b_packed == None` marks the tiny path (per-element strided
+/// dots, no packing).
+struct MmPlan<'a> {
     m: usize,
     k: usize,
     n: usize,
-    bslice: &[f32],
-    bpanel: impl Fn(usize) -> usize + Sync,
-    bs: usize,
-    belem: impl Fn(usize, usize) -> f32 + Sync,
-    out: &mut [f32],
-) {
-    let throttle = matmul_throttle_us();
-    if throttle > 0 {
-        std::thread::sleep(std::time::Duration::from_micros(throttle));
-    }
-    if m * k * n < PAR_MIN_FLOPS || m <= MM_ROW_BAND {
-        mm_rows(a, 0, ars, aks, k, n, m, bslice, &bpanel, bs, &belem, out);
-        return;
-    }
-    let bands = m.div_ceil(MM_ROW_BAND);
-    let optr = OutPtr(out.as_mut_ptr());
-    pool::current().run(bands, &|band| {
-        let lo = band * MM_ROW_BAND;
-        let hi = (lo + MM_ROW_BAND).min(m);
-        // SAFETY: bands cover disjoint row ranges of `out`.
-        let out_band =
-            unsafe { std::slice::from_raw_parts_mut(optr.ptr().add(lo * n), (hi - lo) * n) };
-        mm_rows(
-            a,
-            lo * ars,
-            ars,
-            aks,
+    a: &'a [f32],
+    ars: usize,
+    aks: usize,
+    b: &'a [f32],
+    bjs: usize,
+    bks: usize,
+    a_packed: Option<Vec<f32>>,
+    b_packed: Option<Vec<f32>>,
+}
+
+impl<'a> MmPlan<'a> {
+    fn new(op: MmOp, a: &'a Tensor, b: &'a Tensor) -> Self {
+        assert_eq!(a.shape.len(), 2, "matmul lhs must be a matrix");
+        assert_eq!(b.shape.len(), 2, "matmul rhs must be a matrix");
+        let (m, k, n, ars, aks, bjs, bks) = match op {
+            MmOp::Nn => {
+                let (m, k) = (a.shape[0], a.shape[1]);
+                let (k2, n) = (b.shape[0], b.shape[1]);
+                assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+                (m, k, n, k, 1, 1, n)
+            }
+            MmOp::Nt => {
+                let (m, k) = (a.shape[0], a.shape[1]);
+                let (n, k2) = (b.shape[0], b.shape[1]);
+                assert_eq!(k, k2, "matmul_t inner dimensions differ: {k} vs {k2}");
+                (m, k, n, k, 1, k, 1)
+            }
+            MmOp::Tn => {
+                let (r, m) = (a.shape[0], a.shape[1]);
+                let (r2, n) = (b.shape[0], b.shape[1]);
+                assert_eq!(r, r2, "t_matmul leading dimensions differ: {r} vs {r2}");
+                (m, r, n, 1, m, 1, n)
+            }
+        };
+        let mut plan = MmPlan {
+            m,
             k,
             n,
-            hi - lo,
-            bslice,
-            &bpanel,
-            bs,
-            &belem,
-            out_band,
-        );
+            a: &a.data,
+            ars,
+            aks,
+            b: &b.data,
+            bjs,
+            bks,
+            a_packed: None,
+            b_packed: None,
+        };
+        if m >= MR && m * k * n >= TILE_MIN_FLOPS {
+            plan.b_packed = Some(pack_b(plan.b, 0, bjs, bks, k, n));
+            // A-packing pays when the tile would otherwise stride through
+            // A (t_matmul) or stream rows too long for L1 to keep hot.
+            if aks != 1 || k >= 256 {
+                plan.a_packed = Some(pack_a(plan.a, ars, aks, m, k));
+            }
+        }
+        plan
+    }
+
+    fn flops(&self) -> usize {
+        self.m * self.k * self.n
+    }
+
+    /// Row bands this item splits into (1 unless it is large enough to
+    /// fan out on its own). Banding is purely a work split — every row is
+    /// computed identically whatever band it lands in.
+    fn bands(&self) -> usize {
+        if self.flops() >= PAR_MIN_FLOPS && self.m > MM_ROW_BAND {
+            self.m.div_ceil(MM_ROW_BAND)
+        } else {
+            1
+        }
+    }
+
+    /// Contract dot of output element `(row, j)` through the raw strided
+    /// operands.
+    fn dot_raw(&self, row: usize, j: usize) -> f32 {
+        // SAFETY: row < m and j < n keep both strided walks in bounds.
+        unsafe {
+            dot_stride(
+                self.a.as_ptr().add(row * self.ars),
+                self.aks,
+                self.b.as_ptr().add(j * self.bjs),
+                self.bks,
+                self.k,
+            )
+        }
+    }
+
+    /// Computes output rows `lo..hi` into `out` (row-major, width `n`,
+    /// `out[0]` is row `lo`).
+    fn exec_rows(&self, lo: usize, hi: usize, out: &mut [f32]) {
+        let (k, n) = (self.k, self.n);
+        debug_assert_eq!(out.len(), (hi - lo) * n);
+        let Some(bp) = &self.b_packed else {
+            // Tiny path: strided dots, no packing.
+            for row in lo..hi {
+                for j in 0..n {
+                    out[(row - lo) * n + j] = self.dot_raw(row, j);
+                }
+            }
+            return;
+        };
+        let vec_ok = fma_available();
+        let panels = n.div_ceil(NR);
+        let n_main = (n / NR) * NR;
+        let tail_w = n - n_main;
+        // A-tile accessor: packed tiles when available, raw strides
+        // otherwise. Either way the values and per-element order are the
+        // same — packing is pure data movement.
+        let a_tile = |i0: usize| -> (*const f32, usize, usize) {
+            match &self.a_packed {
+                // SAFETY: i0 < tile_hi means tile i0/MR was packed.
+                Some(pa) => (unsafe { pa.as_ptr().add((i0 / MR) * k * MR) }, 1, MR),
+                // SAFETY: rows i0..i0+MR are in bounds of the raw lhs.
+                None => (
+                    unsafe { self.a.as_ptr().add(i0 * self.ars) },
+                    self.ars,
+                    self.aks,
+                ),
+            }
+        };
+        // Bands are MM_ROW_BAND-aligned and MM_ROW_BAND % MR == 0, so
+        // every band starts on a tile boundary; only the last band can
+        // carry tail rows.
+        let tile_hi = hi.min(self.m - self.m % MR);
+        // Cache-block the rows at MM_ROW_BAND and walk panels in the
+        // outer loop: each ~k*NR panel is then reused across the whole
+        // L1-resident row block instead of being re-streamed from L2 for
+        // every MR-row tile. (This is a traversal order over independent
+        // output tiles — it cannot affect any element's value.)
+        let vec512_ok = avx512_available();
+        let mut ic = lo;
+        while ic < tile_hi {
+            let ic_hi = (ic + MM_ROW_BAND).min(tile_hi);
+            for p in 0..panels {
+                let last = p + 1 == panels && tail_w > 0;
+                let mut i0 = ic;
+                if vec512_ok && !last {
+                    // Wider-vector fast path: two stacked tiles per call.
+                    while i0 + 2 * MR <= ic_hi {
+                        let (ap0, ars, aks) = a_tile(i0);
+                        let (ap1, _, _) = a_tile(i0 + MR);
+                        // SAFETY: full panel, 2*MR full rows in bounds.
+                        unsafe {
+                            let bpp = bp.as_ptr().add(p * k * NR);
+                            let op = out.as_mut_ptr().add((i0 - lo) * n + p * NR);
+                            tile_fma512(ap0, ap1, ars, aks, k, bpp, NR, op, n);
+                        }
+                        i0 += 2 * MR;
+                    }
+                }
+                while i0 < ic_hi {
+                    let (ap, ars, aks) = a_tile(i0);
+                    if last {
+                        // Zero-padded tail panel: compute a full NR-wide
+                        // tile into scratch, keep the valid columns.
+                        let mut tmp = [0.0f32; MR * NR];
+                        // SAFETY: the tail panel is allocated NR wide.
+                        unsafe {
+                            let bpp = bp.as_ptr().add(p * k * NR);
+                            if vec_ok {
+                                tile_fma(ap, ars, aks, k, bpp, NR, tmp.as_mut_ptr(), NR);
+                            } else {
+                                tile_portable(ap, ars, aks, k, bpp, NR, tmp.as_mut_ptr(), NR);
+                            }
+                        }
+                        for r in 0..MR {
+                            let dst = (i0 - lo + r) * n + n_main;
+                            out[dst..dst + tail_w].copy_from_slice(&tmp[r * NR..r * NR + tail_w]);
+                        }
+                    } else {
+                        // SAFETY: full panel, full tile: all in bounds.
+                        unsafe {
+                            let bpp = bp.as_ptr().add(p * k * NR);
+                            let op = out.as_mut_ptr().add((i0 - lo) * n + p * NR);
+                            if vec_ok {
+                                tile_fma(ap, ars, aks, k, bpp, NR, op, n);
+                            } else {
+                                tile_portable(ap, ars, aks, k, bpp, NR, op, n);
+                            }
+                        }
+                    }
+                    i0 += MR;
+                }
+            }
+            ic = ic_hi;
+        }
+        // Tail rows (< MR of them, last band only): contract dots against
+        // the packed panels (stride NR within a panel), raw strided lhs.
+        for row in tile_hi.max(lo)..hi {
+            for j in 0..n {
+                // SAFETY: panel j/NR covers column j; strided walks stay
+                // inside the packed buffer / raw lhs.
+                out[(row - lo) * n + j] = unsafe {
+                    dot_stride(
+                        self.a.as_ptr().add(row * self.ars),
+                        self.aks,
+                        bp.as_ptr().add((j / NR) * k * NR + j % NR),
+                        NR,
+                        k,
+                    )
+                };
+            }
+        }
+    }
+}
+
+/// Executes a batch of prepared plans: single flat chunk space of all
+/// items' row bands (prefix-sum mapped), one pool fan-out. Returns the
+/// outputs in item order.
+fn mm_batch_exec(plans: &[MmPlan<'_>]) -> Vec<Tensor> {
+    let mut outs: Vec<Tensor> = plans.iter().map(|p| Tensor::zeros(&[p.m, p.n])).collect();
+    let bands: Vec<usize> = plans.iter().map(MmPlan::bands).collect();
+    let mut starts = vec![0usize; plans.len() + 1];
+    for (i, &b) in bands.iter().enumerate() {
+        starts[i + 1] = starts[i] + b;
+    }
+    let total_bands = starts[plans.len()];
+    let total_flops: usize = plans.iter().map(MmPlan::flops).sum();
+    if total_bands <= 1 || total_flops < BATCH_PAR_MIN {
+        for (plan, out) in plans.iter().zip(&mut outs) {
+            plan.exec_rows(0, plan.m, &mut out.data);
+        }
+        return outs;
+    }
+    let optrs: Vec<OutPtr> = outs
+        .iter_mut()
+        .map(|t| OutPtr(t.data.as_mut_ptr()))
+        .collect();
+    // Batch chunk claims when the band grid is fine-grained; the grab
+    // size derives from the band count (a shape function), never the
+    // worker count — and claiming order is irrelevant to the result.
+    let grab = (total_bands / 64).max(1);
+    pool::current().run_chunked(total_bands, grab, &|c| {
+        let item = starts.partition_point(|&s| s <= c) - 1;
+        let plan = &plans[item];
+        let (lo, hi) = if bands[item] == 1 {
+            (0, plan.m)
+        } else {
+            let lo = (c - starts[item]) * MM_ROW_BAND;
+            (lo, (lo + MM_ROW_BAND).min(plan.m))
+        };
+        // SAFETY: bands cover disjoint row ranges of item outputs.
+        let out = unsafe {
+            std::slice::from_raw_parts_mut(optrs[item].ptr().add(lo * plan.n), (hi - lo) * plan.n)
+        };
+        plan.exec_rows(lo, hi, out);
     });
+    outs
 }
 
 /// A dense row-major f32 tensor of rank 1 or 2.
@@ -399,9 +902,10 @@ impl Tensor {
         self.data[row * self.shape[1] + col]
     }
 
-    /// Matrix product `self x rhs` via the register-tiled (AVX when
-    /// available) parallel kernel. Every output element accumulates in
-    /// ascending-`k` order, so the result is bitwise identical to
+    /// Matrix product `self x rhs` via the packed, register-tiled
+    /// (AVX2+FMA when available) parallel kernel. Every output element
+    /// follows the fixed-split compensated contract in the module docs,
+    /// so the result is bitwise identical to
     /// [`matmul_naive`](Self::matmul_naive) and invariant to the worker
     /// count. NaN/±inf in either operand propagate per IEEE-754 — there
     /// is no zero-skip shortcut (skipping `a == 0.0` would silently drop
@@ -411,33 +915,17 @@ impl Tensor {
     ///
     /// Panics if shapes are not `[m, k]` x `[k, n]`.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "matmul lhs must be a matrix");
-        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be a matrix");
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
-        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
-        let mut out = Tensor::zeros(&[m, n]);
-        mm_exec(
-            &self.data,
-            k,
-            1,
-            m,
-            k,
-            n,
-            &rhs.data,
-            |j0| j0,
-            n,
-            |kk, j| rhs.data[kk * n + j],
-            &mut out.data,
-        );
-        out
+        Self::matmul_batch(&[(MmOp::Nn, self, rhs)])
+            .pop()
+            .expect("one output")
     }
 
-    /// The pre-optimisation reference matmul: a single-threaded
-    /// accumulate-by-rows triple loop (fixed i-k-j order). Kept as the
-    /// baseline the tiled kernel is benchmarked and differentially
-    /// tested against; produces bitwise-identical results to
-    /// [`matmul`](Self::matmul).
+    /// The reference matmul: a direct, single-threaded, unpacked
+    /// transcription of the contract in the module docs — per output
+    /// element, [`K_SEG`]-segment fused chains TwoSum-combined in
+    /// ascending order. Kept as the baseline the tiled kernel is
+    /// benchmarked and differentially tested against; produces
+    /// bitwise-identical results to [`matmul`](Self::matmul).
     ///
     /// # Panics
     ///
@@ -450,13 +938,17 @@ impl Tensor {
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
         let mut out = Tensor::zeros(&[m, n]);
         for i in 0..m {
-            for kk in 0..k {
-                let a = self.data[i * k + kk];
-                let row = &rhs.data[kk * n..(kk + 1) * n];
-                let dst = &mut out.data[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
+            for j in 0..n {
+                // SAFETY: i < m, j < n keep both strided walks in bounds.
+                out.data[i * n + j] = unsafe {
+                    dot_stride_body(
+                        self.data.as_ptr().add(i * k),
+                        1,
+                        rhs.data.as_ptr().add(j),
+                        n,
+                        k,
+                    )
+                };
             }
         }
         out
@@ -464,80 +956,65 @@ impl Tensor {
 
     /// Fused transposed product `self x rhsᵀ` for `self = [m, k]`,
     /// `rhs = [n, k]`: bitwise identical to
-    /// `self.matmul(&rhs.transpose())` (each element is the ascending-`k`
-    /// dot of two rows) without materialising the `[k, n]` transpose —
-    /// `rhs` is packed into `NR`-column panels instead, which the tiled
-    /// kernel then reads like ordinary column panels.
+    /// `self.matmul(&rhs.transpose())` (each element is the contract dot
+    /// of two rows) without materialising the `[k, n]` transpose — `rhs`
+    /// is packed into `NR`-column panels instead, which the tiled kernel
+    /// then reads like ordinary column panels.
     ///
     /// # Panics
     ///
     /// Panics if shapes are not `[m, k]` x `[n, k]`.
     pub fn matmul_t(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "matmul_t lhs must be a matrix");
-        assert_eq!(rhs.shape.len(), 2, "matmul_t rhs must be a matrix");
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (n, k2) = (rhs.shape[0], rhs.shape[1]);
-        assert_eq!(k, k2, "matmul_t inner dimensions differ: {k} vs {k2}");
-        let n_main = n - n % NR;
-        // Pack rhsᵀ's full NR-wide column panels: panel p holds element
-        // (kk, j) at [p*k*NR + kk*NR + (j - p*NR)]. Tail columns are
-        // read directly from rhs's (contiguous) rows by the accessor.
-        let mut packed = vec![0.0f32; n_main * k];
-        for p in 0..n_main / NR {
-            for kk in 0..k {
-                for c in 0..NR {
-                    packed[p * k * NR + kk * NR + c] = rhs.data[(p * NR + c) * k + kk];
-                }
-            }
-        }
-        let mut out = Tensor::zeros(&[m, n]);
-        mm_exec(
-            &self.data,
-            k,
-            1,
-            m,
-            k,
-            n,
-            &packed,
-            |j0| (j0 / NR) * k * NR,
-            NR,
-            |kk, j| rhs.data[j * k + kk],
-            &mut out.data,
-        );
-        out
+        Self::matmul_batch(&[(MmOp::Nt, self, rhs)])
+            .pop()
+            .expect("one output")
     }
 
     /// Fused transposed product `selfᵀ x rhs` for `self = [r, m]`,
     /// `rhs = [r, n]`: bitwise identical to
     /// `self.transpose().matmul(rhs)` (each element accumulates over the
-    /// shared leading dimension in ascending order) without
-    /// materialising the `[m, r]` transpose — the kernel reads `self`
-    /// column-wise through its stride instead.
+    /// shared leading dimension by the contract order) without
+    /// materialising the `[m, r]` transpose — `self` is packed into
+    /// `MR`-row tiles read through their stride instead.
     ///
     /// # Panics
     ///
     /// Panics if the leading dimensions differ or either is not rank 2.
     pub fn t_matmul(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "t_matmul lhs must be a matrix");
-        assert_eq!(rhs.shape.len(), 2, "t_matmul rhs must be a matrix");
-        let (r, m) = (self.shape[0], self.shape[1]);
-        let (r2, n) = (rhs.shape[0], rhs.shape[1]);
-        assert_eq!(r, r2, "t_matmul leading dimensions differ: {r} vs {r2}");
-        let mut out = Tensor::zeros(&[m, n]);
-        mm_exec(
-            &self.data,
-            1,
-            m,
-            m,
-            r,
-            n,
-            &rhs.data,
-            |j0| j0,
-            n,
-            |kk, j| rhs.data[kk * n + j],
-            &mut out.data,
-        );
-        out
+        Self::matmul_batch(&[(MmOp::Tn, self, rhs)])
+            .pop()
+            .expect("one output")
+    }
+
+    /// Executes several matrix products as **one** pool fan-out: the row
+    /// bands of all items form a single flat chunk space (prefix-sum
+    /// mapped back to `(item, band)`), so a group of small matmuls — the
+    /// per-layer sizes the scheduler actually issues, e.g. the two
+    /// gradient products of `dense_backward` — fills the pool instead of
+    /// paying one synchronisation per product. Results are bitwise
+    /// identical to issuing the items individually, in any batch
+    /// composition, at any worker count.
+    ///
+    /// Below a combined-work threshold the whole batch runs inline on
+    /// the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item's shapes are incompatible for its [`MmOp`].
+    pub fn matmul_batch(items: &[(MmOp, &Tensor, &Tensor)]) -> Vec<Tensor> {
+        let throttle = matmul_throttle_us();
+        if throttle > 0 && !items.is_empty() {
+            // One sleep per item: a batch of two simulates two degraded
+            // kernel launches, keeping the doctor-experiment semantics.
+            std::thread::sleep(std::time::Duration::from_micros(
+                throttle * items.len() as u64,
+            ));
+        }
+        let plans: Vec<MmPlan<'_>> = items
+            .iter()
+            .map(|&(op, a, b)| MmPlan::new(op, a, b))
+            .collect();
+        mm_batch_exec(&plans)
     }
 
     /// Transpose of a matrix.
@@ -570,7 +1047,8 @@ impl Tensor {
         } else {
             let optr = OutPtr(out.as_mut_ptr());
             let (a, b) = (&self.data, &rhs.data);
-            pool::current().run(total.div_ceil(ELEM_CHUNK), &|c| {
+            let chunks = total.div_ceil(ELEM_CHUNK);
+            pool::current().run_chunked(chunks, (chunks / 64).max(1), &|c| {
                 let lo = c * ELEM_CHUNK;
                 let hi = (lo + ELEM_CHUNK).min(total);
                 // SAFETY: chunks cover disjoint element ranges.
@@ -597,7 +1075,8 @@ impl Tensor {
         } else {
             let optr = OutPtr(out.as_mut_ptr());
             let a = &self.data;
-            pool::current().run(total.div_ceil(ELEM_CHUNK), &|c| {
+            let chunks = total.div_ceil(ELEM_CHUNK);
+            pool::current().run_chunked(chunks, (chunks / 64).max(1), &|c| {
                 let lo = c * ELEM_CHUNK;
                 let hi = (lo + ELEM_CHUNK).min(total);
                 // SAFETY: chunks cover disjoint element ranges.
@@ -669,7 +1148,8 @@ impl Tensor {
             let band = (ELEM_CHUNK / n).max(1);
             let optr = OutPtr(out.data.as_mut_ptr());
             let bias = &bias.data;
-            pool::current().run(rows.div_ceil(band), &|c| {
+            let chunks = rows.div_ceil(band);
+            pool::current().run_chunked(chunks, (chunks / 64).max(1), &|c| {
                 let lo = c * band;
                 let hi = (lo + band).min(rows);
                 // SAFETY: bands cover disjoint row ranges.
@@ -846,8 +1326,9 @@ mod tests {
 
     #[test]
     fn tiled_matmul_matches_naive_on_ragged_shapes() {
-        // Tail paths (m % MR, n % NR, 1xN, Nx1) must keep the same
-        // per-element ascending-k order as the reference kernel.
+        // Tail paths (m % MR, n % NR, 1xN, Nx1) and segment-crossing k
+        // must keep the same per-element contract order as the reference
+        // kernel.
         for &(m, k, n) in &[
             (7usize, 5usize, 3usize),
             (123, 77, 50),
@@ -855,6 +1336,8 @@ mod tests {
             (300, 64, 1),
             (33, 16, 17),
             (4, 1, 16),
+            (9, 300, 33),
+            (5, 513, 17),
         ] {
             let a = wavy(m, k, 0.1);
             let b = wavy(k, n, 0.7);
@@ -863,8 +1346,33 @@ mod tests {
     }
 
     #[test]
+    fn matmul_zero_k_yields_positive_zero() {
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[3, 4]);
+        for &v in c.data() {
+            assert_eq!(v.to_bits(), 0, "k = 0 must give +0.0 exactly");
+        }
+    }
+
+    #[test]
+    fn matmul_k_one_is_single_fma() {
+        // k = 1: one segment, one fused op from +0.0 — exactly round(a*b).
+        let a = Tensor::from_vec(vec![1.1, -2.3, 3.7], &[3, 1]);
+        let b = Tensor::from_vec(vec![0.9, -1.7], &[1, 2]);
+        let c = a.matmul(&b);
+        for i in 0..3 {
+            for j in 0..2 {
+                let want = a.data()[i].mul_add(b.data()[j], 0.0);
+                assert_eq!(c.at(i, j).to_bits(), want.to_bits(), "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
     fn matmul_propagates_nan_from_zero_lhs_rows() {
-        // Regression: the old kernel skipped `a == 0.0`, silently
+        // Regression: an early kernel skipped `a == 0.0`, silently
         // dropping `0.0 * NaN = NaN` and `0.0 * inf = NaN`.
         let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], &[2, 2]);
         let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0, 2.0], &[2, 2]);
@@ -874,9 +1382,105 @@ mod tests {
         assert_bitwise_eq(&c, &a.matmul_naive(&b), "NaN propagation");
     }
 
+    /// Builds the `[k, n]` rhs whose every column is the pattern `col`.
+    fn columns_of(col: &[f32], n: usize) -> Tensor {
+        let k = col.len();
+        let mut data = vec![0.0f32; k * n];
+        for (kk, &v) in col.iter().enumerate() {
+            for j in 0..n {
+                data[kk * n + j] = v;
+            }
+        }
+        Tensor::from_vec(data, &[k, n])
+    }
+
+    #[test]
+    fn kat_segment_boundaries_pin_k_seg_256() {
+        // Known-answer test pinning the fixed-split boundaries at k
+        // multiples of 256. With a = all-ones and the column pattern
+        //   b[0] = 1e8, b[1..256] = 1, b[256] = -1e8, b[257..512] = 1,
+        //   b[512..520] = 1
+        // the three segment partials are exactly 1e8 (the +1s are
+        // absorbed: ulp(1e8) = 8), -1e8, and 8.0; the TwoSum combine
+        // telescopes them to exactly 8.0. An unsegmented chain would give
+        // 263.0, and segments of 128 would give 264.0 — so any change to
+        // K_SEG or to the combine order fails this test.
+        let k = 520;
+        let mut col = vec![1.0f32; k];
+        col[0] = 1e8;
+        col[256] = -1e8;
+        // m = 5, n = 17: exercises full tiles, the padded tail panel and
+        // the tail row, all of which must agree on the pinned value.
+        let a = Tensor::from_vec(vec![1.0; 5 * k], &[5, k]);
+        let b = columns_of(&col, 17);
+        for t in [a.matmul(&b), a.matmul_naive(&b)] {
+            for (i, &v) in t.data().iter().enumerate() {
+                assert_eq!(v.to_bits(), 8.0f32.to_bits(), "element {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn kat_twosum_combine_preserves_cancelled_partials() {
+        // Column pattern: b[0] = 1, b[256] = 1e8, b[512] = -1e8, rest 0.
+        // Segment partials are exactly 1, 1e8, -1e8. Plain ascending
+        // summation (and Kahan, whose compensation is rounded away here)
+        // would give 0; the TwoSum error term preserves the swamped 1.
+        let k = 513;
+        let mut col = vec![0.0f32; k];
+        col[0] = 1.0;
+        col[256] = 1e8;
+        col[512] = -1e8;
+        let a = Tensor::from_vec(vec![1.0; 5 * k], &[5, k]);
+        let b = columns_of(&col, 17);
+        for t in [a.matmul(&b), a.matmul_naive(&b)] {
+            for (i, &v) in t.data().iter().enumerate() {
+                assert_eq!(v.to_bits(), 1.0f32.to_bits(), "element {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn kat_accumulation_is_fused_not_mul_then_add() {
+        // [x, x] · [x, -x] under mul-then-add is exactly 0 (both products
+        // round identically); under the fused contract it is the rounding
+        // error of x², which is nonzero for x = 1.1.
+        let x = 1.1f32;
+        let a = Tensor::from_vec(vec![x, x], &[1, 2]);
+        let b = Tensor::from_vec(vec![x, -x], &[2, 1]);
+        let want = (-x).mul_add(x, x.mul_add(x, 0.0));
+        assert_ne!(want, 0.0, "test premise: fused result must differ");
+        let got = a.matmul(&b);
+        assert_eq!(got.data()[0].to_bits(), want.to_bits());
+        assert_eq!(
+            a.matmul_naive(&b).data()[0].to_bits(),
+            want.to_bits(),
+            "naive"
+        );
+    }
+
+    #[test]
+    fn portable_twin_matches_vector_path() {
+        // On FMA hardware this proves scalar fmaf == vfmadd bitwise; on
+        // anything else both runs take the portable path and the test
+        // degenerates to repeatability.
+        let a = wavy(37, 300, 0.3);
+        let b = wavy(300, 41, 1.7);
+        let fast = a.matmul(&b);
+        set_force_portable(true);
+        let portable = a.matmul(&b);
+        set_force_portable(false);
+        assert_bitwise_eq(&fast, &portable, "portable twin");
+    }
+
     #[test]
     fn matmul_t_matches_explicit_transpose() {
-        for &(m, k, n) in &[(8usize, 16usize, 16usize), (23, 19, 37), (5, 3, 2)] {
+        for &(m, k, n) in &[
+            (8usize, 16usize, 16usize),
+            (23, 19, 37),
+            (5, 3, 2),
+            (9, 513, 33),
+        ] {
             let a = wavy(m, k, 0.2);
             let b = wavy(n, k, 0.9);
             assert_bitwise_eq(
@@ -889,7 +1493,12 @@ mod tests {
 
     #[test]
     fn t_matmul_matches_explicit_transpose() {
-        for &(r, m, n) in &[(8usize, 16usize, 16usize), (19, 23, 37), (3, 5, 2)] {
+        for &(r, m, n) in &[
+            (8usize, 16usize, 16usize),
+            (19, 23, 37),
+            (3, 5, 2),
+            (513, 9, 33),
+        ] {
             let a = wavy(r, m, 0.4);
             let b = wavy(r, n, 1.3);
             assert_bitwise_eq(
@@ -898,6 +1507,21 @@ mod tests {
                 &format!("t_matmul {r}:{m}x{n}"),
             );
         }
+    }
+
+    #[test]
+    fn matmul_batch_matches_individual_calls() {
+        let a = wavy(48, 96, 0.1);
+        let b = wavy(96, 64, 0.5);
+        let c = wavy(48, 96, 0.9);
+        let d = wavy(64, 96, 1.3);
+        let e = wavy(96, 48, 1.7);
+        let f = wavy(96, 64, 2.1);
+        let batch =
+            Tensor::matmul_batch(&[(MmOp::Nn, &a, &b), (MmOp::Nt, &c, &d), (MmOp::Tn, &e, &f)]);
+        assert_bitwise_eq(&batch[0], &a.matmul(&b), "batch Nn");
+        assert_bitwise_eq(&batch[1], &c.matmul_t(&d), "batch Nt");
+        assert_bitwise_eq(&batch[2], &e.t_matmul(&f), "batch Tn");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use naspipe_tensor::hash::hash_tensors;
 use naspipe_tensor::layers::{dense_backward, dense_forward, DenseParams};
 use naspipe_tensor::model::{NumericSupernet, ParamStore};
 use naspipe_tensor::pool;
-use naspipe_tensor::tensor::Tensor;
+use naspipe_tensor::tensor::{MmOp, Tensor, K_SEG};
 use proptest::prelude::*;
 
 fn small_matrix() -> impl Strategy<Value = Tensor> {
@@ -217,6 +217,147 @@ proptest! {
             prop_assert_eq!(serial.0.to_bits(), parallel.0.to_bits(), "mean");
             prop_assert_eq!(serial.1.to_bits(), parallel.1.to_bits(), "sum_sq");
             prop_assert_eq!(serial.2.to_bits(), parallel.2.to_bits(), "norm");
+        }
+    }
+
+    /// `matmul_batch` over mixed op kinds is bitwise equal to the naive
+    /// reference of every item and invariant across 1/2/4/8 workers,
+    /// including contraction dimensions straddling the K_SEG boundary
+    /// (so the packed, batched and segmented paths all agree).
+    #[test]
+    fn batched_matmul_matches_naive_and_is_worker_invariant(
+        m in 5usize..40,
+        k in 1usize..520,
+        n in 5usize..40,
+        phase in 0.0f32..6.0,
+    ) {
+        let a = wavy(m, k, phase);
+        let b = wavy(k, n, phase + 1.0);
+        let c = wavy(n, k, phase + 2.0);
+        let e = wavy(k, m, phase + 3.0);
+        let items = [(MmOp::Nn, &a, &b), (MmOp::Nt, &a, &c), (MmOp::Tn, &e, &b)];
+        let reference = [
+            a.matmul_naive(&b),
+            a.matmul_naive(&c.transpose()),
+            e.transpose().matmul_naive(&b),
+        ];
+        for threads in [1usize, 2, 4, 8] {
+            let outs = pool::with_threads(threads, || Tensor::matmul_batch(&items));
+            prop_assert_eq!(outs.len(), reference.len());
+            for (oi, (got, want)) in outs.iter().zip(&reference).enumerate() {
+                prop_assert_eq!(got.shape(), want.shape(), "item {} shape", oi);
+                for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "batch item {} diverged from naive at element {} with {} workers",
+                        oi, i, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// K = 0 and K = 1 edges: the empty contraction is exactly +0.0 in
+    /// every element (never -0.0, never a skipped write), K = 1 is the
+    /// single fused multiply-add, and both match the naive reference
+    /// bitwise at every pool size.
+    #[test]
+    fn k_edge_cases_are_bitwise_deterministic(
+        m in 1usize..48,
+        n in 1usize..48,
+        phase in 0.0f32..6.0,
+    ) {
+        let a0 = Tensor::from_vec(vec![], &[m, 0]);
+        let b0 = Tensor::from_vec(vec![], &[0, n]);
+        let a1 = wavy(m, 1, phase);
+        let b1 = wavy(1, n, phase + 1.0);
+        for threads in [1usize, 2, 4, 8] {
+            let (zero, one) = pool::with_threads(threads, || (a0.matmul(&b0), a1.matmul(&b1)));
+            for &v in zero.data() {
+                prop_assert_eq!(v.to_bits(), 0, "k=0 element must be +0.0");
+            }
+            for (x, y) in one.data().iter().zip(a1.matmul_naive(&b1).data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "k=1 diverged from naive");
+            }
+        }
+    }
+
+    /// The zero-skip regression guard: a zero row in A against NaN/inf
+    /// in B must surface NaN (IEEE `0.0 * NaN = NaN`, `0.0 * inf =
+    /// NaN`), bitwise equal to the naive reference and invariant across
+    /// pool sizes — an "optimised" kernel that skips zero operands would
+    /// silently return 0 here.
+    #[test]
+    fn zero_times_nan_is_not_skipped(
+        k in 2usize..300,
+        n in 33usize..64,
+        poison_col in 0usize..33,
+        phase in 0.0f32..6.0,
+    ) {
+        let m = 40usize;
+        let mut a = wavy(m, k, phase);
+        for kk in 0..k {
+            a.data_mut()[kk] = 0.0; // row 0 of A is all zeros
+        }
+        let mut b = wavy(k, n, phase + 1.0);
+        let col = poison_col % n;
+        b.data_mut()[col] = f32::NAN;
+        if n > 1 {
+            b.data_mut()[(col + 1) % n] = f32::INFINITY;
+        }
+        let naive = a.matmul_naive(&b);
+        prop_assert!(naive.at(0, col).is_nan(), "0*NaN must surface as NaN");
+        for threads in [1usize, 2, 4, 8] {
+            let tiled = pool::with_threads(threads, || a.matmul(&b));
+            for (i, (x, y)) in tiled.data().iter().zip(naive.data()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "NaN propagation diverged at element {} with {} workers",
+                    i, threads
+                );
+            }
+        }
+    }
+}
+
+/// Known-answer test pinning the fixed-split segment boundaries at
+/// multiples of [`K_SEG`] = 256 through the public API: a cancellation
+/// pair placed in different 256-element segments survives compensated
+/// combination exactly, and would evaluate differently under any other
+/// segment length or a flat (unsegmented) accumulation order. A future
+/// refactor that silently changes the accumulation order fails here.
+#[test]
+fn kat_public_api_pins_k_seg_256_segment_boundaries() {
+    assert_eq!(K_SEG, 256, "the determinism contract fixes K_SEG at 256");
+    let k = 2 * K_SEG + 8;
+    let m = 5;
+    let n = 17;
+    let a = Tensor::from_vec(vec![1.0; m * k], &[m, k]);
+    // Column j of B: +1e8 at kk = 0, -1e8 at kk = K_SEG, 1.0 elsewhere.
+    // Within segment 0 every subsequent +1.0 is absorbed (ulp(1e8) = 8),
+    // so its partial is exactly +1e8; likewise segment 1's is exactly
+    // -1e8; segment 2 holds the eight trailing ones. The compensated
+    // combination cancels the big partials exactly and the answer is
+    // exactly 8.0. A flat (unsegmented) chain gives 263 (the +1e8/-1e8
+    // cancel mid-stream, leaving the later ones unabsorbed), and a
+    // 128-element segment length gives 264 — so this value pins both
+    // the segmentation itself and K_SEG = 256.
+    let mut bv = vec![1.0f32; k * n];
+    for j in 0..n {
+        bv[j] = 1e8;
+        bv[K_SEG * n + j] = -1e8;
+    }
+    let b = Tensor::from_vec(bv, &[k, n]);
+    for threads in [1usize, 2, 4, 8] {
+        let out = pool::with_threads(threads, || a.matmul(&b));
+        for (i, &v) in out.data().iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                8.0f32.to_bits(),
+                "element {i} at {threads} workers: got {v}, want exactly 8"
+            );
         }
     }
 }

@@ -13,7 +13,7 @@
 //! naspipe search --space CV.c2 --gpus 8 --subnets 120 --rounds 96 [--seed 7]
 //!                [--metrics-addr 127.0.0.1:9464]
 //! naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]
-//!                [--explain]
+//!                [--e2e-threshold-pct 35] [--gate kernels|all] [--explain]
 //! naspipe replay-check [--corpus traces/golden] [--mode strict|lenient]
 //!                [--case SUBSTR] [--bless] [--explain]
 //! naspipe doctor --base base_trace.json --cand cand_trace.json [--top 5]
@@ -106,7 +106,13 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
     ),
     (
         "bench-check",
-        &["baseline", "threshold-pct", "subnets"],
+        &[
+            "baseline",
+            "threshold-pct",
+            "e2e-threshold-pct",
+            "gate",
+            "subnets",
+        ],
         &["explain"],
     ),
     (
@@ -482,22 +488,43 @@ fn cmd_bench_check(args: &Args) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "BENCH_compute.json".to_string());
     let threshold = args.u64_opt("threshold-pct", 15)? as f64 / 100.0;
+    let e2e_threshold = args.u64_opt("e2e-threshold-pct", 35)? as f64 / 100.0;
+    let gate = match args.options.get("gate").map(String::as_str) {
+        None | Some("all") => "all",
+        Some("kernels") => "kernels",
+        Some(other) => return Err(format!("unknown gate '{other}' (kernels|all)")),
+    };
     let subnets = args.u64_opt("subnets", 24)?;
     let baseline = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read baseline {path}: {e} (run `repro bench` with BENCH_COMPUTE_JSON={path} to record one)"))?;
 
-    eprintln!("measuring compute backend ({subnets} replay subnets)...");
-    let fresh = compute::run(subnets);
+    eprintln!(
+        "measuring compute backend at pool sizes {:?} ({subnets} replay subnets)...",
+        compute::DEFAULT_THREAD_COUNTS
+    );
+    let fresh = compute::run_matrix(subnets, compute::DEFAULT_THREAD_COUNTS);
     if !fresh.all_ok() {
         return Err(
-            "compute verdicts failed: kernels not bitwise equal or hashes not pool-invariant"
+            "compute verdicts failed: kernels not bitwise equal or outputs/hashes not \
+             invariant across pool sizes"
                 .into(),
         );
     }
-    let check = compute::check_against(&baseline, &fresh, threshold)?;
+    let check = compute::check_against(&baseline, &fresh, threshold, e2e_threshold)?;
     println!("regression check against {path}:");
     print!("{}", compute::render_check(&check));
-    if check.ok() {
+    let passed = match gate {
+        "kernels" => check.kernels_ok(),
+        _ => check.ok(),
+    };
+    if passed {
+        if !check.ok() {
+            eprintln!(
+                "note: {} end-to-end metric(s) regressed but --gate kernels only \
+                 fails on kernel families",
+                check.regressions().len()
+            );
+        }
         Ok(())
     } else {
         if args.flags.contains("explain") {
@@ -513,9 +540,11 @@ fn cmd_bench_check(args: &Args) -> Result<(), String> {
             print!("{}", naspipe::obs::explain_bench_check(&rows, threshold));
         }
         Err(format!(
-            "bench-check failed: {} metric(s) regressed more than {:.0}% below the baseline",
+            "bench-check failed (gate {gate}): {} metric(s) regressed past the tolerance \
+             band ({:.0}% kernels, {:.0}% end-to-end) against the baseline",
             check.regressions().len(),
-            threshold * 100.0
+            threshold * 100.0,
+            e2e_threshold * 100.0
         ))
     }
 }
@@ -692,6 +721,7 @@ fn usage() -> &'static str {
      naspipe search --space CV.c2 [--gpus 8] [--subnets 64] [--rounds 64]\n\
      \x20              [--threads 0] [--metrics-addr HOST:PORT]\n\
      naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]\n\
+     \x20              [--e2e-threshold-pct 35] [--gate kernels|all]\n\
      \x20              [--subnets 24] [--explain]\n\
      naspipe replay-check [--corpus traces/golden] [--mode strict|lenient]\n\
      \x20              [--case SUBSTR] [--bless] [--explain]\n\
@@ -709,8 +739,12 @@ fn usage() -> &'static str {
      task (crash injection; recover with --resume).\n\
      --metrics-addr serves live Prometheus 0.0.4 text on GET /metrics\n\
      while the run is in flight (port 0 picks an ephemeral port).\n\
-     bench-check exits non-zero when fresh compute throughput falls more\n\
-     than the threshold below the tracked BENCH_compute.json baseline.\n\
+     bench-check re-measures the compute backend at pool sizes {1,4,8}\n\
+     and exits non-zero when fresh throughput falls outside the tolerance\n\
+     band of the tracked BENCH_compute.json (schema 2) baseline:\n\
+     --threshold-pct bounds the kernel GFLOP/s families, the wider\n\
+     --e2e-threshold-pct bounds replay subnets/s and threaded makespan\n\
+     (wall clock is noisy); --gate kernels fails only on kernel families.\n\
      replay-check re-executes the committed golden traces against the\n\
      current scheduler; --mode strict (default) fails on any divergence,\n\
      naming the first divergent task; --mode lenient prints the same\n\
