@@ -11,8 +11,8 @@
 
 use naspipe_bench::experiments::{
     cache_sweep, compute, crash, doctor, faults, fig1, fig4, fig5, fig6, fig7, generation, obs,
-    recompute, replay, soundness, table1, table2, table3, table4, table5, telemetry, topology,
-    trace,
+    ops_plane, recompute, replay, soundness, table1, table2, table3, table4, table5, telemetry,
+    topology, trace,
 };
 use naspipe_bench::{THROUGHPUT_SUBNETS, TRAINING_SUBNETS};
 use naspipe_supernet::space::SpaceId;
@@ -40,6 +40,7 @@ const EXPERIMENTS: &[&str] = &[
     "trace",
     "bench",
     "telemetry",
+    "ops",
     "replay",
     "doctor",
 ];
@@ -338,6 +339,20 @@ fn run_experiment(name: &str, check: bool) {
                 r.all_ok(),
                 "telemetry verdicts failed: the live endpoint and the \
                  post-mortem report must tell one consistent story"
+            );
+        }
+        "ops" => {
+            banner(
+                "Extra: ops plane",
+                "The threaded CSP runtime on NLP.c2, 4 stages, run twice: bare, then with the full ops plane attached — structured journal sinking to a JSONL file and a multi-route HTTP server (/metrics /healthz /readyz /status /flight /events) scraped concurrently by the experiment mid-run. Hard verdicts: results are bitwise identical to the bare run, every route answers schema-valid content on every sweep, /events replays exactly the journal lines the sink wrote, and /readyz flips to 503 once a stage-stall watchdog verdict latches.",
+            );
+            let r = ops_plane::run(SpaceId::NlpC2, 4, 32);
+            println!("{}", ops_plane::render(&r));
+            assert!(
+                r.all_ok(),
+                "ops-plane verdicts failed: full observability must be \
+                 bitwise zero-effect with every route live and the journal \
+                 single-sourced"
             );
         }
         "replay" => {

@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod generation;
 pub mod obs;
+pub mod ops_plane;
 pub mod recompute;
 pub mod replay;
 pub mod soundness;

@@ -12,7 +12,7 @@ use naspipe_supernet::space::SearchSpace;
 /// `slow_stage` / `compute_scale` multipliers change *simulated
 /// durations* in the DES — the schedule shifts, the training arithmetic
 /// does not.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DiagnosticsOptions {
     /// Master switch for the flight recorder + watchdog. On by default
     /// (the subsystems are designed to be always-on and lock-light).
@@ -31,6 +31,13 @@ pub struct DiagnosticsOptions {
     pub compute_scale: f64,
     /// Watchdog detector thresholds.
     pub watchdog: WatchdogConfig,
+    /// Live ops-plane state ([`/status`](naspipe_obs::ops::OpsState),
+    /// journal, readiness). `None` keeps the legacy stderr side channels;
+    /// `Some` routes watchdog trips, recovery notices, checkpoint cuts,
+    /// and durable events through the unified journal and updates the
+    /// per-stage CSP watermarks the HTTP surface reports. Observation
+    /// only — never affects results.
+    pub ops: Option<std::sync::Arc<naspipe_obs::OpsState>>,
 }
 
 impl Default for DiagnosticsOptions {
@@ -42,7 +49,25 @@ impl Default for DiagnosticsOptions {
             slow_stage: None,
             compute_scale: 1.0,
             watchdog: WatchdogConfig::default(),
+            ops: None,
         }
+    }
+}
+
+impl PartialEq for DiagnosticsOptions {
+    fn eq(&self, other: &Self) -> bool {
+        let ops_eq = match (&self.ops, &other.ops) {
+            (None, None) => true,
+            (Some(a), Some(b)) => std::sync::Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.enabled == other.enabled
+            && self.flight_capacity == other.flight_capacity
+            && self.flight_dump == other.flight_dump
+            && self.slow_stage == other.slow_stage
+            && self.compute_scale == other.compute_scale
+            && self.watchdog == other.watchdog
+            && ops_eq
     }
 }
 
@@ -72,6 +97,12 @@ impl DiagnosticsOptions {
     /// Scales every DES task duration by `factor` (builder-style).
     pub fn with_compute_scale(mut self, factor: f64) -> Self {
         self.compute_scale = factor;
+        self
+    }
+
+    /// Attaches the live ops-plane state (builder-style).
+    pub fn with_ops(mut self, ops: std::sync::Arc<naspipe_obs::OpsState>) -> Self {
+        self.ops = Some(ops);
         self
     }
 }

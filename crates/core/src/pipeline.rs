@@ -1225,6 +1225,26 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Result<PipelineOutcome, PipelineError> {
+        // Ops-plane hookup (observation only): publish the run shape and
+        // flip `/readyz` to admitting-work before the first injection.
+        if let Some(ops) = &self.config.diagnostics.ops {
+            ops.set_total_subnets(self.config.num_subnets);
+            ops.set_phase(naspipe_obs::RunPhase::Running);
+            ops.journal().emit(
+                naspipe_obs::JournalLevel::Info,
+                "run-start",
+                None,
+                0,
+                format!(
+                    "des run admitting work: {} stage(s), {} subnet(s)",
+                    self.d, self.config.num_subnets
+                ),
+                vec![
+                    ("stages".to_string(), self.d.to_string()),
+                    ("subnets".to_string(), self.config.num_subnets.to_string()),
+                ],
+            );
+        }
         self.try_inject(SimTime::ZERO);
         while let Some((now, ev)) = self.queue.pop() {
             // Attribute the elapsed interval: for each idle stage, was it
@@ -1279,6 +1299,16 @@ impl<'a> Engine<'a> {
                         }
                         if let Some(tel) = self.telemetry.as_ref() {
                             tel.hub.record_watchdog_trip(v.kind);
+                        }
+                        if let Some(ops) = &self.config.diagnostics.ops {
+                            ops.journal().emit(
+                                naspipe_obs::JournalLevel::Warn,
+                                "watchdog-trip",
+                                Some(v.stage),
+                                v.at_us,
+                                v.render(),
+                                v.journal_fields(),
+                            );
                         }
                     }
                     dog.verdicts.extend(fresh);
@@ -1364,6 +1394,16 @@ impl<'a> Engine<'a> {
                 }
                 if let Some(tel) = self.telemetry.as_ref() {
                     tel.hub.record_watchdog_trip(v.kind);
+                }
+                if let Some(ops) = &self.config.diagnostics.ops {
+                    ops.journal().emit(
+                        naspipe_obs::JournalLevel::Warn,
+                        "watchdog-trip",
+                        Some(v.stage),
+                        v.at_us,
+                        v.render(),
+                        v.journal_fields(),
+                    );
                 }
             }
             dog.verdicts.extend(fresh);
@@ -1477,6 +1517,17 @@ impl<'a> Engine<'a> {
                 .map(|&us| us as f64 / 1e6)
                 .collect(),
         };
+        if let Some(ops) = &self.config.diagnostics.ops {
+            ops.journal().emit(
+                naspipe_obs::JournalLevel::Info,
+                "run-end",
+                None,
+                makespan.as_us(),
+                format!("run complete: {} subnet(s)", self.completed),
+                vec![],
+            );
+            ops.set_phase(naspipe_obs::RunPhase::Done);
+        }
         self.records.sort_by_key(|r| (r.start, r.subnet, r.stage));
         PipelineOutcome {
             report,

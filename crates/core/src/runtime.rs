@@ -59,10 +59,10 @@ use crate::task::{FinishedSet, StageId, TaskKind};
 use crate::train::{TrainConfig, TrainResult};
 use naspipe_obs::telemetry::progress_line;
 use naspipe_obs::{
-    CauseKind, Counter, CspChecker, FlightEventKind, FlightRecorder, MetricsRecorder,
-    MetricsSnapshot, ObsReport, PoolWorkerObs, Recorder, RunMeta, Sample, SpanDraft, SpanId,
-    SpanKind, SpanTrace, SpanTracer, TeeRecorder, TelemetryHub, TelemetryOptions, Tracer,
-    Violation, Watchdog, WatchdogVerdict,
+    CauseKind, Counter, CspChecker, FlightEventKind, FlightRecorder, JournalLevel, MetricsRecorder,
+    MetricsSnapshot, ObsReport, OpsState, PoolWorkerObs, Recorder, RunMeta, RunPhase, Sample,
+    SpanDraft, SpanId, SpanKind, SpanTrace, SpanTracer, TeeRecorder, TelemetryHub,
+    TelemetryOptions, Tracer, Violation, Watchdog, WatchdogVerdict,
 };
 use naspipe_sim::time::SimTime;
 use naspipe_supernet::space::SearchSpace;
@@ -274,6 +274,7 @@ struct WatchdogDuty {
     flight: Option<Arc<FlightRecorder>>,
     dump: Option<String>,
     hub: Option<Arc<TelemetryHub>>,
+    ops: Option<Arc<OpsState>>,
 }
 
 impl WatchdogDuty {
@@ -296,7 +297,22 @@ impl WatchdogDuty {
             if let Some(h) = &self.hub {
                 h.record_watchdog_trip(v.kind);
             }
-            naspipe_obs::status::alert(&v.render());
+            // With an ops plane the verdict goes through the journal
+            // (whose stderr mirror keeps the human-visible alert and
+            // whose ring feeds `/events` and `/readyz`); without one,
+            // the legacy serialized stderr alert.
+            if let Some(ops) = &self.ops {
+                ops.journal().emit(
+                    JournalLevel::Warn,
+                    "watchdog-trip",
+                    Some(v.stage),
+                    v.at_us,
+                    v.render(),
+                    v.journal_fields(),
+                );
+            } else {
+                naspipe_obs::status::alert(&v.render());
+            }
             // A trip is exactly the moment the ring's recent history is
             // worth keeping: dump before anything else goes wrong.
             if let (Some(f), Some(path)) = (&self.flight, &self.dump) {
@@ -378,6 +394,9 @@ struct StageWorker {
     tasks: Vec<TaskRecord>,
     // Shared bounded flight ring (None when diagnostics are disabled).
     flight: Option<Arc<FlightRecorder>>,
+    // Live ops-plane state: per-stage CSP watermarks, cut records and
+    // the unified journal (None = legacy stderr side channels).
+    ops: Option<Arc<OpsState>>,
 }
 
 impl StageWorker {
@@ -704,6 +723,12 @@ impl StageWorker {
                     self.next_ckpt,
                 );
             }
+            // Reaching a cut boundary proves this stage finished every
+            // subnet below it — the per-stage CSP watermark `/status`
+            // reports (cut granularity keeps this off the hot path).
+            if let Some(ops) = &self.ops {
+                ops.note_stage_watermark(self.stage as u32, self.next_ckpt);
+            }
             let snapshot = StageSnapshot {
                 params: self.params.clone(),
                 engine: self.engine.clone(),
@@ -723,18 +748,59 @@ impl StageWorker {
             // in-memory checkpoints still cover in-process recovery, so
             // a full disk degrades durability, not training.
             if completed_cut {
+                if let Some(ops) = &self.ops {
+                    ops.record_cut(self.next_ckpt);
+                    ops.journal().emit(
+                        JournalLevel::Info,
+                        "checkpoint-cut",
+                        Some(self.stage as u32),
+                        snap_start,
+                        format!("checkpoint cut complete at watermark {}", self.next_ckpt),
+                        vec![("watermark".to_string(), self.next_ckpt.to_string())],
+                    );
+                }
                 if let Some(durable) = &self.durable {
                     match store.latest_complete() {
                         Some(cut) => match durable.persist(&cut) {
                             Ok(_) => {
                                 self.recorder
                                     .incr(self.stage as u32, Counter::DurablePersist, 1);
+                                if let Some(ops) = &self.ops {
+                                    ops.journal().emit(
+                                        JournalLevel::Info,
+                                        "durable-persist",
+                                        Some(self.stage as u32),
+                                        self.now_us(),
+                                        format!("persisted watermark {}", cut.watermark),
+                                        vec![("watermark".to_string(), cut.watermark.to_string())],
+                                    );
+                                }
                             }
-                            Err(e) => eprintln!(
-                                "naspipe: persisting watermark {} failed \
-                                 (training continues on in-memory checkpoints): {e}",
-                                cut.watermark
-                            ),
+                            Err(e) => {
+                                let msg = format!(
+                                    "persisting watermark {} failed \
+                                     (training continues on in-memory checkpoints): {e}",
+                                    cut.watermark
+                                );
+                                // The journal's stderr mirror reproduces
+                                // the legacy `naspipe: {msg}` warning.
+                                match &self.ops {
+                                    Some(ops) => {
+                                        ops.journal().emit(
+                                            JournalLevel::Warn,
+                                            "durable-persist-failed",
+                                            Some(self.stage as u32),
+                                            self.now_us(),
+                                            msg,
+                                            vec![(
+                                                "watermark".to_string(),
+                                                cut.watermark.to_string(),
+                                            )],
+                                        );
+                                    }
+                                    None => eprintln!("naspipe: {msg}"),
+                                }
+                            }
                         },
                         None => debug_assert!(false, "completed cut must be visible"),
                     }
@@ -1340,10 +1406,27 @@ pub fn run_threaded_diagnosed(
             let store = DurableStore::open(&d.dir, keep, fp)
                 .map_err(|cause| TrainError::Durable { cause })?;
             if d.resume {
+                // Resume notices flow through the journal when an ops
+                // plane is attached (its Warn mirror reproduces the
+                // legacy `naspipe:` stderr lines); informational lines
+                // keep their eprintln either way.
+                let journal_skip = |path: &std::path::Path, why: &str| match &diag.ops {
+                    Some(ops) => {
+                        ops.journal().emit(
+                            JournalLevel::Warn,
+                            "durable-skip",
+                            None,
+                            0,
+                            format!("skipping snapshot {}: {why}", path.display()),
+                            vec![("path".to_string(), path.display().to_string())],
+                        );
+                    }
+                    None => eprintln!("naspipe: skipping snapshot {}: {why}", path.display()),
+                };
                 match store.load_latest() {
                     Ok(loaded) => {
                         for (path, why) in &loaded.skipped {
-                            eprintln!("naspipe: skipping snapshot {}: {why}", path.display());
+                            journal_skip(path, why);
                         }
                         let cut = loaded.checkpoint;
                         // The fingerprint already pins gpus/interval/
@@ -1370,16 +1453,43 @@ pub fn run_threaded_diagnosed(
                             cut.watermark,
                             loaded.path.display()
                         );
+                        if let Some(ops) = &diag.ops {
+                            ops.journal().emit(
+                                JournalLevel::Info,
+                                "durable-resume",
+                                None,
+                                0,
+                                format!(
+                                    "resuming from watermark {} ({})",
+                                    cut.watermark,
+                                    loaded.path.display()
+                                ),
+                                vec![("watermark".to_string(), cut.watermark.to_string())],
+                            );
+                        }
                         initial_resume = Some(cut);
                     }
                     Err(DurableError::NoSnapshot { dir, skipped }) => {
                         for (path, why) in &skipped {
-                            eprintln!("naspipe: skipping snapshot {}: {why}", path.display());
+                            journal_skip(path, why);
                         }
                         eprintln!(
                             "naspipe: no usable snapshot in {}; starting from scratch",
                             dir.display()
                         );
+                        if let Some(ops) = &diag.ops {
+                            ops.journal().emit(
+                                JournalLevel::Info,
+                                "durable-scratch",
+                                None,
+                                0,
+                                format!(
+                                    "no usable snapshot in {}; starting from scratch",
+                                    dir.display()
+                                ),
+                                vec![],
+                            );
+                        }
                     }
                     Err(cause) => return Err(TrainError::Durable { cause }),
                 }
@@ -1409,6 +1519,27 @@ pub fn run_threaded_diagnosed(
     let flight: Option<Arc<FlightRecorder>> = diag
         .enabled
         .then(|| Arc::new(FlightRecorder::new(gpus as usize, diag.flight_capacity)));
+    // Ops-plane hookup: expose the flight ring on `/flight`, publish the
+    // run shape, and flip `/readyz` to admitting-work before any stage
+    // thread starts.
+    if let Some(ops) = &diag.ops {
+        ops.set_total_subnets(total);
+        if let Some(f) = &flight {
+            ops.attach_flight(Arc::clone(f));
+        }
+        ops.set_phase(RunPhase::Running);
+        ops.journal().emit(
+            JournalLevel::Info,
+            "run-start",
+            None,
+            0,
+            format!("threaded run admitting work: {gpus} stage(s), {total} subnet(s)"),
+            vec![
+                ("stages".to_string(), gpus.to_string()),
+                ("subnets".to_string(), total.to_string()),
+            ],
+        );
+    }
     let internal_hub: Option<TelemetryOptions> = (telemetry.is_none() && diag.enabled)
         .then(|| TelemetryOptions::new(Arc::new(TelemetryHub::new(gpus as usize, 0))));
     let sampler_opts: Option<&TelemetryOptions> = telemetry.or(internal_hub.as_ref());
@@ -1421,6 +1552,7 @@ pub fn run_threaded_diagnosed(
             flight: flight.clone(),
             dump: diag.flight_dump.clone(),
             hub: sampler_opts.map(|t| Arc::clone(&t.hub)),
+            ops: diag.ops.clone(),
         })
     });
     // The sampler owns snapshot publication for the whole run (all
@@ -1480,6 +1612,11 @@ pub fn run_threaded_diagnosed(
         let resume_w = resume.as_ref().map_or(0, |c| c.watermark);
         if incarnation > 0 {
             recovery.resume_watermarks.push(resume_w);
+        }
+        if let Some(ops) = &diag.ops {
+            // Everything below the resume point is trained by
+            // definition: floor every stage watermark to it.
+            ops.set_resume_watermark(resume_w);
         }
 
         // Debug builds cross-check the runtime's interleaving against
@@ -1582,6 +1719,7 @@ pub fn run_threaded_diagnosed(
                 epoch,
                 tasks: Vec::new(),
                 flight: flight.clone(),
+                ops: diag.ops.clone(),
             };
             let notify = notify_tx.clone();
             handles.push((
@@ -1708,6 +1846,20 @@ pub fn run_threaded_diagnosed(
                 }
                 report = report.with_flight(log.summary());
             }
+            if let Some(ops) = &diag.ops {
+                ops.journal().emit(
+                    JournalLevel::Info,
+                    "run-end",
+                    None,
+                    wall_us,
+                    format!(
+                        "run complete: {total} subnet(s), {} restart(s)",
+                        recovery.restarts
+                    ),
+                    vec![("restarts".to_string(), recovery.restarts.to_string())],
+                );
+                ops.set_phase(RunPhase::Done);
+            }
             let subnets = Arc::try_unwrap(subnets).unwrap_or_else(|a| (*a).clone());
             return Ok(SupervisedRun {
                 result: TrainResult {
@@ -1723,12 +1875,27 @@ pub fn run_threaded_diagnosed(
             });
         };
 
+        let journal_failure = |err: &TrainError| {
+            if let Some(ops) = &diag.ops {
+                ops.journal().emit(
+                    JournalLevel::Error,
+                    "run-failed",
+                    Some(err.stage() as u32),
+                    elapsed_us(epoch),
+                    format!("run failed: {err}"),
+                    vec![],
+                );
+                ops.set_phase(RunPhase::Failed);
+            }
+        };
         if !err.is_recoverable() {
             dump_flight(&flight, &diag.flight_dump, "fault-escalation");
+            journal_failure(&err);
             return Err(err);
         }
         if recovery.restarts >= opts.max_restarts {
             dump_flight(&flight, &diag.flight_dump, "fault-escalation");
+            journal_failure(&err);
             return Err(if opts.max_restarts == 0 {
                 err // recovery disabled: surface the root cause directly
             } else {
@@ -1780,6 +1947,22 @@ pub fn run_threaded_diagnosed(
             }
         }
         dump_flight(&flight, &diag.flight_dump, "fault");
+        if let Some(ops) = &diag.ops {
+            ops.journal().emit(
+                JournalLevel::Warn,
+                "restart",
+                Some(err.stage() as u32),
+                elapsed_us(epoch),
+                format!(
+                    "restart {}: rolling back to watermark {next_resume} after {err}",
+                    recovery.restarts
+                ),
+                vec![
+                    ("incarnation".to_string(), (incarnation + 1).to_string()),
+                    ("watermark".to_string(), next_resume.to_string()),
+                ],
+            );
+        }
         if let Some(at) = failure_detected {
             recovery.recovery_latency_us += elapsed_us(at);
         }

@@ -724,6 +724,34 @@ pub fn flight_kind_counts(json: &str) -> Vec<(String, u64)> {
         .collect()
 }
 
+/// Summarizes a structured journal (`--journal PATH` / `/events`
+/// output) for `naspipe doctor`: per-(level, kind) event counts in
+/// first-seen order, plus any schema violations found by the strict
+/// parser. Unparseable lines surface as problems, not a hard error —
+/// diagnosis works on whatever survived.
+pub fn journal_summary(text: &str) -> (Vec<(String, u64)>, Vec<String>) {
+    let problems = crate::journal::validate_journal(text);
+    let mut order: Vec<String> = Vec::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    if let Ok(events) = crate::journal::parse_journal(text) {
+        for e in &events {
+            let key = format!("{} {}", e.level.name(), e.kind);
+            if !counts.contains_key(&key) {
+                order.push(key.clone());
+            }
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    let rows = order
+        .into_iter()
+        .map(|k| {
+            let c = counts[&k];
+            (k, c)
+        })
+        .collect();
+    (rows, problems)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

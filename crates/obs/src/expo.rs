@@ -9,9 +9,10 @@
 //! * [`validate_exposition`] / [`counter_values`] parse the text back:
 //!   the `repro telemetry` experiment and CI scrape a live endpoint and
 //!   hard-verify well-formedness and counter monotonicity with these.
-//! * [`MetricsServer`] serves `GET /metrics` from a
-//!   `std::net::TcpListener` accept loop on a background thread
-//!   (non-blocking accept + stop flag, joined on drop).
+//! * [`MetricsServer`] serves `GET /metrics` on a background thread —
+//!   since the ops plane landed it is a thin wrapper over
+//!   [`OpsServer`](crate::ops::OpsServer), so the same port also
+//!   answers `/healthz`, `/readyz`, `/status`, and `/events`.
 
 use crate::report::RunMeta;
 use crate::telemetry::{rate_between, MetricsSnapshot, TelemetryHub};
@@ -19,8 +20,7 @@ use crate::{Counter, Sample};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -112,6 +112,19 @@ fn format_value(v: f64) -> String {
 /// rate gauges from the delta between the last two snapshots, so a
 /// scrape never blocks or touches the stage workers.
 pub fn render_exposition(hub: &TelemetryHub, meta: &RunMeta) -> String {
+    render_exposition_ops(hub, meta, None, None)
+}
+
+/// [`render_exposition`] plus the ops-plane ring-saturation families:
+/// `naspipe_journal_dropped_total` when a journal is attached and
+/// `naspipe_flight_dropped_total` when a flight recorder is, so ring
+/// overflow is visible on a scrape long before anyone reads a dump.
+pub fn render_exposition_ops(
+    hub: &TelemetryHub,
+    meta: &RunMeta,
+    journal_dropped: Option<u64>,
+    flight_dropped: Option<u64>,
+) -> String {
     let (prev, latest) = hub.latest_pair();
     let mut out = String::with_capacity(4096);
     family(
@@ -140,6 +153,22 @@ pub fn render_exposition(hub: &TelemetryHub, meta: &RunMeta) -> String {
         "Snapshots evicted from the telemetry ring buffer.",
         &[(String::new(), hub.samples_dropped() as f64)],
     );
+    if let Some(dropped) = journal_dropped {
+        family(
+            &mut out,
+            "naspipe_journal_dropped_total",
+            "Events evicted from the structured journal ring.",
+            &[(String::new(), dropped as f64)],
+        );
+    }
+    if let Some(dropped) = flight_dropped {
+        family(
+            &mut out,
+            "naspipe_flight_dropped_total",
+            "Events evicted from the flight-recorder rings.",
+            &[(String::new(), dropped as f64)],
+        );
+    }
     let Some(snap) = latest else {
         return out;
     };
@@ -772,14 +801,20 @@ pub fn monotonicity_violations(earlier: &str, later: &str) -> Result<Vec<String>
         .collect())
 }
 
-/// Background `/metrics` server over a non-blocking accept loop.
+/// Background metrics server: the historical single-endpoint entry
+/// point, now a thin wrapper over the multi-route
+/// [`OpsServer`](crate::ops::OpsServer) with a minimal
+/// [`OpsState`](crate::ops::OpsState) (fresh journal, phase `Running`).
+/// Existing callers keep `GET /metrics` exactly as before and gain
+/// `/healthz`, `/readyz`, `/status`, and `/events` for free; runs that
+/// want the full ops plane (journal sink, `/flight`, real phases) bind
+/// an `OpsServer` over their own state instead.
 ///
 /// Binds synchronously (so `local_addr` is final — bind to port 0 for
-/// an ephemeral port), serves until dropped or [`shutdown`](Self::shutdown).
+/// an ephemeral port, reported once on stderr), serves until dropped or
+/// [`shutdown`](Self::shutdown).
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    inner: crate::ops::OpsServer,
 }
 
 impl MetricsServer {
@@ -790,86 +825,22 @@ impl MetricsServer {
         hub: Arc<TelemetryHub>,
         meta: RunMeta,
     ) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let handle = std::thread::Builder::new()
-            .name("naspipe-metrics".to_string())
-            .spawn(move || {
-                while !stop2.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => serve_connection(stream, &hub, &meta),
-                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                    }
-                }
-            })?;
+        let state = crate::ops::OpsState::new(meta, hub, Arc::new(crate::journal::Journal::new(0)));
+        state.set_phase(crate::ops::RunPhase::Running);
         Ok(MetricsServer {
-            addr: local,
-            stop,
-            handle: Some(handle),
+            inner: crate::ops::OpsServer::bind(addr, Arc::new(state))?,
         })
     }
 
     /// The bound address (resolves port 0 to the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.local_addr()
     }
 
     /// Stops the accept loop and joins the server thread.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+        self.inner.shutdown();
     }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn serve_connection(mut stream: TcpStream, hub: &TelemetryHub, meta: &RunMeta) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let mut buf = [0u8; 4096];
-    let mut req = Vec::new();
-    loop {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                req.extend_from_slice(&buf[..n]);
-                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
-                    break;
-                }
-            }
-            Err(_) => return,
-        }
-    }
-    let request = String::from_utf8_lossy(&req);
-    let path = request
-        .lines()
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .unwrap_or("/");
-    let response = if path == "/metrics" || path.starts_with("/metrics?") {
-        let body = render_exposition(hub, meta);
-        format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: {CONTENT_TYPE}\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len(),
-        )
-    } else {
-        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_string()
-    };
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
 }
 
 /// Minimal HTTP client for scraping a [`MetricsServer`] (tests, the
@@ -902,6 +873,7 @@ mod tests {
     use super::*;
     use crate::telemetry::TeeRecorder;
     use crate::Recorder as _;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn busy_hub() -> Arc<TelemetryHub> {
         let hub = Arc::new(TelemetryHub::new(2, 64));

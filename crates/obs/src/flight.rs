@@ -149,6 +149,16 @@ impl FlightRecorder {
         });
     }
 
+    /// Total events evicted across all rings — the saturation signal the
+    /// `naspipe_flight_dropped_total` family exports without paying for a
+    /// full [`snapshot`](Self::snapshot) on every scrape.
+    pub fn dropped(&self) -> u64 {
+        self.rings
+            .iter()
+            .map(|r| r.lock().expect("flight ring poisoned").dropped)
+            .sum()
+    }
+
     /// Copies every ring into an immutable, time-ordered log.
     pub fn snapshot(&self) -> FlightLog {
         let mut events = Vec::new();
@@ -306,6 +316,7 @@ mod tests {
         rec.record(0, 1, FlightEventKind::Admission, 0);
         rec.record(0, 2, FlightEventKind::Admission, 1);
         rec.record(0, 3, FlightEventKind::Admission, 2);
+        assert_eq!(rec.dropped(), 1, "cheap accessor agrees with snapshot");
         let s = rec.snapshot().summary();
         assert_eq!(s.events, 2);
         assert_eq!(s.dropped, 1);

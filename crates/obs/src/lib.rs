@@ -47,6 +47,13 @@
 //!    kernel-vs-scheduling verdict. [`status`] serializes the sampler's
 //!    progress line and watchdog alerts onto stderr without mid-line
 //!    interleaving.
+//! 7. **Ops plane** ([`ops`] + [`journal`]): a multi-route HTTP surface
+//!    (`/metrics`, `/healthz`, `/readyz`, `/status`, `/flight`,
+//!    `/events`) over one run's live state, and the unified structured
+//!    [`Journal`] — one bounded JSONL event log replacing the scattered
+//!    stderr side channels, consumed by `/events`, `--journal PATH`,
+//!    and `naspipe doctor`. Still hand-rolled on `std::net`, still
+//!    bitwise zero-effect on results.
 //!
 //! The crate deliberately has no dependency on `naspipe-core`: the
 //! runtimes resolve their own partition/stage types into plain
@@ -60,7 +67,9 @@ pub mod doctor;
 pub mod expo;
 pub mod flight;
 pub mod invariant;
+pub mod journal;
 pub mod metrics;
+pub mod ops;
 pub mod report;
 pub mod status;
 pub mod telemetry;
@@ -70,18 +79,26 @@ pub mod watchdog;
 pub use chrome::{export_chrome, parse_chrome, ChromeParseError};
 pub use critical_path::{critical_path, AttrClass, CriticalPath, PathSegment};
 pub use doctor::{
-    bench_deltas, diagnose, explain_bench_check, explain_replay, flight_kind_counts, BenchDelta,
-    Diagnosis, SpanShift, StageDelta, StallExport, StragglerRank,
+    bench_deltas, diagnose, explain_bench_check, explain_replay, flight_kind_counts,
+    journal_summary, BenchDelta, Diagnosis, SpanShift, StageDelta, StallExport, StragglerRank,
 };
 pub use expo::{
-    counter_values, monotonicity_violations, render_exposition, scrape, validate_exposition,
-    MetricsServer,
+    counter_values, monotonicity_violations, render_exposition, render_exposition_ops, scrape,
+    validate_exposition, MetricsServer,
 };
 pub use flight::{
     FlightEvent, FlightEventKind, FlightLog, FlightRecorder, FlightSummary, DEFAULT_FLIGHT_CAPACITY,
 };
 pub use invariant::{CspChecker, Violation};
+pub use journal::{
+    parse_event, parse_journal, parse_json, validate_journal, Journal, JournalEvent, JournalLevel,
+    JsonValue, DEFAULT_JOURNAL_CAPACITY, JOURNAL_SCHEMA_VERSION,
+};
 pub use metrics::{Counter, Histogram, MetricsRecorder, NullRecorder, Recorder, Sample};
+pub use ops::{
+    http_get, render_top, validate_status, HttpResponse, OpsServer, OpsState, RunPhase,
+    STATUS_SCHEMA_VERSION,
+};
 pub use report::{
     ObsReport, PoolWorkerObs, RunMeta, SeriesPoint, SeriesStage, StageObs, OBS_SCHEMA_VERSION,
 };

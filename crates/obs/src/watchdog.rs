@@ -110,6 +110,14 @@ impl WatchdogVerdict {
             self.detail
         )
     }
+
+    /// The structured fields a journal `watchdog-trip` event carries.
+    pub fn journal_fields(&self) -> Vec<(String, String)> {
+        vec![
+            ("verdict".to_string(), self.kind.name().to_string()),
+            ("detail".to_string(), self.detail.clone()),
+        ]
+    }
 }
 
 #[derive(Clone)]

@@ -6,12 +6,14 @@
 //! naspipe train  --space NLP.c2 --gpus 8 --subnets 120 [--system gpipe]
 //!                [--seed 7] [--batch 64] [--threads 4] [--transcript run.nt]
 //!                [--engine des|threaded] [--metrics-addr 127.0.0.1:9464]
-//!                [--sample-interval-ms 200]
+//!                [--journal run.journal.jsonl] [--sample-interval-ms 200]
 //!                [--checkpoint-dir DIR] [--checkpoint-keep 3]
 //!                [--checkpoint-interval 8] [--resume] [--kill-at 1:13]
 //! naspipe replay --space NLP.c2 --transcript run.nt [--seed 7]
 //! naspipe search --space CV.c2 --gpus 8 --subnets 120 --rounds 96 [--seed 7]
 //!                [--metrics-addr 127.0.0.1:9464]
+//! naspipe top    --addr 127.0.0.1:9464 [--interval-ms 1000]
+//!                [--iterations 0] [--once]
 //! naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]
 //!                [--e2e-threshold-pct 35] [--gate kernels|all] [--explain]
 //! naspipe replay-check [--corpus traces/golden] [--mode strict|lenient]
@@ -19,11 +21,17 @@
 //! naspipe doctor --base base_trace.json --cand cand_trace.json [--top 5]
 //!                [--base-bench A.json --cand-bench B.json]
 //!                [--base-flight A.flight.json] [--cand-flight B.flight.json]
+//!                [--journal run.journal.jsonl]
 //!                [--threshold-pct 15] [--json]
 //! ```
 //!
-//! With `--metrics-addr`, the run serves live Prometheus 0.0.4 text on
-//! `GET /metrics` while training (`curl http://ADDR/metrics`).
+//! With `--metrics-addr`, the run serves the full ops plane while
+//! training: `GET /metrics` (Prometheus 0.0.4 text), `/healthz` +
+//! `/readyz` (liveness vs. admitting-work), `/status` (versioned JSON
+//! status document), `/flight` (on-demand flight-recorder dump), and
+//! `/events` (chunked stream of the structured journal). `--journal
+//! PATH` tees the same journal to a JSONL file; `naspipe top` renders a
+//! live per-stage terminal view by scraping `/status` + `/metrics`.
 //!
 //! `replay-check` is the behavioral twin of `bench-check`: it re-executes
 //! the committed golden traces against the current scheduler and fails
@@ -46,7 +54,10 @@ use naspipe::core::runtime::{run_threaded_diagnosed, DurableOptions, RecoveryOpt
 use naspipe::core::task::TaskKind;
 use naspipe::core::train::{replay_training, search_best_subnet, TrainConfig};
 use naspipe::core::transcript::{replay_transcript, Transcript};
-use naspipe::obs::{MetricsServer, RunMeta, SpanTracer, TelemetryHub, TelemetryOptions};
+use naspipe::obs::{
+    http_get, parse_json, render_top, Journal, OpsServer, OpsState, RunMeta, SpanTracer,
+    TelemetryHub, TelemetryOptions,
+};
 use naspipe::supernet::sampler::{ExplorationStrategy, UniformSampler};
 use naspipe::supernet::space::{SearchSpace, SpaceId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -86,10 +97,12 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "checkpoint-interval",
             "kill-at",
             "flight-dump",
+            "journal",
         ],
         &["resume"],
     ),
     ("replay", &["space", "transcript", "seed", "threads"], &[]),
+    ("top", &["addr", "interval-ms", "iterations"], &["once"]),
     (
         "search",
         &[
@@ -130,6 +143,7 @@ const COMMANDS: &[(&str, &[&str], &[&str])] = &[
             "cand-bench",
             "base-flight",
             "cand-flight",
+            "journal",
             "threshold-pct",
         ],
         &["json"],
@@ -275,28 +289,53 @@ impl Args {
         }))
     }
 
-    /// When `--metrics-addr` is given: a live hub plus the HTTP server
-    /// scraping it, already bound (port 0 resolves to an ephemeral
-    /// port, printed so it can be curled).
-    fn telemetry(
-        &self,
-        engine: &str,
-        gpus: u32,
-        seed: u64,
-    ) -> Result<Option<(TelemetryOptions, MetricsServer)>, String> {
-        let Some(addr) = self.options.get("metrics-addr") else {
+    /// When `--metrics-addr` and/or `--journal` is given: the live ops
+    /// plane — a telemetry hub, the shared run state behind `/status` /
+    /// `/readyz`, a mirrored (and optionally file-sinked) structured
+    /// journal, and, with `--metrics-addr`, the bound multi-route HTTP
+    /// server (port 0 resolves to an ephemeral port, printed once so it
+    /// can be curled).
+    fn ops_plane(&self, engine: &str, gpus: u32, seed: u64) -> Result<Option<OpsPlane>, String> {
+        let addr = self.options.get("metrics-addr");
+        let journal_path = self.options.get("journal");
+        if addr.is_none() && journal_path.is_none() {
             return Ok(None);
-        };
+        }
         let hub = Arc::new(TelemetryHub::new(gpus as usize, 0));
         let meta = RunMeta::new(engine, gpus).seed(seed);
-        let server = MetricsServer::bind(addr, Arc::clone(&hub), meta)
-            .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
-        eprintln!("serving metrics on http://{}/metrics", server.local_addr());
-        let opts = TelemetryOptions::new(hub)
+        let mut journal = Journal::new(0).with_mirror();
+        if let Some(path) = journal_path {
+            journal = journal
+                .with_sink(std::path::Path::new(path))
+                .map_err(|e| format!("cannot write journal to {path}: {e}"))?;
+        }
+        let state = Arc::new(OpsState::new(meta, Arc::clone(&hub), Arc::new(journal)));
+        let server = match addr {
+            Some(addr) => Some(
+                OpsServer::bind(addr, Arc::clone(&state))
+                    .map_err(|e| format!("cannot serve ops plane on {addr}: {e}"))?,
+            ),
+            None => None,
+        };
+        // The progress line stays tied to live scraping: journal-only
+        // runs keep their stderr exactly as before.
+        let topts = TelemetryOptions::new(hub)
             .with_interval_us(self.sample_interval_us()?)
-            .with_progress(true);
-        Ok(Some((opts, server)))
+            .with_progress(addr.is_some());
+        Ok(Some(OpsPlane {
+            topts,
+            state,
+            server,
+        }))
     }
+}
+
+/// Everything `--metrics-addr` / `--journal` stand up for one run. The
+/// server (when bound) serves until this is dropped at end of run.
+struct OpsPlane {
+    topts: TelemetryOptions,
+    state: Arc<OpsState>,
+    server: Option<OpsServer>,
 }
 
 /// Which training engine `naspipe train` drives.
@@ -363,13 +402,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         .with_sample_interval_us(args.sample_interval_us()?);
     cfg.batch = batch;
     cfg.diagnostics.flight_dump = args.options.get("flight-dump").cloned();
-    let telemetry = args.telemetry("des", gpus, seed)?;
+    let mut ops = args.ops_plane("des", gpus, seed)?;
+    if let Some(o) = &ops {
+        cfg.diagnostics.ops = Some(Arc::clone(&o.state));
+    }
     let outcome = run_pipeline_telemetry(
         &space,
         &cfg,
         subnets,
         Box::new(SpanTracer::new()),
-        telemetry.as_ref().map(|(opts, _)| opts),
+        ops.as_ref().map(|o| &o.topts),
     )
     .map_err(|e| e.to_string())?;
     let r = &outcome.report;
@@ -405,6 +447,11 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         t.write(&mut file).map_err(|e| e.to_string())?;
         println!("  transcript written to {path}");
     }
+    if let Some(o) = ops.as_mut() {
+        if let Some(s) = o.server.as_mut() {
+            s.shutdown();
+        }
+    }
     Ok(())
 }
 
@@ -419,7 +466,7 @@ fn train_threaded(
     threads: usize,
 ) -> Result<(), String> {
     let n = subnets.len();
-    let telemetry = args.telemetry("threaded", gpus, seed)?;
+    let mut ops = args.ops_plane("threaded", gpus, seed)?;
     let durable = args.durable()?;
     // Durable persistence needs cuts to persist: default the interval on
     // when a checkpoint directory is given.
@@ -436,6 +483,7 @@ fn train_threaded(
     }
     let diag = DiagnosticsOptions {
         flight_dump: args.options.get("flight-dump").cloned(),
+        ops: ops.as_ref().map(|o| Arc::clone(&o.state)),
         ..DiagnosticsOptions::default()
     };
     let run = run_threaded_diagnosed(
@@ -445,7 +493,7 @@ fn train_threaded(
         gpus,
         0,
         &opts,
-        telemetry.as_ref().map(|(topts, _)| topts),
+        ops.as_ref().map(|o| &o.topts),
         durable.as_ref(),
         &diag,
     )
@@ -473,6 +521,11 @@ fn train_threaded(
         loss_digest(&run.result.losses),
         run.result.losses.len(),
     );
+    if let Some(o) = ops.as_mut() {
+        if let Some(s) = o.server.as_mut() {
+            s.shutdown();
+        }
+    }
     Ok(())
 }
 
@@ -606,6 +659,29 @@ fn cmd_replay_check(args: &Args) -> Result<(), String> {
 fn cmd_doctor(args: &Args) -> Result<(), String> {
     use naspipe::obs::{bench_deltas, diagnose, flight_kind_counts, parse_chrome};
 
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let print_journal = |path: &str| -> Result<(), String> {
+        let (rows, problems) = naspipe::obs::journal_summary(&read(path)?);
+        println!("journal event mix ({path}):");
+        for (kind, count) in rows {
+            println!("  {kind:<24} {count}");
+        }
+        for p in &problems {
+            println!("  schema problem: {p}");
+        }
+        if problems.is_empty() {
+            println!("  journal schema: ok");
+        }
+        Ok(())
+    };
+    // Journal-only mode: summarize one run's structured event log
+    // without a trace diagnosis.
+    if !args.options.contains_key("base") && !args.options.contains_key("cand") {
+        if let Some(path) = args.options.get("journal") {
+            return print_journal(path);
+        }
+    }
+
     let base_path = args
         .options
         .get("base")
@@ -616,7 +692,6 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
         .ok_or("--cand is required (the candidate run's chrome trace JSON)")?;
     let top = args.u64_opt("top", 5)? as usize;
     let threshold = args.u64_opt("threshold-pct", 15)? as f64 / 100.0;
-    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
     let (base, _) = parse_chrome(&read(base_path)?).map_err(|e| format!("{base_path}: {e}"))?;
     let (cand, _) = parse_chrome(&read(cand_path)?).map_err(|e| format!("{cand_path}: {e}"))?;
     let d = diagnose(&base, &cand, top);
@@ -639,6 +714,9 @@ fn cmd_doctor(args: &Args) -> Result<(), String> {
                 println!("  {kind:<18} {count}");
             }
         }
+    }
+    if let Some(path) = args.options.get("journal") {
+        print_journal(path)?;
     }
     Ok(())
 }
@@ -684,13 +762,17 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         .with_seed(seed)
         .with_compute_threads(threads)
         .with_sample_interval_us(args.sample_interval_us()?);
-    let telemetry = args.telemetry("des", gpus, seed)?;
+    let mut cfg = cfg;
+    let ops = args.ops_plane("des", gpus, seed)?;
+    if let Some(o) = &ops {
+        cfg.diagnostics.ops = Some(Arc::clone(&o.state));
+    }
     let outcome = run_pipeline_telemetry(
         &space,
         &cfg,
         subnets,
         Box::new(SpanTracer::new()),
-        telemetry.as_ref().map(|(opts, _)| opts),
+        ops.as_ref().map(|o| &o.topts),
     )
     .map_err(|e| e.to_string())?;
     let tc = train_config(seed, cfg.compute_threads);
@@ -705,21 +787,79 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `naspipe top`: terminal live view of a run's ops plane. Scrapes
+/// `/status` + `/metrics` every interval and renders per-stage
+/// utilization / watermark / queue-depth lines, until the run reports
+/// done/failed, the endpoint goes away, or the iteration budget is
+/// spent. Read-only: it never influences the run it watches.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use std::io::IsTerminal;
+
+    let addr = args
+        .options
+        .get("addr")
+        .ok_or("--addr is required (HOST:PORT of a live run's ops plane)")?;
+    let interval = std::time::Duration::from_millis(args.u64_opt("interval-ms", 1000)?.max(100));
+    let iterations = args.u64_opt("iterations", 0)?;
+    let once = args.flags.contains("once");
+    // Only a real terminal gets the clear-screen dance; piped output is
+    // plain appended frames (what the docs' transcript shows).
+    let live = std::io::stdout().is_terminal();
+    let mut scraped = 0u64;
+    loop {
+        let status = http_get(addr, "/status")
+            .map_err(|e| format!("cannot scrape http://{addr}/status: {e}"))?;
+        if status.status != 200 {
+            return Err(format!(
+                "http://{addr}/status answered {} (not an ops plane?)",
+                status.status
+            ));
+        }
+        let metrics = http_get(addr, "/metrics")
+            .map_err(|e| format!("cannot scrape http://{addr}/metrics: {e}"))?;
+        let doc = parse_json(&status.body).map_err(|e| format!("/status is not JSON: {e}"))?;
+        let frame = render_top(&doc, &metrics.body)?;
+        if live {
+            // ANSI clear + home, so the view repaints in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        scraped += 1;
+        let phase = doc
+            .get("phase")
+            .and_then(|p| p.as_str())
+            .unwrap_or("unknown")
+            .to_string();
+        if once || (iterations > 0 && scraped >= iterations) {
+            return Ok(());
+        }
+        if phase == "done" || phase == "failed" {
+            println!("run {phase}; exiting");
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: naspipe <spaces|train|replay|search|bench-check|replay-check|doctor> [--option value ..]\n\
+    "usage: naspipe <spaces|train|replay|search|top|bench-check|replay-check|doctor> [--option value ..]\n\
      \n\
      naspipe spaces\n\
      naspipe train  --space NLP.c2 [--gpus 8] [--subnets 64] [--seed 0]\n\
      \x20              [--batch 0] [--system naspipe|gpipe|pipedream|vpipe]\n\
      \x20              [--threads 0] [--transcript FILE]\n\
      \x20              [--engine des|threaded] [--metrics-addr HOST:PORT]\n\
-     \x20              [--sample-interval-ms 200]\n\
+     \x20              [--journal PATH] [--sample-interval-ms 200]\n\
      \x20              [--checkpoint-dir DIR] [--checkpoint-keep 3]\n\
      \x20              [--checkpoint-interval 8] [--resume]\n\
      \x20              [--kill-at STAGE:SUBNET] [--flight-dump PATH]\n\
      naspipe replay --space NLP.c2 --transcript FILE [--seed 0] [--threads 0]\n\
      naspipe search --space CV.c2 [--gpus 8] [--subnets 64] [--rounds 64]\n\
      \x20              [--threads 0] [--metrics-addr HOST:PORT]\n\
+     naspipe top    --addr HOST:PORT [--interval-ms 1000] [--iterations 0]\n\
+     \x20              [--once]\n\
      naspipe bench-check [--baseline BENCH_compute.json] [--threshold-pct 15]\n\
      \x20              [--e2e-threshold-pct 35] [--gate kernels|all]\n\
      \x20              [--subnets 24] [--explain]\n\
@@ -728,7 +868,7 @@ fn usage() -> &'static str {
      naspipe doctor --base TRACE.json --cand TRACE.json [--top 5]\n\
      \x20              [--base-bench A.json --cand-bench B.json]\n\
      \x20              [--base-flight A.flight.json] [--cand-flight B.flight.json]\n\
-     \x20              [--threshold-pct 15] [--json]\n\
+     \x20              [--journal PATH] [--threshold-pct 15] [--json]\n\
      \n\
      --threads sets the compute-pool worker count (0 = NASPIPE_THREADS\n\
      or the machine's parallelism); it never changes numeric results.\n\
@@ -737,8 +877,17 @@ fn usage() -> &'static str {
      snapshot there, bitwise-identical to an uninterrupted run.\n\
      --kill-at STAGE:SUBNET aborts the whole process at that forward\n\
      task (crash injection; recover with --resume).\n\
-     --metrics-addr serves live Prometheus 0.0.4 text on GET /metrics\n\
-     while the run is in flight (port 0 picks an ephemeral port).\n\
+     --metrics-addr serves the live ops plane while the run is in\n\
+     flight: GET /metrics (Prometheus 0.0.4 text), /healthz, /readyz,\n\
+     /status (versioned JSON), /flight (on-demand flight dump), and\n\
+     /events (chunked journal stream); port 0 picks an ephemeral port,\n\
+     printed once on stderr.\n\
+     --journal PATH tees the structured event journal (watchdog trips,\n\
+     checkpoint cuts, recovery and durable notices) to a JSONL file;\n\
+     it works with or without --metrics-addr.\n\
+     top renders a live per-stage view (watermark, fwd/bwd, tasks/s,\n\
+     queue, stall/bubble, cache) by scraping /status and /metrics of a\n\
+     run started with --metrics-addr.\n\
      bench-check re-measures the compute backend at pool sizes {1,4,8}\n\
      and exits non-zero when fresh throughput falls outside the tolerance\n\
      band of the tracked BENCH_compute.json (schema 2) baseline:\n\
@@ -775,6 +924,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "replay" => cmd_replay(&args),
         "search" => cmd_search(&args),
+        "top" => cmd_top(&args),
         "bench-check" => cmd_bench_check(&args),
         "replay-check" => cmd_replay_check(&args),
         "doctor" => cmd_doctor(&args),
@@ -904,6 +1054,36 @@ mod tests {
 
         // doctor rejects options it does not take.
         assert!(parse_args(&argv("doctor --base a.json --bless")).is_err());
+    }
+
+    #[test]
+    fn parses_ops_plane_options() {
+        // train takes --journal alongside --metrics-addr.
+        let a = parse_args(&argv(
+            "train --space NLP.c2 --metrics-addr 127.0.0.1:0 --journal run.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(a.options["metrics-addr"], "127.0.0.1:0");
+        assert_eq!(a.options["journal"], "run.jsonl");
+
+        // top: --addr with pacing options and the bare --once flag.
+        let a = parse_args(&argv(
+            "top --addr 127.0.0.1:9464 --interval-ms 250 --iterations 3 --once",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "top");
+        assert_eq!(a.options["addr"], "127.0.0.1:9464");
+        assert_eq!(a.u64_opt("interval-ms", 1000).unwrap(), 250);
+        assert_eq!(a.u64_opt("iterations", 0).unwrap(), 3);
+        assert!(a.flags.contains("once"));
+
+        // top rejects train-only options; doctor takes --journal.
+        assert!(parse_args(&argv("top --addr 127.0.0.1:1 --space NLP.c2")).is_err());
+        let a = parse_args(&argv(
+            "doctor --base a.json --cand b.json --journal j.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(a.options["journal"], "j.jsonl");
     }
 
     #[test]
